@@ -1,0 +1,141 @@
+// Micro-kernel benchmarks (DESIGN.md experiment A2): the primitives whose
+// cost model justifies the paper's complexity claims.
+//
+//   - power-method iteration (c = -1/lambda_min resolution)
+//   - incremental delta-eval vs naive full re-evaluation of the fitness
+//   - CommunityState add/remove churn
+//   - Bron-Kerbosch clique enumeration (why CFinder is slow)
+//   - greedy local search end-to-end
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/bron_kerbosch.h"
+#include "core/community_state.h"
+#include "core/local_search.h"
+#include "gen/erdos_renyi.h"
+#include "gen/lfr.h"
+#include "spectral/extreme_eigen.h"
+#include "util/random.h"
+
+namespace {
+
+const oca::Graph& LfrGraph() {
+  static const oca::Graph* graph = [] {
+    oca::LfrOptions opt;
+    opt.num_nodes = 2000;
+    opt.average_degree = 20.0;
+    opt.max_degree = 50;
+    opt.mixing = 0.25;
+    opt.min_community = 20;
+    opt.max_community = 80;
+    opt.seed = 9;
+    return new oca::Graph(oca::GenerateLfr(opt).value().graph);
+  }();
+  return *graph;
+}
+
+void BM_PowerMethodMatVec(benchmark::State& state) {
+  const oca::Graph& g = LfrGraph();
+  std::vector<double> x(g.num_nodes(), 1.0), y;
+  for (auto _ : state) {
+    oca::AdjacencyMatVec(g, x, &y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_edges() * 2));
+}
+BENCHMARK(BM_PowerMethodMatVec);
+
+void BM_CouplingConstant(benchmark::State& state) {
+  const oca::Graph& g = LfrGraph();
+  for (auto _ : state) {
+    auto c = oca::ComputeCouplingConstant(g);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_CouplingConstant);
+
+// The headline kernel: scoring one candidate move. Incremental delta
+// evaluation is O(1); the naive alternative re-scans the subset.
+void BM_DeltaEvalIncremental(benchmark::State& state) {
+  const oca::Graph& g = LfrGraph();
+  oca::CommunityState cs(g);
+  for (oca::NodeId v = 0; v < 40; ++v) cs.Add(v);
+  oca::FitnessParams params;
+  params.c = 0.5;
+  auto frontier = cs.Frontier();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [node, deg_in] = frontier[i++ % frontier.size()];
+    double gain = oca::FitnessGainAdd(cs.stats(), deg_in, g.Degree(node),
+                                      params);
+    benchmark::DoNotOptimize(gain);
+  }
+}
+BENCHMARK(BM_DeltaEvalIncremental);
+
+void BM_DeltaEvalNaiveRecompute(benchmark::State& state) {
+  const oca::Graph& g = LfrGraph();
+  oca::Community members;
+  for (oca::NodeId v = 0; v < 40; ++v) members.push_back(v);
+  oca::FitnessParams params;
+  params.c = 0.5;
+  oca::NodeId candidate = 41;
+  for (auto _ : state) {
+    // Naive: recompute subset stats from scratch for S and S + {v}.
+    oca::SubsetStats before = oca::ComputeSubsetStats(g, members);
+    oca::Community grown = members;
+    grown.push_back(candidate);
+    oca::SubsetStats after = oca::ComputeSubsetStats(g, grown);
+    double gain = oca::EvaluateFitness(after, params) -
+                  oca::EvaluateFitness(before, params);
+    benchmark::DoNotOptimize(gain);
+  }
+}
+BENCHMARK(BM_DeltaEvalNaiveRecompute);
+
+void BM_CommunityStateChurn(benchmark::State& state) {
+  const oca::Graph& g = LfrGraph();
+  oca::Rng rng(3);
+  for (auto _ : state) {
+    oca::CommunityState cs(g);
+    for (int i = 0; i < 64; ++i) {
+      cs.Add(static_cast<oca::NodeId>((i * 31) % g.num_nodes()));
+    }
+    for (int i = 63; i >= 0; --i) {
+      cs.Remove(static_cast<oca::NodeId>((i * 31) % g.num_nodes()));
+    }
+    benchmark::DoNotOptimize(cs.stats());
+  }
+}
+BENCHMARK(BM_CommunityStateChurn);
+
+void BM_GreedyLocalSearch(benchmark::State& state) {
+  const oca::Graph& g = LfrGraph();
+  static const double c = oca::ComputeCouplingConstant(g).value();
+  oca::LocalSearchOptions opt;
+  opt.fitness.c = c;
+  uint64_t seed_node = 0;
+  for (auto _ : state) {
+    auto result = oca::GreedyLocalSearch(
+        g, {static_cast<oca::NodeId>(seed_node++ % g.num_nodes())}, opt);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_GreedyLocalSearch);
+
+void BM_BronKerbosch(benchmark::State& state) {
+  oca::Rng rng(11);
+  oca::Graph g =
+      oca::ErdosRenyi(static_cast<size_t>(state.range(0)), 0.1, &rng).value();
+  for (auto _ : state) {
+    size_t count = 0;
+    auto stats = oca::EnumerateMaximalCliques(
+        g, {}, [&count](const std::vector<oca::NodeId>&) { ++count; });
+    benchmark::DoNotOptimize(stats);
+    state.counters["cliques"] = static_cast<double>(count);
+  }
+}
+BENCHMARK(BM_BronKerbosch)->Arg(100)->Arg(200)->Arg(400);
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Hierarchy explorer: the paper's future-work direction, runnable.
+//
+// Sweeps the coupling constant from a fraction of its admissible maximum
+// up to the maximum, runs OCA at each resolution, and prints the
+// containment tree: which fine communities sit inside which coarse ones.
+//
+// An empirical note this tool surfaces: c is a WEAK resolution knob for
+// the directed-Laplacian fitness (the monotone base term is tiny against
+// the edge term), so on graphs with one dominant scale every level finds
+// the same communities — the containment tree then acts as a stability
+// certificate: 100% containment across the full admissible range of c
+// means the structure is robust, not an artifact of the spectral choice.
+//
+//   $ ./build/examples/hierarchy_explorer [--seed=7]
+
+#include <cstdio>
+
+#include "core/hierarchy.h"
+#include "graph/graph_builder.h"
+#include "util/flags.h"
+#include "util/random.h"
+
+namespace {
+
+// A genuinely two-level workload: `supers` super-communities, each made
+// of `subs_per` dense sub-modules. Sub-module pairs inside a super are
+// moderately linked, supers barely. Low c should resolve the sub-modules
+// (dense cores), high c the full supers.
+oca::Graph NestedModules(size_t supers, size_t subs_per, size_t sub_size,
+                         uint64_t seed) {
+  oca::Rng rng(seed);
+  size_t n = supers * subs_per * sub_size;
+  oca::GraphBuilder builder(n);
+  for (oca::NodeId u = 0; u < n; ++u) {
+    for (oca::NodeId v = u + 1; v < n; ++v) {
+      size_t sub_u = u / sub_size, sub_v = v / sub_size;
+      size_t super_u = sub_u / subs_per, super_v = sub_v / subs_per;
+      double p = 0.002;                     // across supers
+      if (super_u == super_v) p = 0.10;     // within super, across subs
+      if (sub_u == sub_v) p = 0.85;         // within sub-module
+      if (rng.NextBool(p)) builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build().value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  oca::FlagParser flags;
+  if (auto s = flags.Parse(argc, argv); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7).value_or(7));
+  const size_t supers = 4, subs_per = 3, sub_size = 20;
+  oca::Graph graph = NestedModules(supers, subs_per, sub_size, seed);
+  std::printf("nested-module graph: %zu nodes, %zu edges; planted "
+              "structure: %zu supers x %zu sub-modules of %zu nodes\n\n",
+              graph.num_nodes(), graph.num_edges(), supers, subs_per,
+              sub_size);
+
+  oca::HierarchyOptions opt;
+  opt.resolution_fractions = {0.2, 0.5, 1.0};
+  opt.base.seed = seed;
+  opt.base.halting.max_seeds = graph.num_nodes() * 3;
+  opt.base.halting.target_coverage = 0.98;
+  opt.base.halting.stagnation_window = 150;
+
+  auto hierarchy_result = oca::BuildHierarchy(graph, opt);
+  if (!hierarchy_result.ok()) {
+    std::fprintf(stderr, "hierarchy failed: %s\n",
+                 hierarchy_result.status().ToString().c_str());
+    return 1;
+  }
+  const auto& h = hierarchy_result.value();
+
+  for (size_t j = 0; j < h.levels.size(); ++j) {
+    std::printf("level %zu (c = %.4f): %zu communities, sizes [%zu, %zu]\n",
+                j, h.levels[j].c, h.levels[j].cover.size(),
+                h.levels[j].cover.MinCommunitySize(),
+                h.levels[j].cover.MaxCommunitySize());
+  }
+
+  std::printf("\ncontainment links (fine -> coarse):\n");
+  for (size_t j = 0; j < h.links.size(); ++j) {
+    size_t fully_contained = 0;
+    for (size_t i = 0; i < h.links[j].size(); ++i) {
+      if (h.links[j][i].containment >= 0.99) ++fully_contained;
+    }
+    std::printf("  level %zu -> %zu: %zu/%zu communities >=99%% contained "
+                "in a parent\n",
+                j, j + 1, fully_contained, h.links[j].size());
+    // Show a few example links.
+    for (size_t i = 0; i < h.links[j].size() && i < 5; ++i) {
+      const auto& link = h.links[j][i];
+      if (link.parent_index == oca::Hierarchy::kNoParent) continue;
+      std::printf("    community %zu (size %zu) -> parent %u (size %zu), "
+                  "containment %.2f\n",
+                  i, h.levels[j].cover[i].size(), link.parent_index,
+                  h.levels[j + 1].cover[link.parent_index].size(),
+                  link.containment);
+    }
+  }
+  std::printf("\nall levels agreeing at full containment = the found "
+              "communities are stable across the whole admissible range "
+              "of c (see header comment)\n");
+  return 0;
+}

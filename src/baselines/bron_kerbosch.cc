@@ -1,0 +1,137 @@
+#include "baselines/bron_kerbosch.h"
+
+#include <algorithm>
+
+#include "graph/k_core.h"
+
+namespace oca {
+
+namespace {
+
+// Sorted-vector set intersection: out = a  n  N(v).
+std::vector<NodeId> IntersectWithNeighbors(const Graph& graph,
+                                           const std::vector<NodeId>& a,
+                                           NodeId v) {
+  std::vector<NodeId> out;
+  auto nbrs = graph.Neighbors(v);
+  out.reserve(std::min(a.size(), nbrs.size()));
+  std::set_intersection(a.begin(), a.end(), nbrs.begin(), nbrs.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+// Exception-free early-exit signaling via return value.
+struct Aborted {};
+
+class BkRunner {
+ public:
+  BkRunner(const Graph& graph, const CliqueEnumerationOptions& options,
+           const std::function<void(const std::vector<NodeId>&)>& sink)
+      : graph_(graph), options_(options), sink_(sink) {}
+
+  CliqueEnumerationStats Run() {
+    // Degeneracy-order outer loop: for each v, branch on
+    // R={v}, P=later neighbors, X=earlier neighbors.
+    std::vector<NodeId> order = DegeneracyOrder(graph_);
+    std::vector<uint32_t> rank(graph_.num_nodes());
+    for (uint32_t i = 0; i < order.size(); ++i) rank[order[i]] = i;
+
+    std::vector<NodeId> r, p, x;
+    for (NodeId v : order) {
+      if (stats_.truncated) break;
+      p.clear();
+      x.clear();
+      for (NodeId u : graph_.Neighbors(v)) {
+        (rank[u] > rank[v] ? p : x).push_back(u);
+      }
+      std::sort(p.begin(), p.end());
+      std::sort(x.begin(), x.end());
+      r = {v};
+      Recurse(&r, p, x);
+    }
+    return stats_;
+  }
+
+ private:
+  void Recurse(std::vector<NodeId>* r, std::vector<NodeId> p,
+               std::vector<NodeId> x) {
+    ++stats_.recursive_calls;
+    if (stats_.truncated) return;
+    if (p.empty() && x.empty()) {
+      if (r->size() >= options_.min_size) {
+        std::vector<NodeId> clique = *r;
+        std::sort(clique.begin(), clique.end());
+        sink_(clique);
+        ++stats_.cliques_reported;
+        if (options_.max_cliques != 0 &&
+            stats_.cliques_reported >= options_.max_cliques) {
+          stats_.truncated = true;
+        }
+      }
+      return;
+    }
+
+    // Pivot: the vertex of P u X with the most neighbors in P.
+    NodeId pivot = 0;
+    size_t best = SIZE_MAX;
+    for (const auto* set : {&p, &x}) {
+      for (NodeId u : *set) {
+        size_t non_nbrs = p.size() - IntersectWithNeighbors(graph_, p, u).size();
+        if (non_nbrs < best) {
+          best = non_nbrs;
+          pivot = u;
+        }
+      }
+    }
+
+    // Branch on P \ N(pivot).
+    std::vector<NodeId> candidates;
+    {
+      auto nbrs = graph_.Neighbors(pivot);
+      std::set_difference(p.begin(), p.end(), nbrs.begin(), nbrs.end(),
+                          std::back_inserter(candidates));
+    }
+    for (NodeId v : candidates) {
+      if (stats_.truncated) return;
+      r->push_back(v);
+      Recurse(r, IntersectWithNeighbors(graph_, p, v),
+              IntersectWithNeighbors(graph_, x, v));
+      r->pop_back();
+      // Move v from P to X.
+      p.erase(std::lower_bound(p.begin(), p.end(), v));
+      x.insert(std::lower_bound(x.begin(), x.end(), v), v);
+    }
+  }
+
+  const Graph& graph_;
+  const CliqueEnumerationOptions& options_;
+  const std::function<void(const std::vector<NodeId>&)>& sink_;
+  CliqueEnumerationStats stats_;
+};
+
+}  // namespace
+
+Result<CliqueEnumerationStats> EnumerateMaximalCliques(
+    const Graph& graph, const CliqueEnumerationOptions& options,
+    const std::function<void(const std::vector<NodeId>&)>& sink) {
+  if (!sink) {
+    return Status::InvalidArgument("clique sink must be callable");
+  }
+  BkRunner runner(graph, options, sink);
+  return runner.Run();
+}
+
+Result<std::vector<std::vector<NodeId>>> FindMaximalCliques(
+    const Graph& graph, const CliqueEnumerationOptions& options) {
+  std::vector<std::vector<NodeId>> cliques;
+  OCA_ASSIGN_OR_RETURN(
+      CliqueEnumerationStats stats,
+      EnumerateMaximalCliques(graph, options,
+                              [&cliques](const std::vector<NodeId>& c) {
+                                cliques.push_back(c);
+                              }));
+  (void)stats;
+  return cliques;
+}
+
+}  // namespace oca

@@ -1,0 +1,45 @@
+// Maximal clique enumeration: Bron–Kerbosch with pivoting over a
+// degeneracy-ordered outer loop (Eppstein, Löffler & Strash 2010), the
+// standard approach for sparse real-world graphs.
+
+#ifndef OCA_BASELINES_BRON_KERBOSCH_H_
+#define OCA_BASELINES_BRON_KERBOSCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace oca {
+
+struct CliqueEnumerationOptions {
+  /// Report only cliques with at least this many nodes (smaller maximal
+  /// cliques are still traversed, just not reported).
+  size_t min_size = 1;
+  /// Abort once this many cliques were reported (0 = unlimited). This is
+  /// the safety valve the original CFinder lacks — the paper found clique
+  /// retrieval "prohibitive for large graphs".
+  size_t max_cliques = 0;
+};
+
+struct CliqueEnumerationStats {
+  size_t cliques_reported = 0;
+  size_t recursive_calls = 0;
+  bool truncated = false;  // hit max_cliques
+};
+
+/// Enumerates maximal cliques, invoking `sink` for each (nodes sorted
+/// ascending). Returns stats; errors only on malformed input.
+Result<CliqueEnumerationStats> EnumerateMaximalCliques(
+    const Graph& graph, const CliqueEnumerationOptions& options,
+    const std::function<void(const std::vector<NodeId>&)>& sink);
+
+/// Convenience: collects all maximal cliques into a vector.
+Result<std::vector<std::vector<NodeId>>> FindMaximalCliques(
+    const Graph& graph, const CliqueEnumerationOptions& options = {});
+
+}  // namespace oca
+
+#endif  // OCA_BASELINES_BRON_KERBOSCH_H_

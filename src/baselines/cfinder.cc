@@ -1,0 +1,41 @@
+#include "baselines/cfinder.h"
+
+#include "baselines/clique_percolation.h"
+
+namespace oca {
+
+Result<CfinderResult> RunCfinder(const Graph& graph,
+                                 const CfinderOptions& options) {
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("CFinder on an empty graph");
+  }
+  if (options.k < 2) {
+    return Status::InvalidArgument("CFinder requires k >= 2");
+  }
+
+  CliqueEnumerationOptions clique_options;
+  clique_options.min_size = options.k;
+  clique_options.max_cliques = options.max_cliques;
+
+  std::vector<std::vector<NodeId>> cliques;
+  OCA_ASSIGN_OR_RETURN(
+      CliqueEnumerationStats clique_stats,
+      EnumerateMaximalCliques(graph, clique_options,
+                              [&cliques](const std::vector<NodeId>& c) {
+                                cliques.push_back(c);
+                              }));
+  if (clique_stats.truncated) {
+    return Status::FailedPrecondition(
+        "CFinder clique budget exhausted: graph too clique-dense "
+        "(the paper discards CFinder on large graphs for this reason)");
+  }
+
+  CfinderResult result;
+  result.stats.maximal_cliques = clique_stats.cliques_reported;
+  result.stats.bk_recursive_calls = clique_stats.recursive_calls;
+  OCA_ASSIGN_OR_RETURN(result.cover,
+                       PercolateCliques(cliques, options.k, graph.num_nodes()));
+  return result;
+}
+
+}  // namespace oca

@@ -1,0 +1,68 @@
+#include "baselines/clique_percolation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/union_find.h"
+
+namespace oca {
+
+Result<Cover> PercolateCliques(const std::vector<std::vector<NodeId>>& cliques,
+                               uint32_t k, size_t num_nodes) {
+  if (k < 2) {
+    return Status::InvalidArgument("clique percolation requires k >= 2");
+  }
+
+  // Keep only cliques of size >= k.
+  std::vector<uint32_t> kept;
+  for (uint32_t i = 0; i < cliques.size(); ++i) {
+    if (cliques[i].size() >= k) kept.push_back(i);
+  }
+  if (kept.empty()) return Cover{};
+
+  // Inverted index over kept cliques (dense ids).
+  std::vector<std::vector<uint32_t>> by_node(num_nodes);
+  for (uint32_t dense = 0; dense < kept.size(); ++dense) {
+    for (NodeId v : cliques[kept[dense]]) {
+      if (v >= num_nodes) {
+        return Status::InvalidArgument("clique node out of range");
+      }
+      by_node[v].push_back(dense);
+    }
+  }
+
+  // Count shared nodes per clique pair; pairs sharing >= k-1 nodes merge.
+  std::unordered_map<uint64_t, uint32_t> shared;
+  for (const auto& row : by_node) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      for (size_t j = i + 1; j < row.size(); ++j) {
+        uint64_t key = (static_cast<uint64_t>(row[i]) << 32) | row[j];
+        ++shared[key];
+      }
+    }
+  }
+  UnionFind uf(kept.size());
+  for (const auto& [key, overlap] : shared) {
+    if (overlap + 1 >= k) {
+      uf.Union(static_cast<uint32_t>(key >> 32),
+               static_cast<uint32_t>(key & 0xFFFFFFFFu));
+    }
+  }
+
+  Cover cover;
+  for (const auto& group : uf.Groups()) {
+    Community community;
+    for (uint32_t dense : group) {
+      const auto& clique = cliques[kept[dense]];
+      community.insert(community.end(), clique.begin(), clique.end());
+    }
+    std::sort(community.begin(), community.end());
+    community.erase(std::unique(community.begin(), community.end()),
+                    community.end());
+    cover.Add(std::move(community));
+  }
+  cover.Canonicalize();
+  return cover;
+}
+
+}  // namespace oca

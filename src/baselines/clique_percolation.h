@@ -1,0 +1,26 @@
+// k-clique percolation over a set of maximal cliques (Palla et al. 2005,
+// the paper's reference [12]): two maximal cliques of size >= k belong to
+// the same community when they share at least k-1 nodes; a community is
+// the union of the nodes of a percolation class.
+
+#ifndef OCA_BASELINES_CLIQUE_PERCOLATION_H_
+#define OCA_BASELINES_CLIQUE_PERCOLATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cover.h"
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace oca {
+
+/// Percolates `cliques` (each sorted ascending) at parameter k >= 2.
+/// Cliques smaller than k are ignored. Overlap counting goes through a
+/// node -> cliques inverted index, so cost scales with actual overlap.
+Result<Cover> PercolateCliques(const std::vector<std::vector<NodeId>>& cliques,
+                               uint32_t k, size_t num_nodes);
+
+}  // namespace oca
+
+#endif  // OCA_BASELINES_CLIQUE_PERCOLATION_H_

@@ -1,0 +1,74 @@
+#include "baselines/label_propagation.h"
+
+#include <numeric>
+#include <unordered_map>
+
+#include "util/random.h"
+
+namespace oca {
+
+Result<LabelPropagationResult> RunLabelPropagation(
+    const Graph& graph, const LabelPropagationOptions& options) {
+  const size_t n = graph.num_nodes();
+  if (n == 0) {
+    return Status::InvalidArgument("label propagation on an empty graph");
+  }
+
+  Rng rng(options.seed);
+  std::vector<uint32_t> label(n);
+  std::iota(label.begin(), label.end(), 0u);
+
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+
+  LabelPropagationResult result;
+  std::unordered_map<uint32_t, uint32_t> votes;
+  std::vector<uint32_t> winners;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.stats.iterations;
+    rng.Shuffle(&order);
+    bool changed = false;
+    for (NodeId v : order) {
+      auto nbrs = graph.Neighbors(v);
+      if (nbrs.empty()) continue;
+      votes.clear();
+      uint32_t best_count = 0;
+      for (NodeId u : nbrs) {
+        uint32_t c = ++votes[label[u]];
+        if (c > best_count) best_count = c;
+      }
+      // Uniform tie-break among plurality labels.
+      winners.clear();
+      for (const auto& [lbl, count] : votes) {
+        if (count == best_count) winners.push_back(lbl);
+      }
+      uint32_t chosen =
+          winners.size() == 1
+              ? winners[0]
+              : winners[rng.NextBounded(winners.size())];
+      if (chosen != label[v]) {
+        label[v] = chosen;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      result.stats.converged = true;
+      break;
+    }
+  }
+
+  // Group labels into communities.
+  std::unordered_map<uint32_t, Community> groups;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!options.keep_singletons && graph.Degree(v) == 0) continue;
+    groups[label[v]].push_back(v);
+  }
+  for (auto& [lbl, community] : groups) {
+    (void)lbl;
+    result.cover.Add(std::move(community));
+  }
+  result.cover.Canonicalize();
+  return result;
+}
+
+}  // namespace oca

@@ -1,0 +1,46 @@
+// Label propagation (Raghavan, Albert & Kumara 2007): the archetypal
+// fast PARTITIONING community detector of the paper's era. Included as
+// the non-overlapping reference the paper's introduction argues against
+// ("most of the proposals from the graph clustering literature do not
+// admit overlapping communities") — on overlapping ground truth it must
+// assign each shared node to exactly one side, which is measurable with
+// the same Theta/F1 machinery.
+
+#ifndef OCA_BASELINES_LABEL_PROPAGATION_H_
+#define OCA_BASELINES_LABEL_PROPAGATION_H_
+
+#include <cstdint>
+
+#include "core/cover.h"
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace oca {
+
+struct LabelPropagationOptions {
+  uint64_t seed = 42;
+  /// Hard cap on sweeps (the algorithm usually converges in < 10).
+  size_t max_iterations = 100;
+  /// Keep singleton communities of isolated nodes in the output.
+  bool keep_singletons = true;
+};
+
+struct LabelPropagationStats {
+  size_t iterations = 0;
+  bool converged = false;  // no label changed in the last sweep
+};
+
+struct LabelPropagationResult {
+  Cover cover;  // a partition (pairwise disjoint communities)
+  LabelPropagationStats stats;
+};
+
+/// Asynchronous label propagation: every node adopts the plurality label
+/// of its neighbors (ties broken uniformly at random) in random sweep
+/// order, until a sweep changes nothing. Deterministic per seed.
+Result<LabelPropagationResult> RunLabelPropagation(
+    const Graph& graph, const LabelPropagationOptions& options = {});
+
+}  // namespace oca
+
+#endif  // OCA_BASELINES_LABEL_PROPAGATION_H_

@@ -1,0 +1,122 @@
+#include "baselines/lfk.h"
+
+#include <algorithm>
+
+#include "core/community_state.h"
+#include "util/random.h"
+
+namespace oca {
+
+namespace {
+
+constexpr NodeId kNoNode = UINT32_MAX;
+
+FitnessParams LfkParams(double alpha) {
+  FitnessParams params;
+  params.kind = FitnessKind::kLfk;
+  params.alpha = alpha;
+  return params;
+}
+
+}  // namespace
+
+Community LfkNaturalCommunity(const Graph& graph, NodeId origin, double alpha,
+                              size_t* steps) {
+  const FitnessParams params = LfkParams(alpha);
+  CommunityState state(graph);
+  state.Add(origin);
+  size_t local_steps = 0;
+
+  for (;;) {
+    // Step 1 (LFK): add the neighbor with the largest positive gain.
+    double best_gain = 1e-12;
+    NodeId best = kNoNode;
+    for (const auto& [node, deg_in] : state.Frontier()) {
+      double gain = FitnessGainAdd(state.stats(), deg_in, graph.Degree(node),
+                                   params);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = node;
+      }
+    }
+    if (best == kNoNode) break;
+    state.Add(best);
+    ++local_steps;
+
+    // Step 2 (LFK): recalculate member fitness; remove any member whose
+    // removal raises fitness, repeating until stable. The origin is kept:
+    // the natural community of a node always contains it.
+    bool removed = true;
+    while (removed && state.stats().size > 1) {
+      removed = false;
+      // Snapshot: removal invalidates iteration over members().
+      std::vector<NodeId> members = state.members();
+      for (NodeId v : members) {
+        if (v == origin || state.stats().size <= 1) continue;
+        double gain = FitnessGainRemove(state.stats(), state.DegIn(v),
+                                        graph.Degree(v), params);
+        if (gain > 1e-12) {
+          state.Remove(v);
+          ++local_steps;
+          removed = true;
+        }
+      }
+    }
+  }
+  if (steps != nullptr) *steps += local_steps;
+  return state.ToCommunity();
+}
+
+Result<LfkResult> RunLfk(const Graph& graph, const LfkOptions& options) {
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("LFK on an empty graph");
+  }
+  if (options.alpha <= 0.0) {
+    return Status::InvalidArgument("LFK alpha must be positive");
+  }
+
+  Rng rng(options.seed);
+  LfkResult result;
+  std::vector<bool> covered(graph.num_nodes(), false);
+  size_t covered_count = 0;
+  const size_t n = graph.num_nodes();
+
+  // Random visit order over nodes; each uncovered node in turn seeds its
+  // natural community.
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  rng.Shuffle(&order);
+
+  for (NodeId origin : order) {
+    if (covered[origin]) continue;
+    if (options.max_communities != 0 &&
+        result.stats.communities_grown >= options.max_communities) {
+      break;
+    }
+    if (static_cast<double>(covered_count) / static_cast<double>(n) >=
+        options.target_coverage) {
+      break;
+    }
+    // Isolated nodes form singleton communities (they cover themselves).
+    Community community =
+        graph.Degree(origin) == 0
+            ? Community{origin}
+            : LfkNaturalCommunity(graph, origin, options.alpha,
+                                  &result.stats.total_growth_steps);
+    for (NodeId v : community) {
+      if (!covered[v]) {
+        covered[v] = true;
+        ++covered_count;
+      }
+    }
+    result.cover.Add(std::move(community));
+    ++result.stats.communities_grown;
+  }
+
+  result.cover.Canonicalize();
+  result.stats.coverage_fraction =
+      static_cast<double>(covered_count) / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace oca

@@ -1,0 +1,101 @@
+#include "core/community_state.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace oca {
+
+void CommunityState::Add(NodeId v) {
+  NodeInfo& info = deg_in_[v];
+  assert(!info.member && "Add on existing member");
+  info.member = true;
+  members_.push_back(v);
+
+  stats_.size += 1;
+  stats_.ein += info.count;  // v's in-neighbors become internal edges
+  stats_.volume += graph_->Degree(v);
+
+  for (NodeId u : graph_->Neighbors(v)) {
+    ++deg_in_[u].count;
+  }
+}
+
+void CommunityState::Remove(NodeId v) {
+  auto it = deg_in_.find(v);
+  assert(it != deg_in_.end() && it->second.member && "Remove on non-member");
+  it->second.member = false;
+
+  stats_.size -= 1;
+  stats_.ein -= it->second.count;
+  stats_.volume -= graph_->Degree(v);
+
+  auto pos = std::find(members_.begin(), members_.end(), v);
+  assert(pos != members_.end());
+  // Order-preserving erase keeps Frontier() deterministic across
+  // different std::find positions; member count is small relative to
+  // neighbor scans so the O(|S|) erase is immaterial.
+  members_.erase(pos);
+
+  for (NodeId u : graph_->Neighbors(v)) {
+    auto uit = deg_in_.find(u);
+    assert(uit != deg_in_.end() && uit->second.count > 0);
+    --uit->second.count;
+    // Garbage-collect empty non-member entries to keep the map small on
+    // long add/remove sequences.
+    if (uit->second.count == 0 && !uit->second.member) {
+      deg_in_.erase(uit);
+    }
+  }
+  if (it->second.count == 0) {
+    // Re-find: the neighbor loop may have rehashed the map.
+    auto self = deg_in_.find(v);
+    if (self != deg_in_.end() && self->second.count == 0 &&
+        !self->second.member) {
+      deg_in_.erase(self);
+    }
+  }
+}
+
+std::vector<std::pair<NodeId, uint32_t>> CommunityState::Frontier() const {
+  std::vector<std::pair<NodeId, uint32_t>> frontier;
+  frontier.reserve(deg_in_.size());
+  for (const auto& [node, info] : deg_in_) {
+    if (!info.member && info.count > 0) {
+      frontier.emplace_back(node, info.count);
+    }
+  }
+  // Hash-map iteration order is implementation-defined; sort for
+  // reproducibility of tie-breaks in the greedy search.
+  std::sort(frontier.begin(), frontier.end());
+  return frontier;
+}
+
+Community CommunityState::ToCommunity() const {
+  Community out = members_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void CommunityState::Clear() {
+  stats_ = SubsetStats{};
+  members_.clear();
+  deg_in_.clear();
+}
+
+SubsetStats ComputeSubsetStats(const Graph& graph, const Community& nodes) {
+  Community sorted = nodes;
+  std::sort(sorted.begin(), sorted.end());
+  SubsetStats stats;
+  stats.size = sorted.size();
+  for (NodeId v : sorted) {
+    stats.volume += graph.Degree(v);
+    for (NodeId u : graph.Neighbors(v)) {
+      if (u > v && std::binary_search(sorted.begin(), sorted.end(), u)) {
+        ++stats.ein;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace oca

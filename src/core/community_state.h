@@ -1,0 +1,79 @@
+// Incremental subset state for greedy local search.
+//
+// Maintains (|S|, Ein(S), vol(S)) plus, for every node touching S, its
+// number of neighbors inside S. This makes scoring a candidate add or
+// remove O(1) and committing a move O(deg(v)) — the property that lets
+// OCA scale to 1e8-edge graphs (DESIGN.md section 6). A naive
+// re-evaluation path exists in tests to cross-check this bookkeeping.
+
+#ifndef OCA_CORE_COMMUNITY_STATE_H_
+#define OCA_CORE_COMMUNITY_STATE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/cover.h"
+#include "core/fitness.h"
+#include "graph/graph.h"
+
+namespace oca {
+
+/// Mutable node subset over a fixed graph with O(1) candidate scoring.
+class CommunityState {
+ public:
+  explicit CommunityState(const Graph& graph) : graph_(&graph) {}
+
+  /// Current statistics (size, internal edges, volume).
+  const SubsetStats& stats() const { return stats_; }
+
+  bool Contains(NodeId v) const {
+    auto it = deg_in_.find(v);
+    return it != deg_in_.end() && it->second.member;
+  }
+
+  /// Number of v's neighbors currently inside S (0 when untouched).
+  size_t DegIn(NodeId v) const {
+    auto it = deg_in_.find(v);
+    return it == deg_in_.end() ? 0 : it->second.count;
+  }
+
+  /// Adds v to S. Must not already be a member. O(deg(v)).
+  void Add(NodeId v);
+
+  /// Removes v from S. Must be a member. O(deg(v)).
+  void Remove(NodeId v);
+
+  /// Members in insertion order (duplicates impossible).
+  const std::vector<NodeId>& members() const { return members_; }
+
+  /// Non-members adjacent to at least one member, with their deg-in.
+  /// Order is deterministic given an identical operation history.
+  std::vector<std::pair<NodeId, uint32_t>> Frontier() const;
+
+  /// Sorted copy of the member set.
+  Community ToCommunity() const;
+
+  /// Resets to the empty subset (keeps the graph binding).
+  void Clear();
+
+ private:
+  struct NodeInfo {
+    uint32_t count = 0;  // neighbors inside S
+    bool member = false;
+  };
+
+  const Graph* graph_;
+  SubsetStats stats_;
+  std::vector<NodeId> members_;
+  // Sparse map: present for members and frontier nodes only, so memory is
+  // proportional to the community's neighborhood, not to n.
+  std::unordered_map<NodeId, NodeInfo> deg_in_;
+};
+
+/// Reference implementation: recomputes SubsetStats from scratch by
+/// scanning adjacency lists. O(sum deg). Used by tests and assertions.
+SubsetStats ComputeSubsetStats(const Graph& graph, const Community& nodes);
+
+}  // namespace oca
+
+#endif  // OCA_CORE_COMMUNITY_STATE_H_

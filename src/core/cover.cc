@@ -1,0 +1,85 @@
+#include "core/cover.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+namespace oca {
+
+void Cover::Canonicalize() {
+  for (auto& c : communities_) {
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+  }
+  communities_.erase(
+      std::remove_if(communities_.begin(), communities_.end(),
+                     [](const Community& c) { return c.empty(); }),
+      communities_.end());
+  std::sort(communities_.begin(), communities_.end());
+  communities_.erase(std::unique(communities_.begin(), communities_.end()),
+                     communities_.end());
+}
+
+size_t Cover::CoveredNodeCount() const {
+  std::unordered_set<NodeId> seen;
+  for (const auto& c : communities_) {
+    seen.insert(c.begin(), c.end());
+  }
+  return seen.size();
+}
+
+std::vector<NodeId> Cover::UncoveredNodes(size_t num_nodes) const {
+  std::vector<bool> covered(num_nodes, false);
+  for (const auto& c : communities_) {
+    for (NodeId v : c) {
+      if (v < num_nodes) covered[v] = true;
+    }
+  }
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    if (!covered[v]) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::vector<uint32_t>> Cover::BuildNodeIndex(
+    size_t num_nodes) const {
+  std::vector<std::vector<uint32_t>> index(num_nodes);
+  for (uint32_t ci = 0; ci < communities_.size(); ++ci) {
+    for (NodeId v : communities_[ci]) {
+      if (v < num_nodes) index[v].push_back(ci);
+    }
+  }
+  return index;
+}
+
+size_t Cover::TotalMembership() const {
+  size_t total = 0;
+  for (const auto& c : communities_) total += c.size();
+  return total;
+}
+
+size_t Cover::MaxCommunitySize() const {
+  size_t best = 0;
+  for (const auto& c : communities_) best = std::max(best, c.size());
+  return best;
+}
+
+size_t Cover::MinCommunitySize() const {
+  if (communities_.empty()) return 0;
+  size_t best = SIZE_MAX;
+  for (const auto& c : communities_) best = std::min(best, c.size());
+  return best;
+}
+
+std::string Cover::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "communities=%zu covered_nodes=%zu total_membership=%zu "
+                "size_range=[%zu,%zu]",
+                size(), CoveredNodeCount(), TotalMembership(),
+                MinCommunitySize(), MaxCommunitySize());
+  return buf;
+}
+
+}  // namespace oca

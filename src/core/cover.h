@@ -1,0 +1,76 @@
+// Cover: a (possibly overlapping, possibly non-exhaustive) family of
+// communities over a graph's nodes. The common output type of OCA, LFK
+// and CFinder, and the common input type of all quality metrics.
+
+#ifndef OCA_CORE_COVER_H_
+#define OCA_CORE_COVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace oca {
+
+/// One community: a sorted, duplicate-free set of node ids.
+using Community = std::vector<NodeId>;
+
+/// A family of communities. Invariants after Canonicalize():
+/// each community sorted ascending and duplicate-free; communities ordered
+/// lexicographically; no empty communities; no duplicate communities.
+class Cover {
+ public:
+  Cover() = default;
+  explicit Cover(std::vector<Community> communities)
+      : communities_(std::move(communities)) {}
+
+  size_t size() const { return communities_.size(); }
+  bool empty() const { return communities_.empty(); }
+
+  const Community& operator[](size_t i) const { return communities_[i]; }
+  Community& operator[](size_t i) { return communities_[i]; }
+
+  const std::vector<Community>& communities() const { return communities_; }
+
+  auto begin() const { return communities_.begin(); }
+  auto end() const { return communities_.end(); }
+
+  /// Appends a community (takes ownership). No canonicalization performed.
+  void Add(Community community) { communities_.push_back(std::move(community)); }
+
+  /// Sorts members within communities, drops duplicate members, drops
+  /// empty communities, sorts the community list, and drops exact
+  /// duplicate communities. Makes covers comparable with ==.
+  void Canonicalize();
+
+  /// Number of distinct nodes covered by at least one community.
+  size_t CoveredNodeCount() const;
+
+  /// Nodes (ids < num_nodes) not covered by any community, ascending.
+  std::vector<NodeId> UncoveredNodes(size_t num_nodes) const;
+
+  /// node -> indices of communities containing it. Size `num_nodes`.
+  std::vector<std::vector<uint32_t>> BuildNodeIndex(size_t num_nodes) const;
+
+  /// Sum of community sizes (with multiplicity).
+  size_t TotalMembership() const;
+
+  /// Largest / smallest community size (0 when empty).
+  size_t MaxCommunitySize() const;
+  size_t MinCommunitySize() const;
+
+  /// Short human-readable summary.
+  std::string Summary() const;
+
+  bool operator==(const Cover& other) const {
+    return communities_ == other.communities_;
+  }
+
+ private:
+  std::vector<Community> communities_;
+};
+
+}  // namespace oca
+
+#endif  // OCA_CORE_COVER_H_

@@ -1,0 +1,73 @@
+// Fitness functions over node subsets, evaluated from the triple
+// (s, ein, vol) = (|S|, internal edges, total degree of members).
+//
+// The paper's definitive fitness is the directed Laplacian of phi over
+// the oriented search-space graph (Section III):
+//
+//   L(S) = s - sqrt(s(s-1)) + 2 c Ein(S) (1 - (s-2)/sqrt(s(s-1)))
+//
+// Additional fitness kinds are provided for the ablation study (DESIGN.md
+// experiment A1) and for the LFK baseline, which shares the same
+// incremental-state machinery.
+
+#ifndef OCA_CORE_FITNESS_H_
+#define OCA_CORE_FITNESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace oca {
+
+/// Subset statistics sufficient to evaluate every fitness in the library.
+struct SubsetStats {
+  size_t size = 0;       // s = |S|
+  size_t ein = 0;        // edges with both ends in S
+  size_t volume = 0;     // sum of graph degrees of members
+
+  /// Edges leaving S (cut size): volume - 2*ein.
+  size_t Eout() const { return volume - 2 * ein; }
+};
+
+/// Which objective the local search maximizes.
+enum class FitnessKind {
+  kDirectedLaplacian,  // the paper's L — the OCA objective
+  kRawPhi,             // phi itself (monotone; ablation: degenerates)
+  kConductanceLike,    // ein / (ein + eout) — classic local objective
+  kLfk,                // LFK: kin / (kin + kout)^alpha
+};
+
+std::string_view FitnessKindName(FitnessKind kind);
+
+/// Parameters shared by all fitness kinds.
+struct FitnessParams {
+  FitnessKind kind = FitnessKind::kDirectedLaplacian;
+  double c = 0.5;       // coupling constant (directed Laplacian / raw phi)
+  double alpha = 1.0;   // LFK exponent
+};
+
+/// The paper's directed Laplacian L. Handles the boundary cases
+/// L(empty) = 0 and L(singleton) = 1 (the s=1 limit: the sqrt term is 0
+/// and a singleton has no internal edges).
+double DirectedLaplacianFitness(size_t s, size_t ein, double c);
+
+/// LFK fitness kin/(kin+kout)^alpha with kin = 2*ein, kout = Eout.
+/// Returns 0 for the empty set.
+double LfkFitness(size_t ein, size_t eout, double alpha);
+
+/// Dispatch on kind.
+double EvaluateFitness(const SubsetStats& stats, const FitnessParams& params);
+
+/// Fitness change if a node with `deg_in` neighbors inside S and graph
+/// degree `deg` were added. O(1).
+double FitnessGainAdd(const SubsetStats& stats, size_t deg_in, size_t deg,
+                      const FitnessParams& params);
+
+/// Fitness change if a member with `deg_in` neighbors inside S and graph
+/// degree `deg` were removed. O(1).
+double FitnessGainRemove(const SubsetStats& stats, size_t deg_in, size_t deg,
+                         const FitnessParams& params);
+
+}  // namespace oca
+
+#endif  // OCA_CORE_FITNESS_H_

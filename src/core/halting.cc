@@ -1,0 +1,31 @@
+#include "core/halting.h"
+
+namespace oca {
+
+void HaltingTracker::RecordSeed(bool novel, double coverage) {
+  ++seeds_run_;
+  coverage_ = coverage;
+  if (novel) {
+    consecutive_stale_ = 0;
+  } else {
+    ++consecutive_stale_;
+  }
+}
+
+bool HaltingTracker::ShouldStop() const { return Reason()[0] != '\0'; }
+
+const char* HaltingTracker::Reason() const {
+  if (options_.max_seeds != 0 && seeds_run_ >= options_.max_seeds) {
+    return "max_seeds";
+  }
+  if (coverage_ >= options_.target_coverage) {
+    return "coverage";
+  }
+  if (options_.stagnation_window != 0 &&
+      consecutive_stale_ >= options_.stagnation_window) {
+    return "stagnation";
+  }
+  return "";
+}
+
+}  // namespace oca

@@ -1,0 +1,57 @@
+// Halting criteria for the multi-seed loop.
+//
+// The paper deliberately leaves the halting criterion out of scope
+// ("the discussion of the halting criterion is outside the scope of this
+// paper") while noting it must be non-trivial because OCA does not force
+// every node into a community. We implement the three natural criteria
+// and combine them: stop when ANY fires.
+
+#ifndef OCA_CORE_HALTING_H_
+#define OCA_CORE_HALTING_H_
+
+#include <cstddef>
+
+namespace oca {
+
+/// Tunable halting configuration. Any satisfied criterion halts.
+struct HaltingOptions {
+  /// Stop after this many seed expansions (0 = unlimited).
+  size_t max_seeds = 0;
+  /// Stop once this fraction of nodes is covered (>1.0 disables).
+  double target_coverage = 0.9;
+  /// Stop after this many consecutive seeds that produced no new
+  /// community (duplicates/subsets of known ones) (0 = disabled).
+  size_t stagnation_window = 50;
+};
+
+/// Streaming evaluation of the halting criteria.
+class HaltingTracker {
+ public:
+  explicit HaltingTracker(const HaltingOptions& options)
+      : options_(options) {}
+
+  /// Records the outcome of one seed expansion.
+  /// `novel` — the expansion produced a community not seen before;
+  /// `coverage` — fraction of nodes covered after this expansion.
+  void RecordSeed(bool novel, double coverage);
+
+  /// True when any criterion has fired.
+  bool ShouldStop() const;
+
+  /// Which criterion fired (for logs): "", "max_seeds", "coverage",
+  /// or "stagnation".
+  const char* Reason() const;
+
+  size_t seeds_run() const { return seeds_run_; }
+  size_t consecutive_stale() const { return consecutive_stale_; }
+
+ private:
+  HaltingOptions options_;
+  size_t seeds_run_ = 0;
+  size_t consecutive_stale_ = 0;
+  double coverage_ = 0.0;
+};
+
+}  // namespace oca
+
+#endif  // OCA_CORE_HALTING_H_

@@ -1,0 +1,75 @@
+#include "core/hierarchy.h"
+
+#include <algorithm>
+
+#include "metrics/similarity.h"
+#include "spectral/extreme_eigen.h"
+
+namespace oca {
+
+Result<Hierarchy> BuildHierarchy(const Graph& graph,
+                                 const HierarchyOptions& options) {
+  if (options.resolution_fractions.empty()) {
+    return Status::InvalidArgument("hierarchy needs at least one level");
+  }
+  double prev = 0.0;
+  for (double f : options.resolution_fractions) {
+    if (f <= 0.0 || f > 1.0) {
+      return Status::InvalidArgument(
+          "resolution fractions must lie in (0, 1]");
+    }
+    if (f <= prev) {
+      return Status::InvalidArgument(
+          "resolution fractions must be strictly ascending");
+    }
+    prev = f;
+  }
+
+  // Resolve the admissible maximum once; levels scale it.
+  PowerMethodOptions pm = options.base.power_method;
+  pm.seed ^= options.base.seed;
+  OCA_ASSIGN_OR_RETURN(double c_max, ComputeCouplingConstant(graph, pm));
+
+  Hierarchy hierarchy;
+  for (double fraction : options.resolution_fractions) {
+    OcaOptions level_options = options.base;
+    level_options.coupling_constant = std::min(c_max * fraction, 1.0 - 1e-9);
+    OCA_ASSIGN_OR_RETURN(OcaResult run, RunOca(graph, level_options));
+    hierarchy.levels.push_back(
+        {level_options.coupling_constant, std::move(run.cover)});
+  }
+
+  // Containment links between consecutive levels, discovered through the
+  // coarse level's node index (only overlapping pairs are scored).
+  for (size_t j = 0; j + 1 < hierarchy.levels.size(); ++j) {
+    const Cover& fine = hierarchy.levels[j].cover;
+    const Cover& coarse = hierarchy.levels[j + 1].cover;
+    auto index = coarse.BuildNodeIndex(graph.num_nodes());
+
+    std::vector<HierarchyLink> links(
+        fine.size(), {Hierarchy::kNoParent, 0.0});
+    std::vector<uint32_t> mark(coarse.size(), UINT32_MAX);
+    for (uint32_t i = 0; i < fine.size(); ++i) {
+      for (NodeId v : fine[i]) {
+        for (uint32_t p : index[v]) {
+          if (mark[p] == i) continue;
+          mark[p] = i;
+          double containment =
+              fine[i].empty()
+                  ? 0.0
+                  : static_cast<double>(IntersectionSize(fine[i], coarse[p])) /
+                        static_cast<double>(fine[i].size());
+          if (containment > links[i].containment ||
+              (containment == links[i].containment &&
+               links[i].parent_index == Hierarchy::kNoParent)) {
+            links[i] = {p, containment};
+          }
+        }
+      }
+    }
+    hierarchy.links.push_back(std::move(links));
+  }
+  return hierarchy;
+}
+
+}  // namespace oca

@@ -1,0 +1,54 @@
+// Greedy hill-climbing on a fitness function over the subset lattice
+// (paper Section IV): starting from a seed set, repeatedly apply the
+// single add-or-remove move with the greatest fitness increase until no
+// move improves — a local maximum of the fitness, i.e. one community.
+
+#ifndef OCA_CORE_LOCAL_SEARCH_H_
+#define OCA_CORE_LOCAL_SEARCH_H_
+
+#include <cstdint>
+
+#include "core/community_state.h"
+#include "core/cover.h"
+#include "core/fitness.h"
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace oca {
+
+/// Controls for one greedy climb.
+struct LocalSearchOptions {
+  FitnessParams fitness;
+  /// A move must improve fitness by more than this to be taken (guards
+  /// against floating-point plateaus causing add/remove cycles).
+  double epsilon = 1e-9;
+  /// Hard cap on greedy steps (0 = no cap). A safety valve only; the
+  /// strictly increasing fitness already guarantees termination.
+  size_t max_steps = 0;
+  /// Cap on community size during growth (0 = unbounded).
+  size_t max_community_size = 0;
+  /// Allow the removal move (the paper's search uses both directions).
+  bool allow_remove = true;
+};
+
+/// Outcome of one climb.
+struct LocalSearchResult {
+  Community community;     // sorted members of the local maximum
+  double fitness = 0.0;    // fitness at the maximum
+  SubsetStats stats;       // statistics at the maximum
+  size_t steps = 0;        // moves taken
+  size_t adds = 0;
+  size_t removes = 0;
+  bool hit_step_cap = false;
+};
+
+/// Climbs from `seed_set` (must be non-empty, members in range, duplicate
+/// free after canonicalization). Deterministic: ties broken toward the
+/// smallest node id.
+Result<LocalSearchResult> GreedyLocalSearch(const Graph& graph,
+                                            const Community& seed_set,
+                                            const LocalSearchOptions& options);
+
+}  // namespace oca
+
+#endif  // OCA_CORE_LOCAL_SEARCH_H_

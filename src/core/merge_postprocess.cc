@@ -1,0 +1,95 @@
+#include "core/merge_postprocess.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "metrics/similarity.h"
+#include "util/union_find.h"
+
+namespace oca {
+
+namespace {
+
+// One merge round: unions all pairs with rho >= threshold, rebuilds the
+// cover. Returns the number of communities absorbed.
+size_t MergeRound(Cover* cover, double threshold) {
+  const size_t k = cover->size();
+  if (k < 2) return 0;
+
+  // Inverted index limited to pair discovery.
+  size_t max_node = 0;
+  for (const auto& c : *cover) {
+    if (!c.empty()) max_node = std::max<size_t>(max_node, c.back());
+  }
+  auto index = cover->BuildNodeIndex(max_node + 1);
+
+  // Count shared nodes per candidate pair; |intersection| is exactly the
+  // number of index rows both appear in.
+  std::unordered_map<uint64_t, uint32_t> shared;
+  for (const auto& row : index) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      for (size_t j = i + 1; j < row.size(); ++j) {
+        uint64_t key = (static_cast<uint64_t>(row[i]) << 32) | row[j];
+        ++shared[key];
+      }
+    }
+  }
+
+  UnionFind uf(k);
+  for (const auto& [key, inter] : shared) {
+    uint32_t a = static_cast<uint32_t>(key >> 32);
+    uint32_t b = static_cast<uint32_t>(key & 0xFFFFFFFFu);
+    size_t uni = (*cover)[a].size() + (*cover)[b].size() - inter;
+    double rho = uni > 0 ? static_cast<double>(inter) / static_cast<double>(uni)
+                         : 1.0;
+    if (rho >= threshold) uf.Union(a, b);
+  }
+  if (uf.num_sets() == k) return 0;
+
+  Cover merged;
+  for (const auto& group : uf.Groups()) {
+    Community united;
+    for (uint32_t ci : group) {
+      united.insert(united.end(), (*cover)[ci].begin(), (*cover)[ci].end());
+    }
+    std::sort(united.begin(), united.end());
+    united.erase(std::unique(united.begin(), united.end()), united.end());
+    merged.Add(std::move(united));
+  }
+  size_t absorbed = k - merged.size();
+  merged.Canonicalize();
+  *cover = std::move(merged);
+  return absorbed;
+}
+
+}  // namespace
+
+Cover MergeSimilarCommunities(Cover cover, const MergeOptions& options,
+                              MergeStats* stats) {
+  cover.Canonicalize();
+  MergeStats local;
+  for (;;) {
+    if (options.max_rounds != 0 && local.rounds >= options.max_rounds) break;
+    size_t absorbed = MergeRound(&cover, options.similarity_threshold);
+    if (absorbed == 0) break;
+    ++local.rounds;
+    local.merges += absorbed;
+  }
+  if (options.min_community_size > 1) {
+    Cover filtered;
+    for (const auto& c : cover) {
+      if (c.size() >= options.min_community_size) {
+        filtered.Add(c);
+      } else {
+        ++local.dropped_small;
+      }
+    }
+    filtered.Canonicalize();
+    cover = std::move(filtered);
+  }
+  if (stats != nullptr) *stats = local;
+  return cover;
+}
+
+}  // namespace oca

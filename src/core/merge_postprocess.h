@@ -1,0 +1,45 @@
+// Merge postprocessing (paper Section IV): OCA's independent seed
+// expansions frequently land on near-identical local maxima ("communities
+// that are too similar, i.e. that differ in very few nodes"); merge every
+// group of communities whose pairwise similarity rho exceeds a threshold.
+//
+// Candidate pairs are discovered through a node -> communities inverted
+// index (two communities can only be similar if they share a node), so
+// the cost is proportional to actual overlap, not to all pairs. Merging
+// is transitive within a round (union-find) and rounds repeat until a
+// fixpoint, because a merged community can become similar to yet another.
+
+#ifndef OCA_CORE_MERGE_POSTPROCESS_H_
+#define OCA_CORE_MERGE_POSTPROCESS_H_
+
+#include <cstddef>
+
+#include "core/cover.h"
+
+namespace oca {
+
+struct MergeOptions {
+  /// Merge communities with rho >= this. The paper does not publish its
+  /// threshold; 0.75 ("differ in very few nodes") reproduces the figure
+  /// shapes (see EXPERIMENTS.md calibration note).
+  double similarity_threshold = 0.75;
+  /// Upper bound on merge rounds (safety; 0 = until fixpoint).
+  size_t max_rounds = 0;
+  /// Drop communities smaller than this after merging (0/1 = keep all).
+  size_t min_community_size = 0;
+};
+
+struct MergeStats {
+  size_t rounds = 0;
+  size_t merges = 0;       // communities absorbed into others
+  size_t dropped_small = 0;
+};
+
+/// Returns the merged cover (canonicalized). The input need not be
+/// canonical; it is canonicalized first.
+Cover MergeSimilarCommunities(Cover cover, const MergeOptions& options,
+                              MergeStats* stats = nullptr);
+
+}  // namespace oca
+
+#endif  // OCA_CORE_MERGE_POSTPROCESS_H_

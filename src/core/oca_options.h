@@ -1,0 +1,52 @@
+// Aggregate configuration of the OCA pipeline.
+
+#ifndef OCA_CORE_OCA_OPTIONS_H_
+#define OCA_CORE_OCA_OPTIONS_H_
+
+#include <cstdint>
+
+#include "core/halting.h"
+#include "core/local_search.h"
+#include "core/merge_postprocess.h"
+#include "core/seeding.h"
+#include "spectral/power_method.h"
+
+namespace oca {
+
+/// Everything OCA needs. Defaults are the paper's standard setup: random
+/// neighborhoods around uncovered seeds, directed-Laplacian fitness with
+/// the spectral c, merge postprocessing on, orphan assignment off (the
+/// paper only applies it "in some cases").
+struct OcaOptions {
+  /// Master seed; all randomness derives from it.
+  uint64_t seed = 42;
+
+  /// Coupling constant c. <= 0 means "compute -1/lambda_min by the power
+  /// method" (the paper's choice, the largest admissible value).
+  double coupling_constant = 0.0;
+  PowerMethodOptions power_method;
+
+  SeedingOptions seeding;
+  HaltingOptions halting;
+
+  /// Local-search controls. `fitness.kind` is normally the directed
+  /// Laplacian; ablation benches override it. `fitness.c` is overwritten
+  /// by the resolved coupling constant.
+  LocalSearchOptions search;
+
+  /// Discard local maxima smaller than this before postprocessing
+  /// (singletons and near-singletons are seeds that failed to grow).
+  size_t min_community_size = 3;
+
+  MergeOptions merge;
+  bool assign_orphans = false;
+
+  /// Worker threads for seed expansion (1 = serial; 0 = hardware).
+  size_t num_threads = 1;
+  /// Seeds expanded per scheduling batch in parallel mode.
+  size_t batch_size = 64;
+};
+
+}  // namespace oca
+
+#endif  // OCA_CORE_OCA_OPTIONS_H_

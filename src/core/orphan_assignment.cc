@@ -1,0 +1,61 @@
+#include "core/orphan_assignment.h"
+
+#include <unordered_map>
+
+namespace oca {
+
+Cover AssignOrphans(const Graph& graph, Cover cover, bool multiple_rounds,
+                    OrphanAssignmentStats* stats) {
+  cover.Canonicalize();
+  OrphanAssignmentStats local;
+
+  // node -> communities, maintained incrementally across rounds.
+  auto index = cover.BuildNodeIndex(graph.num_nodes());
+
+  std::vector<NodeId> orphans = cover.UncoveredNodes(graph.num_nodes());
+  while (!orphans.empty()) {
+    ++local.rounds;
+    std::vector<NodeId> still_orphan;
+    std::vector<std::pair<NodeId, uint32_t>> placements;
+    for (NodeId v : orphans) {
+      // Vote: community -> number of v's neighbors in it. A neighbor in
+      // several communities votes for each (it genuinely belongs to all).
+      std::unordered_map<uint32_t, uint32_t> votes;
+      for (NodeId u : graph.Neighbors(v)) {
+        for (uint32_t ci : index[u]) ++votes[ci];
+      }
+      if (votes.empty()) {
+        still_orphan.push_back(v);
+        continue;
+      }
+      uint32_t best = UINT32_MAX;
+      uint32_t best_votes = 0;
+      for (const auto& [ci, n] : votes) {
+        if (n > best_votes || (n == best_votes && ci < best)) {
+          best = ci;
+          best_votes = n;
+        }
+      }
+      placements.emplace_back(v, best);
+    }
+    // Apply after the scan so all placements in a round use the same
+    // snapshot (deterministic, order-independent).
+    for (auto [v, ci] : placements) {
+      cover[ci].push_back(v);
+      index[v].push_back(ci);
+      ++local.assigned;
+    }
+    if (!multiple_rounds || placements.empty()) {
+      local.unassignable = still_orphan.size();
+      break;
+    }
+    orphans = std::move(still_orphan);
+    local.unassignable = orphans.size();
+  }
+
+  cover.Canonicalize();
+  if (stats != nullptr) *stats = local;
+  return cover;
+}
+
+}  // namespace oca

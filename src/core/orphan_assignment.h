@@ -1,0 +1,32 @@
+// Orphan assignment (paper Section IV): when an application requires
+// every node to belong to at least one community, each uncovered node is
+// assigned to the community containing the most of its neighbors.
+
+#ifndef OCA_CORE_ORPHAN_ASSIGNMENT_H_
+#define OCA_CORE_ORPHAN_ASSIGNMENT_H_
+
+#include <cstddef>
+
+#include "core/cover.h"
+#include "graph/graph.h"
+
+namespace oca {
+
+struct OrphanAssignmentStats {
+  size_t assigned = 0;     // orphans placed into a community
+  size_t unassignable = 0; // orphans with no covered neighbor in any round
+  size_t rounds = 0;
+};
+
+/// Assigns every uncovered node with at least one covered neighbor to the
+/// community holding the plurality of its neighbors (ties -> the smaller
+/// community index). With `multiple_rounds`, repeats so that chains of
+/// orphans resolve; nodes in components with no community at all remain
+/// uncovered. Returns the augmented, canonicalized cover.
+Cover AssignOrphans(const Graph& graph, Cover cover,
+                    bool multiple_rounds = true,
+                    OrphanAssignmentStats* stats = nullptr);
+
+}  // namespace oca
+
+#endif  // OCA_CORE_ORPHAN_ASSIGNMENT_H_

@@ -1,0 +1,101 @@
+#include "core/seeding.h"
+
+namespace oca {
+
+std::string_view SeedModeName(SeedMode mode) {
+  switch (mode) {
+    case SeedMode::kNodeOnly:
+      return "node_only";
+    case SeedMode::kClosedNeighborhood:
+      return "closed_neighborhood";
+    case SeedMode::kRandomNeighborhood:
+      return "random_neighborhood";
+  }
+  return "unknown";
+}
+
+Seeder::Seeder(const Graph& graph, const SeedingOptions& options, Rng rng)
+    : graph_(&graph),
+      options_(options),
+      rng_(rng),
+      covered_(graph.num_nodes(), false),
+      exhausted_(graph.num_nodes(), false) {}
+
+NodeId Seeder::NextSeedNode() {
+  const size_t n = graph_->num_nodes();
+  if (options_.selection == SeedSelection::kUncoveredFirst &&
+      exhausted_count_ < n) {
+    // Rejection sampling is fast while most nodes are fresh; afterwards
+    // fall back to a linear scan from a random origin.
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      NodeId v = static_cast<NodeId>(rng_.NextBounded(n));
+      if (!exhausted_[v]) return v;
+    }
+    NodeId start = static_cast<NodeId>(rng_.NextBounded(n));
+    for (size_t i = 0; i < n; ++i) {
+      NodeId v = static_cast<NodeId>((start + i) % n);
+      if (!exhausted_[v]) return v;
+    }
+  }
+  return static_cast<NodeId>(rng_.NextBounded(n));
+}
+
+Community Seeder::BuildSeedSet(NodeId seed) {
+  Community set = {seed};
+  switch (options_.mode) {
+    case SeedMode::kNodeOnly:
+      break;
+    case SeedMode::kClosedNeighborhood:
+      for (NodeId u : graph_->Neighbors(seed)) set.push_back(u);
+      break;
+    case SeedMode::kRandomNeighborhood: {
+      bool kept_any = false;
+      for (NodeId u : graph_->Neighbors(seed)) {
+        if (rng_.NextBool(options_.neighbor_keep_probability)) {
+          set.push_back(u);
+          kept_any = true;
+        }
+      }
+      // Degenerate draw (kept nothing): keep one random neighbor so the
+      // climb does not start from a bare singleton unless it has to.
+      if (!kept_any && graph_->Degree(seed) > 0) {
+        auto nbrs = graph_->Neighbors(seed);
+        set.push_back(nbrs[rng_.NextBounded(nbrs.size())]);
+      }
+      break;
+    }
+  }
+  return set;
+}
+
+size_t Seeder::MarkCovered(const Community& community) {
+  size_t newly = 0;
+  for (NodeId v : community) {
+    if (v < covered_.size() && !covered_[v]) {
+      covered_[v] = true;
+      ++covered_count_;
+      ++newly;
+    }
+    if (v < exhausted_.size() && !exhausted_[v]) {
+      exhausted_[v] = true;
+      ++exhausted_count_;
+    }
+  }
+  return newly;
+}
+
+void Seeder::MarkSeedSpent(NodeId seed) {
+  if (seed < exhausted_.size() && !exhausted_[seed]) {
+    exhausted_[seed] = true;
+    ++exhausted_count_;
+  }
+}
+
+double Seeder::CoverageFraction() const {
+  return covered_.empty()
+             ? 0.0
+             : static_cast<double>(covered_count_) /
+                   static_cast<double>(covered_.size());
+}
+
+}  // namespace oca

@@ -1,0 +1,71 @@
+#include "core/vector_model.h"
+
+#include <cmath>
+#include <string>
+
+namespace oca {
+
+double ExplicitVectors::SumSquaredLength(
+    const std::vector<NodeId>& nodes) const {
+  std::vector<double> sum(dimension, 0.0);
+  for (NodeId v : nodes) {
+    for (size_t d = 0; d < dimension; ++d) {
+      sum[d] += rows[v][d];
+    }
+  }
+  double total = 0.0;
+  for (double x : sum) total += x * x;
+  return total;
+}
+
+double ExplicitVectors::InnerProduct(NodeId a, NodeId b) const {
+  double total = 0.0;
+  for (size_t d = 0; d < dimension; ++d) {
+    total += rows[a][d] * rows[b][d];
+  }
+  return total;
+}
+
+Result<ExplicitVectors> BuildExplicitVectors(const Graph& graph, double c) {
+  const size_t n = graph.num_nodes();
+  if (c < 0.0 || c >= 1.0) {
+    return Status::InvalidArgument("c must satisfy 0 <= c < 1");
+  }
+
+  // Gram matrix M = I + cA (dense).
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  for (NodeId u = 0; u < n; ++u) {
+    m[u][u] = 1.0;
+    for (NodeId v : graph.Neighbors(u)) {
+      m[u][v] = c;
+    }
+  }
+
+  // Cholesky with a small tolerance: M is PSD exactly when c is
+  // admissible; pivots below -tol indicate c > -1/lambda_min.
+  constexpr double kTol = 1e-9;
+  ExplicitVectors out;
+  out.dimension = n;
+  out.rows.assign(n, std::vector<double>(n, 0.0));
+  auto& l = out.rows;  // row i = L's row i: vector of node i
+  for (size_t j = 0; j < n; ++j) {
+    double diag = m[j][j];
+    for (size_t k = 0; k < j; ++k) diag -= l[j][k] * l[j][k];
+    if (diag < -kTol) {
+      return Status::FailedPrecondition(
+          "Gram matrix not PSD: c=" + std::to_string(c) +
+          " exceeds -1/lambda_min");
+    }
+    diag = diag < 0.0 ? 0.0 : diag;
+    double root = std::sqrt(diag);
+    l[j][j] = root;
+    for (size_t i = j + 1; i < n; ++i) {
+      double sum = m[i][j];
+      for (size_t k = 0; k < j; ++k) sum -= l[i][k] * l[j][k];
+      l[i][j] = root > kTol ? sum / root : 0.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace oca

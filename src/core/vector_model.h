@@ -1,0 +1,53 @@
+// The virtual vector representation of a graph (paper Section II).
+//
+// Lovász (1979): a collection of unit vectors {v_1..v_n} with
+// <v_i, v_j> = c for every edge {i,j} and 0 for every non-edge is a
+// *virtual vector representation* of G, valid for any 0 <= c < 1 with
+// c <= -1/lambda_min(A). A subset S maps to the sum of its vectors, whose
+// squared length is
+//
+//   phi(S) = ||sum_{i in S} v_i||^2 = |S| + 2 c Ein(S),
+//
+// because each of the |S| unit vectors contributes 1 and each internal
+// edge contributes 2c. The algorithm never materializes vectors — phi is
+// evaluated from |S| and Ein(S) alone — but this module also provides an
+// explicit O(n^2)-memory construction (Cholesky of the Gram matrix
+// I + cA) used by tests to verify the closed form against real geometry.
+
+#ifndef OCA_CORE_VECTOR_MODEL_H_
+#define OCA_CORE_VECTOR_MODEL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace oca {
+
+/// phi(S) from the subset statistics: size s and internal edge count ein.
+inline double PhiFromStats(size_t s, size_t ein, double c) {
+  return static_cast<double>(s) + 2.0 * c * static_cast<double>(ein);
+}
+
+/// Explicit vector representation: row i is the vector of node i, in a
+/// space of dimension n. Only for small graphs (tests, examples).
+struct ExplicitVectors {
+  size_t dimension = 0;
+  std::vector<std::vector<double>> rows;  // n x dimension
+
+  /// Squared length of sum of the given nodes' vectors.
+  double SumSquaredLength(const std::vector<NodeId>& nodes) const;
+
+  /// Inner product <v_a, v_b>.
+  double InnerProduct(NodeId a, NodeId b) const;
+};
+
+/// Builds explicit vectors by Cholesky-factorizing the Gram matrix
+/// M = I + c*A. Requires M positive semi-definite, i.e. c <= -1/lambda_min;
+/// errors otherwise (this is exactly the paper's admissibility bound).
+/// O(n^3) time, O(n^2) memory: test-scale only.
+Result<ExplicitVectors> BuildExplicitVectors(const Graph& graph, double c);
+
+}  // namespace oca
+
+#endif  // OCA_CORE_VECTOR_MODEL_H_

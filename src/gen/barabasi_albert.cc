@@ -1,0 +1,52 @@
+#include "gen/barabasi_albert.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "graph/graph_builder.h"
+
+namespace oca {
+
+Result<Graph> BarabasiAlbert(size_t n, size_t edges_per_node, Rng* rng) {
+  if (edges_per_node == 0) {
+    return Status::InvalidArgument("edges_per_node must be positive");
+  }
+  size_t seed_nodes = edges_per_node + 1;
+  if (n < seed_nodes) {
+    return Status::InvalidArgument(
+        "n=" + std::to_string(n) + " too small for m=" +
+        std::to_string(edges_per_node) + " (need at least m+1 nodes)");
+  }
+
+  GraphBuilder builder(n);
+  // Endpoint multiset: every edge contributes both endpoints, so sampling
+  // a uniform entry is proportional to degree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * edges_per_node * n);
+
+  // Seed clique.
+  for (NodeId u = 0; u < seed_nodes; ++u) {
+    for (NodeId v = u + 1; v < seed_nodes; ++v) {
+      builder.AddEdge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::unordered_set<NodeId> targets;
+  for (NodeId v = static_cast<NodeId>(seed_nodes); v < n; ++v) {
+    targets.clear();
+    while (targets.size() < edges_per_node) {
+      NodeId t = endpoints[rng->NextBounded(endpoints.size())];
+      targets.insert(t);
+    }
+    for (NodeId t : targets) {
+      builder.AddEdge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace oca

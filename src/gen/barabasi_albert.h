@@ -1,0 +1,21 @@
+// Barabási–Albert preferential attachment (scale-free) graphs.
+
+#ifndef OCA_GEN_BARABASI_ALBERT_H_
+#define OCA_GEN_BARABASI_ALBERT_H_
+
+#include "graph/graph.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace oca {
+
+/// Grows a scale-free graph: starts from a small clique of `edges_per_node
+/// + 1` seed nodes, then each arriving node attaches to `edges_per_node`
+/// distinct existing nodes chosen proportionally to degree (implemented
+/// with the repeated-endpoint trick: sampling a uniform position in the
+/// running edge-endpoint array is degree-proportional).
+Result<Graph> BarabasiAlbert(size_t n, size_t edges_per_node, Rng* rng);
+
+}  // namespace oca
+
+#endif  // OCA_GEN_BARABASI_ALBERT_H_

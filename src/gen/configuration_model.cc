@@ -1,0 +1,105 @@
+#include "gen/configuration_model.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/graph_builder.h"
+
+namespace oca {
+
+namespace {
+
+// Hash for canonical edges, used to detect duplicates during repair.
+struct EdgeHash {
+  size_t operator()(const Edge& e) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(e.first) << 32) |
+                                 e.second);
+  }
+};
+
+inline Edge Canon(NodeId u, NodeId v) {
+  return u < v ? Edge{u, v} : Edge{v, u};
+}
+
+}  // namespace
+
+Result<std::vector<Edge>> ConfigurationModelEdges(
+    const std::vector<uint32_t>& degrees, Rng* rng,
+    ConfigurationModelStats* stats) {
+  uint64_t stub_count = 0;
+  for (uint32_t d : degrees) stub_count += d;
+  if (stub_count % 2 != 0) {
+    return Status::InvalidArgument("degree sum must be even");
+  }
+
+  // Lay out stubs and shuffle; consecutive pairs become candidate edges.
+  std::vector<NodeId> stubs;
+  stubs.reserve(stub_count);
+  for (NodeId v = 0; v < degrees.size(); ++v) {
+    for (uint32_t i = 0; i < degrees[v]; ++i) stubs.push_back(v);
+  }
+  rng->Shuffle(&stubs);
+
+  std::vector<Edge> edges;
+  edges.reserve(stub_count / 2);
+  std::unordered_set<Edge, EdgeHash> seen;
+  seen.reserve(stub_count);
+  std::vector<Edge> conflicts;
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    NodeId u = stubs[i], v = stubs[i + 1];
+    Edge e = Canon(u, v);
+    if (u == v || !seen.insert(e).second) {
+      conflicts.push_back({u, v});  // keep original orientation for repair
+    } else {
+      edges.push_back(e);
+    }
+  }
+
+  ConfigurationModelStats local;
+  local.requested_edges = stub_count / 2;
+
+  // Repair: for each conflicting pair (u, v), pick a random accepted edge
+  // (a, b) and try the swap {u,a}, {v,b}. Bounded retries, then erase.
+  const size_t kMaxAttemptsPerConflict = 64;
+  for (const auto& [u, v] : conflicts) {
+    bool repaired = false;
+    if (!edges.empty()) {
+      for (size_t attempt = 0; attempt < kMaxAttemptsPerConflict; ++attempt) {
+        size_t j = static_cast<size_t>(rng->NextBounded(edges.size()));
+        auto [a, b] = edges[j];
+        // Two possible rewirings; try both orientations.
+        for (int orient = 0; orient < 2; ++orient) {
+          NodeId x = orient == 0 ? a : b;
+          NodeId y = orient == 0 ? b : a;
+          Edge e1 = Canon(u, x), e2 = Canon(v, y);
+          if (u == x || v == y || e1 == e2) continue;
+          if (seen.count(e1) || seen.count(e2)) continue;
+          // Commit: replace edges[j] with e1, append e2.
+          seen.erase(Canon(a, b));
+          seen.insert(e1);
+          seen.insert(e2);
+          edges[j] = e1;
+          edges.push_back(e2);
+          ++local.repair_swaps;
+          repaired = true;
+          break;
+        }
+        if (repaired) break;
+      }
+    }
+    if (!repaired) ++local.erased_edges;
+  }
+
+  local.realized_edges = edges.size();
+  if (stats != nullptr) *stats = local;
+  return edges;
+}
+
+Result<Graph> ConfigurationModel(const std::vector<uint32_t>& degrees,
+                                 Rng* rng, ConfigurationModelStats* stats) {
+  OCA_ASSIGN_OR_RETURN(std::vector<Edge> edges,
+                       ConfigurationModelEdges(degrees, rng, stats));
+  return BuildGraph(degrees.size(), edges);
+}
+
+}  // namespace oca

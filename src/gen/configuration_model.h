@@ -1,0 +1,38 @@
+// Configuration-model wiring: realize a degree sequence as a simple
+// graph via stub matching with edge-swap repair (erased fallback).
+
+#ifndef OCA_GEN_CONFIGURATION_MODEL_H_
+#define OCA_GEN_CONFIGURATION_MODEL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace oca {
+
+/// Diagnostics of a configuration-model run.
+struct ConfigurationModelStats {
+  size_t requested_edges = 0;  // sum(degrees)/2
+  size_t realized_edges = 0;   // edges in the returned simple graph
+  size_t repair_swaps = 0;     // successful conflict-resolving swaps
+  size_t erased_edges = 0;     // conflicts left unresolved and dropped
+};
+
+/// Generates a simple undirected graph whose degree sequence approximates
+/// `degrees` (exact when repair succeeds; otherwise a few stubs are
+/// erased). Sum of degrees must be even. O(m) expected.
+Result<Graph> ConfigurationModel(const std::vector<uint32_t>& degrees,
+                                 Rng* rng,
+                                 ConfigurationModelStats* stats = nullptr);
+
+/// As above but emits an edge list (useful when the caller wants to remap
+/// node ids, as the LFR intra-community wiring does).
+Result<std::vector<Edge>> ConfigurationModelEdges(
+    const std::vector<uint32_t>& degrees, Rng* rng,
+    ConfigurationModelStats* stats = nullptr);
+
+}  // namespace oca
+
+#endif  // OCA_GEN_CONFIGURATION_MODEL_H_

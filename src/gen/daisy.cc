@@ -1,0 +1,127 @@
+#include "gen/daisy.h"
+
+#include <string>
+
+#include "graph/graph_builder.h"
+
+namespace oca {
+
+namespace {
+
+// Emits all intra-set edges of `nodes` with probability `prob` into the
+// builder (offsets already applied by the caller).
+void WireSet(const std::vector<NodeId>& nodes, double prob, Rng* rng,
+             GraphBuilder* builder) {
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (size_t j = i + 1; j < nodes.size(); ++j) {
+      if (rng->NextBool(prob)) builder->AddEdge(nodes[i], nodes[j]);
+    }
+  }
+}
+
+// Computes the petal/core node sets of a daisy whose vertices are
+// {offset .. offset+n-1}; petal index i is 1..p-1.
+struct DaisyLayout {
+  std::vector<std::vector<NodeId>> petals;  // p-1 petals
+  std::vector<NodeId> core;
+};
+
+DaisyLayout Layout(const DaisyOptions& opt, NodeId offset) {
+  DaisyLayout layout;
+  layout.petals.assign(opt.p - 1, {});
+  for (uint32_t v = 0; v < opt.n; ++v) {
+    NodeId id = offset + v;
+    uint32_t mod_p = v % opt.p;
+    bool in_core = (mod_p == 0) || (v % opt.q == 0);
+    if (mod_p != 0) {
+      layout.petals[mod_p - 1].push_back(id);
+    }
+    if (in_core) {
+      layout.core.push_back(id);
+    }
+  }
+  return layout;
+}
+
+Status ValidateDaisyOptions(const DaisyOptions& opt) {
+  if (opt.p < 2) return Status::InvalidArgument("daisy requires p >= 2");
+  if (opt.q < 2) return Status::InvalidArgument("daisy requires q >= 2");
+  if (opt.n < opt.p) {
+    return Status::InvalidArgument("daisy requires n >= p (got n=" +
+                                   std::to_string(opt.n) + ", p=" +
+                                   std::to_string(opt.p) + ")");
+  }
+  if (opt.alpha < 0 || opt.alpha > 1 || opt.beta < 0 || opt.beta > 1) {
+    return Status::InvalidArgument("alpha and beta must be in [0,1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BenchmarkGraph> GenerateDaisy(const DaisyOptions& options, Rng* rng) {
+  OCA_RETURN_IF_ERROR(ValidateDaisyOptions(options));
+  GraphBuilder builder(options.n);
+  DaisyLayout layout = Layout(options, 0);
+  for (const auto& petal : layout.petals) {
+    WireSet(petal, options.alpha, rng, &builder);
+  }
+  WireSet(layout.core, options.beta, rng, &builder);
+  OCA_ASSIGN_OR_RETURN(Graph graph, builder.Build());
+
+  Cover truth;
+  for (auto& petal : layout.petals) truth.Add(std::move(petal));
+  truth.Add(std::move(layout.core));
+  truth.Canonicalize();
+  return BenchmarkGraph{std::move(graph), std::move(truth)};
+}
+
+Result<BenchmarkGraph> GenerateDaisyTree(const DaisyTreeOptions& options) {
+  OCA_RETURN_IF_ERROR(ValidateDaisyOptions(options.daisy));
+  if (options.gamma < 0 || options.gamma > 1) {
+    return Status::InvalidArgument("gamma must be in [0,1]");
+  }
+  Rng rng(options.seed);
+  const uint32_t per_daisy = options.daisy.n;
+  const size_t num_daisies = static_cast<size_t>(options.extra_daisies) + 1;
+  const size_t total_nodes = static_cast<size_t>(per_daisy) * num_daisies;
+
+  GraphBuilder builder(total_nodes);
+  std::vector<DaisyLayout> layouts;
+  layouts.reserve(num_daisies);
+
+  for (size_t d = 0; d < num_daisies; ++d) {
+    NodeId offset = static_cast<NodeId>(d * per_daisy);
+    DaisyLayout layout = Layout(options.daisy, offset);
+    for (const auto& petal : layout.petals) {
+      WireSet(petal, options.daisy.alpha, &rng, &builder);
+    }
+    WireSet(layout.core, options.daisy.beta, &rng, &builder);
+
+    if (d > 0) {
+      // Attach to a random previous daisy via a random petal pair.
+      size_t target = static_cast<size_t>(rng.NextBounded(d));
+      const auto& own_petal =
+          layout.petals[rng.NextBounded(layout.petals.size())];
+      const auto& other_petal =
+          layouts[target].petals[rng.NextBounded(layouts[target].petals.size())];
+      for (NodeId a : own_petal) {
+        for (NodeId b : other_petal) {
+          if (rng.NextBool(options.gamma)) builder.AddEdge(a, b);
+        }
+      }
+    }
+    layouts.push_back(std::move(layout));
+  }
+
+  OCA_ASSIGN_OR_RETURN(Graph graph, builder.Build());
+  Cover truth;
+  for (auto& layout : layouts) {
+    for (auto& petal : layout.petals) truth.Add(std::move(petal));
+    truth.Add(std::move(layout.core));
+  }
+  truth.Canonicalize();
+  return BenchmarkGraph{std::move(graph), std::move(truth)};
+}
+
+}  // namespace oca

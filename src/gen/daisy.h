@@ -1,0 +1,56 @@
+// Daisy and daisy-tree benchmark graphs (paper Section V).
+//
+// A daisy with parameters (p, q, n, alpha, beta) has vertices {0..n-1}:
+//   - petal i, 1 <= i <= p-1: vertices with index = i (mod p);
+//   - core: vertices with index = 0 (mod p) or = 0 (mod q).
+// A vertex with v != 0 (mod p) and v = 0 (mod q) lies in BOTH a petal and
+// the core — this is what makes the ground truth overlapping. Petal edges
+// appear with probability alpha, core edges with probability beta.
+//
+// A daisy tree with parameters (k, gamma) grows from one daisy by k times
+// attaching a fresh daisy to a random existing one: pick a random petal
+// on each side and add edges between the two petals with probability
+// gamma.
+//
+// These are the workloads of Figures 3 and 4 and row 2 of Table I.
+
+#ifndef OCA_GEN_DAISY_H_
+#define OCA_GEN_DAISY_H_
+
+#include <cstdint>
+
+#include "gen/planted_partition.h"  // BenchmarkGraph
+#include "util/random.h"
+#include "util/result.h"
+
+namespace oca {
+
+/// Parameters of a single daisy flower.
+struct DaisyOptions {
+  uint32_t p = 8;       // petals + 1 (petal count is p-1)
+  uint32_t q = 5;       // core secondary modulus
+  uint32_t n = 120;     // vertices per daisy
+  double alpha = 0.8;   // petal edge probability
+  double beta = 0.8;    // core edge probability
+};
+
+/// Parameters of a daisy tree.
+struct DaisyTreeOptions {
+  DaisyOptions daisy;
+  uint32_t extra_daisies = 8;  // k: attachments after the initial daisy
+  double gamma = 0.05;         // inter-petal join probability
+  uint64_t seed = 42;
+};
+
+/// Generates one daisy with its overlapping ground truth (p-1 petals plus
+/// the core). Requires p >= 2, q >= 2, n >= p.
+Result<BenchmarkGraph> GenerateDaisy(const DaisyOptions& options, Rng* rng);
+
+/// Generates a daisy tree; ground truth is the union of every daisy's
+/// petals and cores. Join edges between petals of different daisies are
+/// inter-community noise, as in the paper.
+Result<BenchmarkGraph> GenerateDaisyTree(const DaisyTreeOptions& options);
+
+}  // namespace oca
+
+#endif  // OCA_GEN_DAISY_H_

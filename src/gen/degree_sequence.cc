@@ -1,0 +1,103 @@
+#include "gen/degree_sequence.h"
+
+#include <cmath>
+#include <string>
+
+namespace oca {
+
+double PowerLawMean(uint64_t min, uint64_t max, double gamma) {
+  double num = 0.0, den = 0.0;
+  for (uint64_t k = min; k <= max; ++k) {
+    double w = std::pow(static_cast<double>(k), -gamma);
+    num += static_cast<double>(k) * w;
+    den += w;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+Result<uint64_t> SolveMinDegree(double target_mean, uint64_t max,
+                                double gamma) {
+  if (target_mean > static_cast<double>(max)) {
+    return Status::InvalidArgument(
+        "target mean degree " + std::to_string(target_mean) +
+        " exceeds max degree " + std::to_string(max));
+  }
+  // Mean is monotone increasing in `min`; scan (max is a few hundred in
+  // all our workloads, so a linear scan is fine and exact).
+  for (uint64_t min = 1; min <= max; ++min) {
+    if (PowerLawMean(min, max, gamma) >= target_mean) {
+      return min;
+    }
+  }
+  return max;
+}
+
+std::vector<uint32_t> SamplePowerLawSequence(size_t n, uint64_t min,
+                                             uint64_t max, double gamma,
+                                             Rng* rng) {
+  std::vector<uint32_t> seq(n);
+  uint64_t sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    seq[i] = static_cast<uint32_t>(rng->NextPowerLaw(min, max, gamma));
+    sum += seq[i];
+  }
+  if (sum % 2 == 1 && n > 0) {
+    // Bump a non-maximal entry to make the stub count even.
+    for (auto& d : seq) {
+      if (d < max) {
+        ++d;
+        break;
+      }
+    }
+  }
+  return seq;
+}
+
+Result<std::vector<uint32_t>> SampleCommunitySizes(size_t total,
+                                                   uint32_t min_size,
+                                                   uint32_t max_size,
+                                                   double gamma, Rng* rng) {
+  if (min_size == 0 || min_size > max_size) {
+    return Status::InvalidArgument("invalid community size bounds");
+  }
+  if (total < min_size) {
+    return Status::InvalidArgument(
+        "total nodes smaller than the minimum community size");
+  }
+  std::vector<uint32_t> sizes;
+  size_t assigned = 0;
+  while (assigned < total) {
+    size_t remaining = total - assigned;
+    if (remaining <= max_size) {
+      if (remaining >= min_size) {
+        sizes.push_back(static_cast<uint32_t>(remaining));
+        assigned = total;
+      } else {
+        // Remainder too small to be its own community: spread it over
+        // existing communities without exceeding max_size.
+        size_t deficit = remaining;
+        for (auto& s : sizes) {
+          while (deficit > 0 && s < max_size) {
+            ++s;
+            --deficit;
+          }
+        }
+        if (deficit > 0) {
+          // All communities at max size; grow the last one beyond the cap
+          // rather than failing (documented deviation, affects at most one
+          // community by < min_size nodes).
+          sizes.back() += static_cast<uint32_t>(deficit);
+        }
+        assigned = total;
+      }
+    } else {
+      uint32_t s = static_cast<uint32_t>(
+          rng->NextPowerLaw(min_size, max_size, gamma));
+      sizes.push_back(s);
+      assigned += s;
+    }
+  }
+  return sizes;
+}
+
+}  // namespace oca

@@ -1,0 +1,42 @@
+// Power-law degree-sequence sampling, the first stage of the LFR
+// benchmark generator (Lancichinetti, Fortunato, Radicchi 2008).
+
+#ifndef OCA_GEN_DEGREE_SEQUENCE_H_
+#define OCA_GEN_DEGREE_SEQUENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "util/result.h"
+
+namespace oca {
+
+/// Expected value of the discrete power law P(k) ~ k^-gamma on
+/// {min, ..., max}.
+double PowerLawMean(uint64_t min, uint64_t max, double gamma);
+
+/// Finds the smallest cutoff `min` such that the power law on {min..max}
+/// with exponent gamma has mean >= target_mean. Errors when even
+/// min == max cannot reach the target.
+Result<uint64_t> SolveMinDegree(double target_mean, uint64_t max,
+                                double gamma);
+
+/// Samples `n` values from the power law on {min..max} with exponent
+/// gamma. The sum is forced even (for stub pairing) by bumping one entry.
+std::vector<uint32_t> SamplePowerLawSequence(size_t n, uint64_t min,
+                                             uint64_t max, double gamma,
+                                             Rng* rng);
+
+/// Samples community sizes from a power law on {min_size..max_size} with
+/// exponent gamma until they sum to exactly `total`: the final draw is
+/// clamped, and if it would fall below min_size the deficit is spread over
+/// existing communities. Errors on infeasible bounds.
+Result<std::vector<uint32_t>> SampleCommunitySizes(size_t total,
+                                                   uint32_t min_size,
+                                                   uint32_t max_size,
+                                                   double gamma, Rng* rng);
+
+}  // namespace oca
+
+#endif  // OCA_GEN_DEGREE_SEQUENCE_H_

@@ -1,0 +1,66 @@
+#include "gen/erdos_renyi.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "graph/graph_builder.h"
+
+namespace oca {
+
+Result<Graph> ErdosRenyi(size_t n, double p, Rng* rng) {
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("edge probability must be in [0,1]");
+  }
+  GraphBuilder builder(n);
+  if (n >= 2 && p > 0.0) {
+    if (p >= 1.0) {
+      for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+      }
+    } else {
+      // Geometric skip over the lexicographic pair stream (u < v).
+      uint64_t total_pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
+      uint64_t idx = rng->NextGeometric(p);
+      while (idx < total_pairs) {
+        // Invert pair index -> (u, v): find u with cumulative count.
+        // Solve u from idx using the triangular layout.
+        uint64_t remaining = idx;
+        NodeId u = 0;
+        uint64_t row = n - 1;
+        while (remaining >= row) {
+          remaining -= row;
+          ++u;
+          --row;
+        }
+        NodeId v = static_cast<NodeId>(u + 1 + remaining);
+        builder.AddEdge(u, v);
+        idx += 1 + rng->NextGeometric(p);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> ErdosRenyiM(size_t n, size_t m, Rng* rng) {
+  uint64_t total_pairs = n >= 2 ? static_cast<uint64_t>(n) * (n - 1) / 2 : 0;
+  if (m > total_pairs) {
+    return Status::InvalidArgument("m=" + std::to_string(m) +
+                                   " exceeds the number of node pairs");
+  }
+  GraphBuilder builder(n);
+  std::unordered_set<uint64_t> chosen;
+  chosen.reserve(m * 2);
+  while (chosen.size() < m) {
+    NodeId u = static_cast<NodeId>(rng->NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng->NextBounded(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+    if (chosen.insert(key).second) {
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace oca

@@ -1,0 +1,21 @@
+// Erdős–Rényi G(n, p) random graphs in expected O(n + m) time.
+
+#ifndef OCA_GEN_ERDOS_RENYI_H_
+#define OCA_GEN_ERDOS_RENYI_H_
+
+#include "graph/graph.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace oca {
+
+/// Samples G(n, p) with geometric skipping (Batagelj & Brandes), so dense
+/// iteration over all pairs is avoided for small p.
+Result<Graph> ErdosRenyi(size_t n, double p, Rng* rng);
+
+/// Samples G(n, m): exactly m distinct edges chosen uniformly.
+Result<Graph> ErdosRenyiM(size_t n, size_t m, Rng* rng);
+
+}  // namespace oca
+
+#endif  // OCA_GEN_ERDOS_RENYI_H_

@@ -1,0 +1,339 @@
+#include "gen/lfr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <unordered_set>
+
+#include "gen/configuration_model.h"
+#include "gen/degree_sequence.h"
+#include "graph/graph_builder.h"
+#include "util/random.h"
+
+namespace oca {
+
+namespace {
+
+struct EdgeHash {
+  size_t operator()(const Edge& e) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(e.first) << 32) |
+                                 e.second);
+  }
+};
+
+inline Edge Canon(NodeId u, NodeId v) {
+  return u < v ? Edge{u, v} : Edge{v, u};
+}
+
+// True when the two sorted membership lists share a community.
+bool ShareCommunity(const std::vector<uint32_t>& a,
+                    const std::vector<uint32_t>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status ValidateLfrOptions(const LfrOptions& options) {
+  const size_t n = options.num_nodes;
+  if (n < 4) {
+    return Status::InvalidArgument("LFR needs at least 4 nodes");
+  }
+  if (options.mixing < 0.0 || options.mixing > 1.0) {
+    return Status::InvalidArgument("mixing parameter must be in [0,1]");
+  }
+  if (options.average_degree < 1.0 ||
+      options.average_degree > static_cast<double>(options.max_degree)) {
+    return Status::InvalidArgument("average degree out of range");
+  }
+  if (options.min_community > options.max_community) {
+    return Status::InvalidArgument("community size bounds invalid");
+  }
+  if (options.overlapping_nodes > n) {
+    return Status::InvalidArgument("overlapping_nodes exceeds node count");
+  }
+  if (options.overlapping_nodes > 0 && options.overlap_memberships < 2) {
+    return Status::InvalidArgument(
+        "overlap_memberships must be >= 2 when overlapping_nodes > 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BenchmarkGraph> GenerateLfr(const LfrOptions& options,
+                                   LfrStats* stats) {
+  OCA_RETURN_IF_ERROR(ValidateLfrOptions(options));
+  const size_t n = options.num_nodes;
+  const uint32_t om =
+      options.overlapping_nodes > 0 ? options.overlap_memberships : 1;
+
+  Rng rng(options.seed);
+
+  // --- 1. Degrees. ---
+  OCA_ASSIGN_OR_RETURN(
+      uint64_t min_degree,
+      SolveMinDegree(options.average_degree, options.max_degree,
+                     options.degree_exponent));
+  std::vector<uint32_t> degree =
+      SamplePowerLawSequence(n, min_degree, options.max_degree,
+                             options.degree_exponent, &rng);
+
+  // --- 2. Internal/external split. ---
+  std::vector<uint32_t> internal_degree(n), external_degree(n);
+  for (size_t v = 0; v < n; ++v) {
+    internal_degree[v] = static_cast<uint32_t>(
+        std::lround((1.0 - options.mixing) * degree[v]));
+    if (internal_degree[v] > degree[v]) internal_degree[v] = degree[v];
+    external_degree[v] = degree[v] - internal_degree[v];
+  }
+
+  // --- 3. Community sizes over total memberships. ---
+  const size_t total_memberships =
+      n + options.overlapping_nodes * (static_cast<size_t>(om) - 1);
+  const uint32_t max_community =
+      static_cast<uint32_t>(std::min<size_t>(options.max_community, n));
+  OCA_ASSIGN_OR_RETURN(
+      std::vector<uint32_t> sizes,
+      SampleCommunitySizes(total_memberships, options.min_community,
+                           max_community, options.community_exponent, &rng));
+  const size_t num_comms = sizes.size();
+  if (om > num_comms) {
+    return Status::InvalidArgument(
+        "overlap_memberships (" + std::to_string(om) +
+        ") exceeds the number of communities (" + std::to_string(num_comms) +
+        "); enlarge the graph or shrink communities");
+  }
+
+  // --- 4. Node -> memberships assignment. ---
+  // Nodes in random order; the first `overlapping_nodes` of the order get
+  // `om` memberships, everyone else one. Each membership carries an even
+  // share of the node's internal degree. A membership slot picks a random
+  // community with remaining capacity whose size can absorb the share
+  // (size-1 >= share) and which the node has not joined yet; when no such
+  // community exists, the largest-capacity one is used and the share
+  // capped (the excess moves to the external side).
+  std::vector<uint32_t> capacity = sizes;
+  std::vector<std::vector<uint32_t>> comms_of(n);
+  std::vector<std::vector<uint32_t>> share_of(n);  // aligned with comms_of
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  rng.Shuffle(&order);
+
+  for (size_t rank = 0; rank < n; ++rank) {
+    NodeId v = order[rank];
+    uint32_t slots = rank < options.overlapping_nodes ? om : 1;
+    uint32_t base_share = internal_degree[v] / slots;
+    uint32_t remainder = internal_degree[v] % slots;
+    for (uint32_t slot = 0; slot < slots; ++slot) {
+      uint32_t share = base_share + (slot < remainder ? 1 : 0);
+      // Random feasible community via reservoir sampling.
+      uint32_t chosen = UINT32_MAX;
+      size_t feasible_seen = 0;
+      uint32_t best_cap = 0, best_cap_idx = UINT32_MAX;
+      for (uint32_t c = 0; c < num_comms; ++c) {
+        if (capacity[c] == 0) continue;
+        if (std::find(comms_of[v].begin(), comms_of[v].end(), c) !=
+            comms_of[v].end()) {
+          continue;
+        }
+        if (capacity[c] > best_cap) {
+          best_cap = capacity[c];
+          best_cap_idx = c;
+        }
+        if (sizes[c] > share) {
+          ++feasible_seen;
+          if (rng.NextBounded(feasible_seen) == 0) chosen = c;
+        }
+      }
+      if (chosen == UINT32_MAX) {
+        if (best_cap_idx == UINT32_MAX) {
+          // Every community with capacity already contains v (possible
+          // for extreme on/om); drop the slot, share goes external.
+          external_degree[v] += share;
+          continue;
+        }
+        chosen = best_cap_idx;
+        uint32_t cap_share = sizes[chosen] - 1;
+        if (share > cap_share) {
+          external_degree[v] += share - cap_share;
+          share = cap_share;
+        }
+      }
+      comms_of[v].push_back(chosen);
+      share_of[v].push_back(share);
+      --capacity[chosen];
+    }
+    // Keep membership lists sorted for the overlap checks; shares follow.
+    for (size_t i = 1; i < comms_of[v].size(); ++i) {
+      size_t j = i;
+      while (j > 0 && comms_of[v][j - 1] > comms_of[v][j]) {
+        std::swap(comms_of[v][j - 1], comms_of[v][j]);
+        std::swap(share_of[v][j - 1], share_of[v][j]);
+        --j;
+      }
+    }
+  }
+
+  std::vector<std::vector<NodeId>> members(num_comms);
+  std::vector<std::vector<uint32_t>> member_share(num_comms);
+  for (NodeId v = 0; v < n; ++v) {
+    for (size_t i = 0; i < comms_of[v].size(); ++i) {
+      members[comms_of[v][i]].push_back(v);
+      member_share[comms_of[v][i]].push_back(share_of[v][i]);
+    }
+  }
+
+  // --- 5. Intra-community wiring. ---
+  std::unordered_set<Edge, EdgeHash> edge_set;
+  std::vector<Edge> edges;
+  for (size_t c = 0; c < num_comms; ++c) {
+    const auto& nodes = members[c];
+    if (nodes.size() < 2) continue;
+    std::vector<uint32_t> local_deg(nodes.size());
+    uint64_t sum = 0;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      uint32_t d = member_share[c][i];
+      d = std::min<uint32_t>(d, static_cast<uint32_t>(nodes.size() - 1));
+      local_deg[i] = d;
+      sum += d;
+    }
+    if (sum % 2 == 1) {
+      size_t arg = 0;
+      for (size_t i = 1; i < local_deg.size(); ++i) {
+        if (local_deg[i] > local_deg[arg]) arg = i;
+      }
+      if (local_deg[arg] > 0) {
+        --local_deg[arg];
+        ++external_degree[nodes[arg]];
+      }
+    }
+    OCA_ASSIGN_OR_RETURN(std::vector<Edge> local_edges,
+                         ConfigurationModelEdges(local_deg, &rng));
+    for (auto [a, b] : local_edges) {
+      Edge e = Canon(nodes[a], nodes[b]);
+      if (edge_set.insert(e).second) edges.push_back(e);
+    }
+  }
+
+  // --- 6. External wiring. ---
+  {
+    uint64_t ext_sum = 0;
+    for (uint32_t d : external_degree) ext_sum += d;
+    if (ext_sum % 2 == 1) {
+      for (auto& d : external_degree) {
+        if (d > 0) {
+          --d;
+          break;
+        }
+      }
+    }
+  }
+  OCA_ASSIGN_OR_RETURN(std::vector<Edge> ext_edges,
+                       ConfigurationModelEdges(external_degree, &rng));
+
+  // Rewire external edges that landed inside a shared community (or that
+  // duplicate an intra edge): pair up bad edges and cross endpoints for a
+  // bounded number of passes; leftovers are erased.
+  size_t passes = 0;
+  std::vector<Edge> good;
+  good.reserve(ext_edges.size());
+  std::vector<Edge> bad;
+  auto is_internal = [&](NodeId u, NodeId v) {
+    return ShareCommunity(comms_of[u], comms_of[v]);
+  };
+  for (auto [u, v] : ext_edges) {
+    Edge e = Canon(u, v);
+    if (is_internal(u, v) || edge_set.count(e)) {
+      bad.push_back(e);
+    } else if (edge_set.insert(e).second) {
+      good.push_back(e);
+    }
+  }
+  while (!bad.empty() && passes < options.max_rewire_passes) {
+    ++passes;
+    rng.Shuffle(&bad);
+    std::vector<Edge> next_round;
+    size_t i = 0;
+    for (; i + 1 < bad.size(); i += 2) {
+      auto [a, b] = bad[i];
+      auto [x, y] = bad[i + 1];
+      Edge e1 = Canon(a, y), e2 = Canon(x, b);
+      bool ok1 = a != y && !is_internal(a, y) && !edge_set.count(e1);
+      bool ok2 = x != b && !is_internal(x, b) && !edge_set.count(e2) &&
+                 e1 != e2;
+      if (ok1 && ok2) {
+        edge_set.insert(e1);
+        edge_set.insert(e2);
+        good.push_back(e1);
+        good.push_back(e2);
+      } else {
+        Edge f1 = Canon(a, x), f2 = Canon(b, y);
+        bool ok3 = a != x && !is_internal(a, x) && !edge_set.count(f1);
+        bool ok4 = b != y && !is_internal(b, y) && !edge_set.count(f2) &&
+                   f1 != f2;
+        if (ok3 && ok4) {
+          edge_set.insert(f1);
+          edge_set.insert(f2);
+          good.push_back(f1);
+          good.push_back(f2);
+        } else {
+          next_round.push_back(bad[i]);
+          next_round.push_back(bad[i + 1]);
+        }
+      }
+    }
+    if (i < bad.size()) next_round.push_back(bad[i]);
+    if (next_round.size() == bad.size()) break;  // no progress
+    bad.swap(next_round);
+  }
+  size_t erased = bad.size();
+  edges.insert(edges.end(), good.begin(), good.end());
+
+  OCA_ASSIGN_OR_RETURN(Graph graph, BuildGraph(n, edges));
+
+  Cover truth;
+  for (auto& m : members) truth.Add(std::move(m));
+  truth.Canonicalize();
+
+  if (stats != nullptr) {
+    stats->erased_external_edges = erased;
+    stats->rewire_passes_used = passes;
+    stats->realized_mixing = MeasureMixing(graph, truth);
+  }
+  return BenchmarkGraph{std::move(graph), std::move(truth)};
+}
+
+double MeasureMixing(const Graph& graph, const Cover& cover) {
+  auto index = cover.BuildNodeIndex(graph.num_nodes());
+  uint64_t external = 0, total = 0;
+  graph.ForEachEdge([&](NodeId u, NodeId v) {
+    ++total;
+    // External iff the endpoints share no community.
+    size_t i = 0, j = 0;
+    bool shared = false;
+    while (i < index[u].size() && j < index[v].size()) {
+      if (index[u][i] < index[v][j]) {
+        ++i;
+      } else if (index[v][j] < index[u][i]) {
+        ++j;
+      } else {
+        shared = true;
+        break;
+      }
+    }
+    if (!shared) ++external;
+  });
+  return total > 0 ? static_cast<double>(external) / static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace oca

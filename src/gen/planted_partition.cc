@@ -1,0 +1,42 @@
+#include "gen/planted_partition.h"
+
+#include "graph/graph_builder.h"
+
+namespace oca {
+
+Result<BenchmarkGraph> PlantedPartition(size_t n, size_t num_groups,
+                                        double p_in, double p_out, Rng* rng) {
+  if (num_groups == 0 || num_groups > n) {
+    return Status::InvalidArgument("num_groups must be in [1, n]");
+  }
+  if (p_in < 0 || p_in > 1 || p_out < 0 || p_out > 1) {
+    return Status::InvalidArgument("probabilities must be in [0,1]");
+  }
+
+  // Node v belongs to group v % num_groups (contiguous blocks would also
+  // work; modulo keeps group sizes within 1 of each other).
+  auto group_of = [num_groups](NodeId v) { return v % num_groups; };
+
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      double p = group_of(u) == group_of(v) ? p_in : p_out;
+      if (rng->NextBool(p)) builder.AddEdge(u, v);
+    }
+  }
+  OCA_ASSIGN_OR_RETURN(Graph graph, builder.Build());
+
+  Cover truth;
+  for (size_t g = 0; g < num_groups; ++g) {
+    Community c;
+    for (NodeId v = static_cast<NodeId>(g); v < n;
+         v += static_cast<NodeId>(num_groups)) {
+      c.push_back(v);
+    }
+    truth.Add(std::move(c));
+  }
+  truth.Canonicalize();
+  return BenchmarkGraph{std::move(graph), std::move(truth)};
+}
+
+}  // namespace oca

@@ -1,0 +1,28 @@
+// Planted-partition (stochastic block model with two probabilities)
+// benchmark graphs with known ground truth.
+
+#ifndef OCA_GEN_PLANTED_PARTITION_H_
+#define OCA_GEN_PLANTED_PARTITION_H_
+
+#include "core/cover.h"
+#include "graph/graph.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace oca {
+
+/// A generated benchmark graph with its ground-truth community structure.
+struct BenchmarkGraph {
+  Graph graph;
+  Cover ground_truth;
+};
+
+/// `num_groups` equal-sized groups over n nodes (n divisible adjustment:
+/// earlier groups get the remainder); intra-group edges with probability
+/// p_in, inter-group with p_out.
+Result<BenchmarkGraph> PlantedPartition(size_t n, size_t num_groups,
+                                        double p_in, double p_out, Rng* rng);
+
+}  // namespace oca
+
+#endif  // OCA_GEN_PLANTED_PARTITION_H_

@@ -1,0 +1,64 @@
+#include "gen/watts_strogatz.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "graph/graph_builder.h"
+
+namespace oca {
+
+Result<Graph> WattsStrogatz(size_t n, size_t k, double beta, Rng* rng) {
+  if (k % 2 != 0) {
+    return Status::InvalidArgument("lattice degree k must be even");
+  }
+  if (k >= n) {
+    return Status::InvalidArgument("k=" + std::to_string(k) +
+                                   " must be below n=" + std::to_string(n));
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    return Status::InvalidArgument("rewiring beta must be in [0,1]");
+  }
+
+  // Canonical-edge set for duplicate checks during rewiring.
+  auto key = [](NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  };
+  std::unordered_set<uint64_t> edges;
+  edges.reserve(n * k / 2 * 2);
+
+  // Ring lattice: node v connects to v+1 .. v+k/2 (mod n).
+  for (NodeId v = 0; v < n; ++v) {
+    for (size_t hop = 1; hop <= k / 2; ++hop) {
+      NodeId u = static_cast<NodeId>((v + hop) % n);
+      edges.insert(key(v, u));
+    }
+  }
+
+  // Rewire pass: visit lattice edges in canonical construction order and
+  // with probability beta replace (v, v+hop) by (v, random).
+  for (NodeId v = 0; v < n; ++v) {
+    for (size_t hop = 1; hop <= k / 2; ++hop) {
+      NodeId u = static_cast<NodeId>((v + hop) % n);
+      if (!rng->NextBool(beta)) continue;
+      if (!edges.count(key(v, u))) continue;  // already rewired away
+      // Bounded attempts to find a fresh endpoint.
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        NodeId w = static_cast<NodeId>(rng->NextBounded(n));
+        if (w == v || edges.count(key(v, w))) continue;
+        edges.erase(key(v, u));
+        edges.insert(key(v, w));
+        break;
+      }
+    }
+  }
+
+  GraphBuilder builder(n);
+  for (uint64_t packed : edges) {
+    builder.AddEdge(static_cast<NodeId>(packed >> 32),
+                    static_cast<NodeId>(packed & 0xFFFFFFFFu));
+  }
+  return builder.Build();
+}
+
+}  // namespace oca

@@ -1,0 +1,23 @@
+// Watts–Strogatz small-world graphs: ring lattice with random rewiring.
+// Completes the classic-generator set; useful as a high-clustering,
+// no-community null model for testing community detectors.
+
+#ifndef OCA_GEN_WATTS_STROGATZ_H_
+#define OCA_GEN_WATTS_STROGATZ_H_
+
+#include "graph/graph.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace oca {
+
+/// Ring of n nodes, each joined to its k nearest neighbors (k even),
+/// then every edge's far endpoint rewired with probability beta to a
+/// uniform random node (avoiding self-loops and duplicates; a rewire
+/// with no valid target keeps the original edge). beta=0 is the pure
+/// lattice, beta=1 approaches G(n, k/n).
+Result<Graph> WattsStrogatz(size_t n, size_t k, double beta, Rng* rng);
+
+}  // namespace oca
+
+#endif  // OCA_GEN_WATTS_STROGATZ_H_

@@ -1,0 +1,73 @@
+#include "gen/wikipedia_surrogate.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "gen/barabasi_albert.h"
+#include "graph/graph_builder.h"
+#include "util/random.h"
+
+namespace oca {
+
+Result<BenchmarkGraph> GenerateWikipediaSurrogate(
+    const WikipediaSurrogateOptions& options) {
+  if (options.num_nodes < options.attachment_edges + 2) {
+    return Status::InvalidArgument("surrogate too small for attachment m");
+  }
+  if (options.topic_min_size < 2 ||
+      options.topic_min_size > options.topic_max_size) {
+    return Status::InvalidArgument("invalid topic size bounds");
+  }
+  Rng rng(options.seed);
+
+  // Backbone: preferential attachment.
+  Rng backbone_rng = rng.Fork(1);
+  OCA_ASSIGN_OR_RETURN(
+      Graph backbone,
+      BarabasiAlbert(options.num_nodes, options.attachment_edges,
+                     &backbone_rng));
+
+  GraphBuilder builder(options.num_nodes);
+  builder.AddEdges(backbone.Edges());
+
+  // Planted overlapping topics. Each topic draws most members fresh and
+  // `topic_overlap` of them from previously used nodes, giving natural
+  // multi-topic articles.
+  Cover truth;
+  std::vector<NodeId> used;  // nodes already in some topic
+  Rng topic_rng = rng.Fork(2);
+  for (size_t t = 0; t < options.num_topics; ++t) {
+    uint32_t size = static_cast<uint32_t>(topic_rng.NextPowerLaw(
+        options.topic_min_size, options.topic_max_size, 2.0));
+    std::unordered_set<NodeId> members;
+    size_t overlap_quota =
+        used.empty() ? 0
+                     : static_cast<size_t>(options.topic_overlap * size);
+    while (members.size() < overlap_quota) {
+      members.insert(used[topic_rng.NextBounded(used.size())]);
+      if (members.size() >= size) break;
+    }
+    while (members.size() < size) {
+      members.insert(
+          static_cast<NodeId>(topic_rng.NextBounded(options.num_nodes)));
+    }
+    Community community(members.begin(), members.end());
+    std::sort(community.begin(), community.end());
+    // Densify the topic.
+    for (size_t i = 0; i < community.size(); ++i) {
+      for (size_t j = i + 1; j < community.size(); ++j) {
+        if (topic_rng.NextBool(options.topic_density)) {
+          builder.AddEdge(community[i], community[j]);
+        }
+      }
+    }
+    used.insert(used.end(), community.begin(), community.end());
+    truth.Add(std::move(community));
+  }
+  truth.Canonicalize();
+
+  OCA_ASSIGN_OR_RETURN(Graph graph, builder.Build());
+  return BenchmarkGraph{std::move(graph), std::move(truth)};
+}
+
+}  // namespace oca

@@ -1,0 +1,33 @@
+#include "graph/connected_components.h"
+
+#include "graph/traversal.h"
+
+namespace oca {
+
+size_t ComponentsResult::LargestComponent() const {
+  size_t best = 0;
+  for (size_t i = 1; i < sizes.size(); ++i) {
+    if (sizes[i] > sizes[best]) best = i;
+  }
+  return best;
+}
+
+ComponentsResult ConnectedComponents(const Graph& graph) {
+  ComponentsResult result;
+  result.label.assign(graph.num_nodes(), 0);
+  BfsForest(graph, [&result](NodeId node, size_t component) {
+    result.label[node] = static_cast<uint32_t>(component);
+    if (component >= result.sizes.size()) {
+      result.sizes.resize(component + 1, 0);
+    }
+    ++result.sizes[component];
+  });
+  return result;
+}
+
+bool IsConnected(const Graph& graph) {
+  if (graph.num_nodes() == 0) return true;
+  return ConnectedComponents(graph).num_components() == 1;
+}
+
+}  // namespace oca

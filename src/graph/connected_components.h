@@ -1,0 +1,34 @@
+// Connected components and largest-component extraction.
+
+#ifndef OCA_GRAPH_CONNECTED_COMPONENTS_H_
+#define OCA_GRAPH_CONNECTED_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace oca {
+
+/// Result of a components computation: per-node component label (dense,
+/// ordered by smallest member) plus per-component sizes.
+struct ComponentsResult {
+  std::vector<uint32_t> label;   // node -> component id
+  std::vector<size_t> sizes;     // component id -> node count
+
+  size_t num_components() const { return sizes.size(); }
+
+  /// Index of the largest component (ties broken by lower id).
+  size_t LargestComponent() const;
+};
+
+/// Computes connected components in O(n + m).
+ComponentsResult ConnectedComponents(const Graph& graph);
+
+/// True when the graph has exactly one component (empty graph counts as
+/// connected).
+bool IsConnected(const Graph& graph);
+
+}  // namespace oca
+
+#endif  // OCA_GRAPH_CONNECTED_COMPONENTS_H_

@@ -1,0 +1,66 @@
+#include "graph/degree_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace oca {
+
+DegreeStats ComputeDegreeStats(const Graph& graph) {
+  DegreeStats stats;
+  stats.num_nodes = graph.num_nodes();
+  stats.num_edges = graph.num_edges();
+  if (stats.num_nodes == 0) return stats;
+
+  std::vector<size_t> degrees(stats.num_nodes);
+  stats.min_degree = SIZE_MAX;
+  for (NodeId v = 0; v < stats.num_nodes; ++v) {
+    size_t d = graph.Degree(v);
+    degrees[v] = d;
+    stats.min_degree = std::min(stats.min_degree, d);
+    stats.max_degree = std::max(stats.max_degree, d);
+    if (d == 0) ++stats.isolated_nodes;
+  }
+  stats.average_degree = graph.AverageDegree();
+
+  stats.histogram.assign(stats.max_degree + 1, 0);
+  for (size_t d : degrees) ++stats.histogram[d];
+
+  std::sort(degrees.begin(), degrees.end());
+  size_t mid = stats.num_nodes / 2;
+  stats.median_degree =
+      (stats.num_nodes % 2 == 1)
+          ? static_cast<double>(degrees[mid])
+          : (static_cast<double>(degrees[mid - 1]) +
+             static_cast<double>(degrees[mid])) /
+                2.0;
+  return stats;
+}
+
+std::string DegreeStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu m=%zu avg_deg=%.2f max_deg=%zu min_deg=%zu "
+                "median_deg=%.1f isolated=%zu",
+                num_nodes, num_edges, average_degree, max_degree, min_degree,
+                median_degree, isolated_nodes);
+  return buf;
+}
+
+double EstimatePowerLawExponent(const Graph& graph, size_t min_degree) {
+  if (min_degree == 0) min_degree = 1;
+  double log_sum = 0.0;
+  size_t count = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    size_t d = graph.Degree(v);
+    if (d >= min_degree) {
+      log_sum += std::log(static_cast<double>(d) /
+                          (static_cast<double>(min_degree) - 0.5));
+      ++count;
+    }
+  }
+  if (count < 10 || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(count) / log_sum;
+}
+
+}  // namespace oca

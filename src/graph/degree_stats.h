@@ -1,0 +1,40 @@
+// Degree distribution summaries used for dataset tables and generator
+// validation.
+
+#ifndef OCA_GRAPH_DEGREE_STATS_H_
+#define OCA_GRAPH_DEGREE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace oca {
+
+/// Summary of a graph's degree distribution.
+struct DegreeStats {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  size_t min_degree = 0;
+  size_t max_degree = 0;
+  double average_degree = 0.0;
+  double median_degree = 0.0;
+  size_t isolated_nodes = 0;       // degree-0 count
+  std::vector<size_t> histogram;   // histogram[d] = #nodes with degree d
+
+  /// Dataset-table style one-liner: "n=.. m=.. avg_deg=.. max_deg=..".
+  std::string ToString() const;
+};
+
+/// Computes all fields in one pass (plus a sort for the median).
+DegreeStats ComputeDegreeStats(const Graph& graph);
+
+/// Crude power-law exponent estimate via the Newman MLE
+/// gamma = 1 + n / sum(ln(d_i / d_min)) over nodes with degree >= d_min.
+/// Returns 0 when fewer than 10 such nodes exist.
+double EstimatePowerLawExponent(const Graph& graph, size_t min_degree);
+
+}  // namespace oca
+
+#endif  // OCA_GRAPH_DEGREE_STATS_H_

@@ -1,0 +1,36 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace oca {
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  if (u >= num_nodes() || v >= num_nodes()) return false;
+  // Search the smaller list.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+size_t Graph::MaxDegree() const {
+  size_t best = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    best = std::max(best, Degree(v));
+  }
+  return best;
+}
+
+double Graph::AverageDegree() const {
+  if (num_nodes() == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) /
+         static_cast<double>(num_nodes());
+}
+
+std::vector<Edge> Graph::Edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  ForEachEdge([&out](NodeId u, NodeId v) { out.emplace_back(u, v); });
+  return out;
+}
+
+}  // namespace oca

@@ -1,0 +1,98 @@
+// Immutable compressed-sparse-row (CSR) representation of a simple
+// undirected graph.
+//
+// This is the substrate every algorithm in the library runs on. Neighbor
+// lists are sorted, self-loops and parallel edges are excluded by
+// construction (see GraphBuilder), and the structure never changes after
+// construction, so algorithms may share a Graph across threads freely.
+
+#ifndef OCA_GRAPH_GRAPH_H_
+#define OCA_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace oca {
+
+/// Node identifier: dense, zero-based.
+using NodeId = uint32_t;
+
+/// Undirected edge as an (u, v) pair; canonical form has u < v.
+using Edge = std::pair<NodeId, NodeId>;
+
+/// Immutable simple undirected graph in CSR form.
+///
+/// `num_edges()` counts undirected edges (each stored twice internally).
+/// Neighbor ranges are sorted ascending, enabling O(log d) adjacency tests
+/// and linear-time sorted-merge intersections.
+class Graph {
+ public:
+  /// Empty graph.
+  Graph() : offsets_(1, 0) {}
+
+  /// Takes ownership of validated CSR arrays. Prefer GraphBuilder; this is
+  /// for deserialization and internal use. `offsets` must have n+1 entries,
+  /// `neighbors` 2m entries, each list sorted, symmetric, loop-free.
+  Graph(std::vector<uint64_t> offsets, std::vector<NodeId> neighbors)
+      : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {}
+
+  /// Number of nodes n.
+  size_t num_nodes() const { return offsets_.size() - 1; }
+
+  /// Number of undirected edges m.
+  size_t num_edges() const { return neighbors_.size() / 2; }
+
+  /// Degree of v.
+  size_t Degree(NodeId v) const {
+    return static_cast<size_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbors of v as a non-owning view.
+  std::span<const NodeId> Neighbors(NodeId v) const {
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  /// True when {u, v} is an edge. O(log deg) via binary search on the
+  /// smaller endpoint's list.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Maximum degree over all nodes (0 for the empty graph).
+  size_t MaxDegree() const;
+
+  /// Average degree 2m/n (0 for the empty graph).
+  double AverageDegree() const;
+
+  /// Calls fn(u, v) once per undirected edge, with u < v, ascending order.
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    for (NodeId u = 0; u < num_nodes(); ++u) {
+      for (NodeId v : Neighbors(u)) {
+        if (v > u) fn(u, v);
+      }
+    }
+  }
+
+  /// Materializes the canonical (u < v) edge list.
+  std::vector<Edge> Edges() const;
+
+  /// Raw CSR accessors (serialization, tests).
+  const std::vector<uint64_t>& offsets() const { return offsets_; }
+  const std::vector<NodeId>& neighbor_array() const { return neighbors_; }
+
+  /// Estimated resident memory in bytes.
+  size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(uint64_t) +
+           neighbors_.capacity() * sizeof(NodeId);
+  }
+
+ private:
+  std::vector<uint64_t> offsets_;   // n+1 prefix offsets into neighbors_
+  std::vector<NodeId> neighbors_;   // concatenated sorted adjacency lists
+};
+
+}  // namespace oca
+
+#endif  // OCA_GRAPH_GRAPH_H_

@@ -1,0 +1,68 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <string>
+
+namespace oca {
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  if (u == v) return;  // simple graph: no self-loops
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+void GraphBuilder::AddEdges(const std::vector<Edge>& edges) {
+  edges_.reserve(edges_.size() + edges.size());
+  for (const auto& [u, v] : edges) AddEdge(u, v);
+}
+
+void GraphBuilder::EnsureNodes(size_t num_nodes) {
+  num_nodes_ = std::max(num_nodes_, num_nodes);
+}
+
+Result<Graph> GraphBuilder::Build() const {
+  // Validate endpoints.
+  for (const auto& [u, v] : edges_) {
+    if (v >= num_nodes_) {  // v is the max endpoint (canonical order)
+      return Status::InvalidArgument(
+          "edge endpoint " + std::to_string(v) + " out of range for graph on " +
+          std::to_string(num_nodes_) + " nodes");
+    }
+  }
+
+  // Dedup on a sorted copy of the canonical edge list.
+  std::vector<Edge> sorted = edges_;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  // Two-pass CSR assembly: count degrees, then scatter both directions.
+  std::vector<uint64_t> offsets(num_nodes_ + 1, 0);
+  for (const auto& [u, v] : sorted) {
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (size_t i = 1; i <= num_nodes_; ++i) {
+    offsets[i] += offsets[i - 1];
+  }
+  std::vector<NodeId> neighbors(sorted.size() * 2);
+  std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : sorted) {
+    neighbors[cursor[u]++] = v;
+    neighbors[cursor[v]++] = u;
+  }
+  // Scattering from a (u,v)-sorted list leaves each u-list sorted already,
+  // but v-side insertions interleave; sort each list to guarantee order.
+  for (size_t i = 0; i < num_nodes_; ++i) {
+    std::sort(neighbors.begin() + static_cast<ptrdiff_t>(offsets[i]),
+              neighbors.begin() + static_cast<ptrdiff_t>(offsets[i + 1]));
+  }
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+Result<Graph> BuildGraph(size_t num_nodes, const std::vector<Edge>& edges) {
+  GraphBuilder builder(num_nodes);
+  builder.AddEdges(edges);
+  return builder.Build();
+}
+
+}  // namespace oca

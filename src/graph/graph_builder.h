@@ -1,0 +1,56 @@
+// Mutable edge accumulator that produces immutable CSR Graphs.
+//
+// Accepts edges in any order and orientation, drops self-loops, dedups
+// parallel edges, symmetrizes, and emits a validated Graph. This mirrors
+// the builder/immutable-array split used by Arrow.
+
+#ifndef OCA_GRAPH_GRAPH_BUILDER_H_
+#define OCA_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace oca {
+
+/// Accumulates edges for a graph on `num_nodes` nodes and finalizes into a
+/// Graph. Reusable after `Reset`.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(size_t num_nodes) : num_nodes_(num_nodes) {}
+
+  size_t num_nodes() const { return num_nodes_; }
+
+  /// Number of edge insertions so far (before dedup).
+  size_t num_pending_edges() const { return edges_.size(); }
+
+  /// Records an undirected edge {u, v}. Self-loops are silently dropped;
+  /// duplicates are removed at Build time. Out-of-range endpoints make
+  /// Build fail.
+  void AddEdge(NodeId u, NodeId v);
+
+  /// Bulk insertion.
+  void AddEdges(const std::vector<Edge>& edges);
+
+  /// Grows the node count (never shrinks).
+  void EnsureNodes(size_t num_nodes);
+
+  /// Produces the immutable CSR graph. The builder remains valid and can
+  /// keep accumulating (Build may be called repeatedly).
+  Result<Graph> Build() const;
+
+  /// Clears accumulated edges; keeps the node count.
+  void Reset() { edges_.clear(); }
+
+ private:
+  size_t num_nodes_;
+  std::vector<Edge> edges_;  // canonical u < v
+};
+
+/// Convenience one-shot construction from an edge list.
+Result<Graph> BuildGraph(size_t num_nodes, const std::vector<Edge>& edges);
+
+}  // namespace oca
+
+#endif  // OCA_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,48 @@
+#include "graph/graph_checks.h"
+
+#include <algorithm>
+#include <string>
+
+namespace oca {
+
+Status ValidateGraph(const Graph& graph) {
+  const auto& offsets = graph.offsets();
+  const auto& nbrs = graph.neighbor_array();
+  const size_t n = graph.num_nodes();
+
+  if (offsets.empty() || offsets.front() != 0 || offsets.back() != nbrs.size()) {
+    return Status::Internal("CSR offsets malformed");
+  }
+  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return Status::Internal("CSR offsets not monotone at node " +
+                              std::to_string(i));
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    auto list = graph.Neighbors(u);
+    for (size_t i = 0; i < list.size(); ++i) {
+      NodeId v = list[i];
+      if (v >= n) {
+        return Status::Internal("neighbor id out of range at node " +
+                                std::to_string(u));
+      }
+      if (v == u) {
+        return Status::Internal("self-loop at node " + std::to_string(u));
+      }
+      if (i > 0 && list[i - 1] >= v) {
+        return Status::Internal("neighbors of node " + std::to_string(u) +
+                                " not strictly sorted");
+      }
+      // Symmetry: v must list u.
+      auto back = graph.Neighbors(v);
+      if (!std::binary_search(back.begin(), back.end(), u)) {
+        return Status::Internal("asymmetric edge " + std::to_string(u) + "-" +
+                                std::to_string(v));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace oca

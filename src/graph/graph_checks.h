@@ -1,0 +1,19 @@
+// Structural invariant checks for Graph instances. Used by tests,
+// deserialization, and defensive validation of generator output.
+
+#ifndef OCA_GRAPH_GRAPH_CHECKS_H_
+#define OCA_GRAPH_GRAPH_CHECKS_H_
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace oca {
+
+/// Verifies CSR well-formedness: monotone offsets, in-range neighbor ids,
+/// sorted neighbor lists, no self-loops, no duplicate neighbors, and
+/// symmetry (u in N(v) iff v in N(u)). O(n + m log d).
+Status ValidateGraph(const Graph& graph);
+
+}  // namespace oca
+
+#endif  // OCA_GRAPH_GRAPH_CHECKS_H_

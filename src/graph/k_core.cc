@@ -1,0 +1,97 @@
+#include "graph/k_core.h"
+
+#include <algorithm>
+
+namespace oca {
+
+namespace {
+
+// Shared peeling kernel: bucket-sorted peel producing both core numbers
+// and the peel order.
+struct PeelResult {
+  std::vector<uint32_t> core;
+  std::vector<NodeId> order;
+};
+
+PeelResult Peel(const Graph& graph) {
+  const size_t n = graph.num_nodes();
+  PeelResult result;
+  result.core.assign(n, 0);
+  result.order.reserve(n);
+  if (n == 0) return result;
+
+  size_t max_deg = graph.MaxDegree();
+  std::vector<uint32_t> degree(n);
+  std::vector<size_t> bucket_start(max_deg + 2, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = static_cast<uint32_t>(graph.Degree(v));
+    ++bucket_start[degree[v] + 1];
+  }
+  for (size_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  // pos[v]: index of v in the degree-sorted vertex array `vert`.
+  std::vector<size_t> pos(n);
+  std::vector<NodeId> vert(n);
+  {
+    std::vector<size_t> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    for (NodeId v = 0; v < n; ++v) {
+      pos[v] = cursor[degree[v]]++;
+      vert[pos[v]] = v;
+    }
+  }
+
+  uint32_t current_core = 0;
+  for (size_t i = 0; i < n; ++i) {
+    NodeId v = vert[i];
+    current_core = std::max(current_core, degree[v]);
+    result.core[v] = current_core;
+    result.order.push_back(v);
+    for (NodeId u : graph.Neighbors(v)) {
+      if (degree[u] > degree[v]) {
+        // Move u one bucket down: swap with the first element of its
+        // bucket, then shrink the bucket boundary.
+        uint32_t du = degree[u];
+        size_t pu = pos[u];
+        size_t pw = bucket_start[du];
+        NodeId w = vert[pw];
+        if (u != w) {
+          std::swap(vert[pu], vert[pw]);
+          pos[u] = pw;
+          pos[w] = pu;
+        }
+        ++bucket_start[du];
+        --degree[u];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<uint32_t> CoreNumbers(const Graph& graph) {
+  return Peel(graph).core;
+}
+
+std::vector<NodeId> KCoreNodes(const Graph& graph, uint32_t k) {
+  auto core = CoreNumbers(graph);
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (core[v] >= k) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+uint32_t Degeneracy(const Graph& graph) {
+  auto core = CoreNumbers(graph);
+  uint32_t best = 0;
+  for (uint32_t c : core) best = std::max(best, c);
+  return best;
+}
+
+std::vector<NodeId> DegeneracyOrder(const Graph& graph) {
+  return Peel(graph).order;
+}
+
+}  // namespace oca

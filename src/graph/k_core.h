@@ -1,0 +1,29 @@
+// k-core decomposition via linear-time peeling (Batagelj-Zaversnik).
+
+#ifndef OCA_GRAPH_K_CORE_H_
+#define OCA_GRAPH_K_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace oca {
+
+/// Returns the core number of every node: the largest k such that the node
+/// belongs to a subgraph of minimum degree k. O(n + m).
+std::vector<uint32_t> CoreNumbers(const Graph& graph);
+
+/// Nodes in the k-core (core number >= k), ascending.
+std::vector<NodeId> KCoreNodes(const Graph& graph, uint32_t k);
+
+/// Degeneracy of the graph: max core number (0 for the empty graph).
+uint32_t Degeneracy(const Graph& graph);
+
+/// Degeneracy ordering: nodes sorted by removal order of the peeling
+/// process (lowest-core peeled first). Used by Bron-Kerbosch.
+std::vector<NodeId> DegeneracyOrder(const Graph& graph);
+
+}  // namespace oca
+
+#endif  // OCA_GRAPH_K_CORE_H_

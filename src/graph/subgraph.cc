@@ -1,0 +1,58 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "graph/graph_builder.h"
+
+namespace oca {
+
+Result<Subgraph> InducedSubgraph(const Graph& graph,
+                                 const std::vector<NodeId>& nodes) {
+  std::vector<NodeId> sorted = nodes;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  if (!sorted.empty() && sorted.back() >= graph.num_nodes()) {
+    return Status::InvalidArgument("subgraph node " +
+                                   std::to_string(sorted.back()) +
+                                   " out of range");
+  }
+
+  std::unordered_map<NodeId, NodeId> to_local;
+  to_local.reserve(sorted.size() * 2);
+  for (NodeId i = 0; i < sorted.size(); ++i) {
+    to_local[sorted[i]] = i;
+  }
+
+  GraphBuilder builder(sorted.size());
+  for (NodeId local = 0; local < sorted.size(); ++local) {
+    NodeId original = sorted[local];
+    for (NodeId nbr : graph.Neighbors(original)) {
+      auto it = to_local.find(nbr);
+      if (it != to_local.end() && it->second > local) {
+        builder.AddEdge(local, it->second);
+      }
+    }
+  }
+  OCA_ASSIGN_OR_RETURN(Graph sub, builder.Build());
+  return Subgraph{std::move(sub), std::move(sorted)};
+}
+
+size_t CountInternalEdges(const Graph& graph,
+                          const std::vector<NodeId>& nodes) {
+  std::vector<NodeId> sorted = nodes;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  size_t count = 0;
+  for (NodeId u : sorted) {
+    for (NodeId v : graph.Neighbors(u)) {
+      if (v > u && std::binary_search(sorted.begin(), sorted.end(), v)) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace oca

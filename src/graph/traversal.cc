@@ -1,0 +1,97 @@
+#include "graph/traversal.h"
+
+#include <cassert>
+#include <deque>
+
+namespace oca {
+
+std::vector<uint32_t> BfsDistances(const Graph& graph, NodeId source) {
+  assert(source < graph.num_nodes());
+  std::vector<uint32_t> dist(graph.num_nodes(), kUnreachable);
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : graph.Neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> BfsBall(const Graph& graph, NodeId source,
+                            uint32_t max_hops) {
+  assert(source < graph.num_nodes());
+  std::vector<uint32_t> dist(graph.num_nodes(), kUnreachable);
+  std::vector<NodeId> order;
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  order.push_back(source);
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    if (dist[u] == max_hops) continue;
+    for (NodeId v : graph.Neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+        order.push_back(v);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<NodeId> DfsPreorder(const Graph& graph, NodeId source) {
+  assert(source < graph.num_nodes());
+  std::vector<bool> visited(graph.num_nodes(), false);
+  std::vector<NodeId> order;
+  std::vector<NodeId> stack = {source};
+  visited[source] = true;
+  while (!stack.empty()) {
+    NodeId u = stack.back();
+    stack.pop_back();
+    order.push_back(u);
+    auto nbrs = graph.Neighbors(u);
+    // Push in reverse so the smallest neighbor is expanded first.
+    for (auto it = nbrs.rbegin(); it != nbrs.rend(); ++it) {
+      if (!visited[*it]) {
+        visited[*it] = true;
+        stack.push_back(*it);
+      }
+    }
+  }
+  return order;
+}
+
+void BfsForest(const Graph& graph,
+               const std::function<void(NodeId, size_t)>& fn) {
+  std::vector<bool> visited(graph.num_nodes(), false);
+  std::deque<NodeId> queue;
+  size_t component = 0;
+  for (NodeId root = 0; root < graph.num_nodes(); ++root) {
+    if (visited[root]) continue;
+    visited[root] = true;
+    queue.push_back(root);
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      fn(u, component);
+      for (NodeId v : graph.Neighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+    ++component;
+  }
+}
+
+}  // namespace oca

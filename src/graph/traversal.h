@@ -1,0 +1,37 @@
+// Breadth-first and depth-first traversal primitives.
+
+#ifndef OCA_GRAPH_TRAVERSAL_H_
+#define OCA_GRAPH_TRAVERSAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace oca {
+
+/// Distance value for unreachable nodes in BfsDistances.
+inline constexpr uint32_t kUnreachable = UINT32_MAX;
+
+/// BFS from `source`; returns hop distances (kUnreachable where not
+/// reachable). O(n + m).
+std::vector<uint32_t> BfsDistances(const Graph& graph, NodeId source);
+
+/// BFS from `source` visiting at most `max_hops` rings; returns visited
+/// nodes in visit order (source first). max_hops = 1 yields the closed
+/// neighborhood.
+std::vector<NodeId> BfsBall(const Graph& graph, NodeId source,
+                            uint32_t max_hops);
+
+/// Iterative DFS preorder from `source` over its component.
+std::vector<NodeId> DfsPreorder(const Graph& graph, NodeId source);
+
+/// Visits every node of the graph in BFS order, restarting at the
+/// lowest-numbered unvisited node; fn(node, component_index) per node.
+void BfsForest(const Graph& graph,
+               const std::function<void(NodeId, size_t)>& fn);
+
+}  // namespace oca
+
+#endif  // OCA_GRAPH_TRAVERSAL_H_

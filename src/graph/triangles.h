@@ -1,0 +1,28 @@
+// Triangle counting and clustering coefficients.
+
+#ifndef OCA_GRAPH_TRIANGLES_H_
+#define OCA_GRAPH_TRIANGLES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace oca {
+
+/// Per-node triangle counts (each triangle counted once per corner).
+/// Forward-edge intersection algorithm, O(m^{3/2}) worst case.
+std::vector<uint64_t> TrianglesPerNode(const Graph& graph);
+
+/// Total number of distinct triangles.
+uint64_t CountTriangles(const Graph& graph);
+
+/// Local clustering coefficient of each node (0 when degree < 2).
+std::vector<double> LocalClusteringCoefficients(const Graph& graph);
+
+/// Global clustering coefficient: 3*triangles / open-or-closed wedges.
+double GlobalClusteringCoefficient(const Graph& graph);
+
+}  // namespace oca
+
+#endif  // OCA_GRAPH_TRIANGLES_H_

@@ -1,0 +1,60 @@
+#include "io/cover_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace oca {
+
+Result<Cover> ReadCoverStream(std::istream& in) {
+  Cover cover;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    Community community;
+    uint64_t raw = 0;
+    while (ls >> raw) {
+      community.push_back(static_cast<NodeId>(raw));
+    }
+    if (!ls.eof()) {
+      return Status::IOError("malformed community at line " +
+                             std::to_string(line_no));
+    }
+    if (!community.empty()) cover.Add(std::move(community));
+  }
+  return cover;
+}
+
+Result<Cover> ReadCoverFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  return ReadCoverStream(in);
+}
+
+Status WriteCoverStream(const Cover& cover, std::ostream& out) {
+  out << "# " << cover.size() << " communities\n";
+  for (const auto& community : cover) {
+    for (size_t i = 0; i < community.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << community[i];
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Status WriteCoverFile(const Cover& cover, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  return WriteCoverStream(cover, out);
+}
+
+}  // namespace oca

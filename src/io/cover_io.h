@@ -1,0 +1,24 @@
+// Community-cover I/O: one community per line, whitespace-separated node
+// ids ('#' comments allowed). Compatible with the SNAP ground-truth
+// community files (com-*.top5000.cmty.txt etc.).
+
+#ifndef OCA_IO_COVER_IO_H_
+#define OCA_IO_COVER_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/cover.h"
+#include "util/result.h"
+
+namespace oca {
+
+Result<Cover> ReadCoverStream(std::istream& in);
+Result<Cover> ReadCoverFile(const std::string& path);
+
+Status WriteCoverStream(const Cover& cover, std::ostream& out);
+Status WriteCoverFile(const Cover& cover, const std::string& path);
+
+}  // namespace oca
+
+#endif  // OCA_IO_COVER_IO_H_

@@ -1,0 +1,74 @@
+#include "io/edge_list.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+#include "graph/graph_builder.h"
+
+namespace oca {
+
+Result<LoadedGraph> ReadEdgeListStream(std::istream& in) {
+  std::unordered_map<uint64_t, NodeId> dense;
+  std::vector<uint64_t> original_ids;
+  std::vector<Edge> edges;
+
+  auto intern = [&](uint64_t raw) -> NodeId {
+    auto [it, inserted] = dense.try_emplace(
+        raw, static_cast<NodeId>(original_ids.size()));
+    if (inserted) original_ids.push_back(raw);
+    return it->second;
+  };
+
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    uint64_t a = 0, b = 0;
+    if (!(ls >> a >> b)) {
+      return Status::IOError("malformed edge at line " +
+                             std::to_string(line_no) + ": '" + line + "'");
+    }
+    // Sequence the interning: function-argument evaluation order is
+    // unspecified, and first-seen id assignment must follow text order.
+    NodeId ua = intern(a);
+    NodeId ub = intern(b);
+    edges.emplace_back(ua, ub);
+  }
+
+  GraphBuilder builder(original_ids.size());
+  for (auto& [u, v] : edges) builder.AddEdge(u, v);
+  OCA_ASSIGN_OR_RETURN(Graph graph, builder.Build());
+  return LoadedGraph{std::move(graph), std::move(original_ids)};
+}
+
+Result<LoadedGraph> ReadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  return ReadEdgeListStream(in);
+}
+
+Status WriteEdgeListStream(const Graph& graph, std::ostream& out) {
+  out << "# Undirected graph: " << graph.num_nodes() << " nodes, "
+      << graph.num_edges() << " edges\n";
+  graph.ForEachEdge([&out](NodeId u, NodeId v) {
+    out << u << '\t' << v << '\n';
+  });
+  if (!out) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Status WriteEdgeListFile(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  return WriteEdgeListStream(graph, out);
+}
+
+}  // namespace oca

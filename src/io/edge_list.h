@@ -1,0 +1,44 @@
+// Text edge-list I/O in the SNAP dataset convention:
+//   - '#' lines are comments
+//   - one edge per line: "<u><whitespace><v>"
+//   - node ids need not be dense; they are remapped to [0, n)
+//
+// This is the format of the public SNAP social-network datasets the paper
+// community standardly evaluates on.
+
+#ifndef OCA_IO_EDGE_LIST_H_
+#define OCA_IO_EDGE_LIST_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace oca {
+
+/// A loaded edge list plus the original-id mapping.
+struct LoadedGraph {
+  Graph graph;
+  std::vector<uint64_t> original_ids;  // dense id -> original id
+
+  /// Dense id for original id, or npos when unseen.
+  static constexpr uint32_t kNotFound = UINT32_MAX;
+};
+
+/// Parses SNAP-style edge-list text from a stream.
+Result<LoadedGraph> ReadEdgeListStream(std::istream& in);
+
+/// Loads a SNAP-style edge-list file.
+Result<LoadedGraph> ReadEdgeListFile(const std::string& path);
+
+/// Writes the canonical (u < v) edge list, one edge per line, with a
+/// header comment carrying n and m.
+Status WriteEdgeListStream(const Graph& graph, std::ostream& out);
+Status WriteEdgeListFile(const Graph& graph, const std::string& path);
+
+}  // namespace oca
+
+#endif  // OCA_IO_EDGE_LIST_H_

@@ -1,0 +1,104 @@
+#include "io/graph_serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "graph/graph_checks.h"
+
+namespace oca {
+
+namespace {
+
+constexpr char kMagic[4] = {'O', 'C', 'A', 'G'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status WriteGraphBinary(const Graph& graph, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint64_t>(graph.num_nodes()));
+  WritePod(out, static_cast<uint64_t>(graph.neighbor_array().size()));
+  const auto& offsets = graph.offsets();
+  out.write(reinterpret_cast<const char*>(offsets.data()),
+            static_cast<std::streamsize>(offsets.size() * sizeof(uint64_t)));
+  const auto& nbrs = graph.neighbor_array();
+  out.write(reinterpret_cast<const char*>(nbrs.data()),
+            static_cast<std::streamsize>(nbrs.size() * sizeof(NodeId)));
+  if (!out) return Status::IOError("binary graph write failed");
+  return Status::OK();
+}
+
+Status WriteGraphBinaryFile(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  return WriteGraphBinary(graph, out);
+}
+
+Result<Graph> ReadGraphBinary(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError("bad magic: not an OCAG graph file");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::IOError("unsupported OCAG version");
+  }
+  uint64_t n = 0, arr = 0;
+  if (!ReadPod(in, &n) || !ReadPod(in, &arr)) {
+    return Status::IOError("truncated OCAG header");
+  }
+  if (arr % 2 != 0) {
+    return Status::IOError("neighbor array length must be even");
+  }
+  // Sanity-check the header against the remaining stream size before
+  // allocating: a corrupted size field must not trigger a multi-terabyte
+  // allocation (found by the corruption-injection tests).
+  {
+    std::streampos cur = in.tellg();
+    if (cur >= 0) {
+      in.seekg(0, std::ios::end);
+      std::streampos end = in.tellg();
+      in.seekg(cur);
+      if (end >= 0) {
+        uint64_t remaining = static_cast<uint64_t>(end - cur);
+        uint64_t expected = (n + 1) * sizeof(uint64_t) + arr * sizeof(NodeId);
+        if (n > (UINT64_MAX / sizeof(uint64_t)) - 1 || expected != remaining) {
+          return Status::IOError(
+              "OCAG header sizes inconsistent with stream length");
+        }
+      }
+    }
+  }
+  std::vector<uint64_t> offsets(n + 1);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(uint64_t)));
+  std::vector<NodeId> neighbors(arr);
+  in.read(reinterpret_cast<char*>(neighbors.data()),
+          static_cast<std::streamsize>(neighbors.size() * sizeof(NodeId)));
+  if (!in) return Status::IOError("truncated OCAG body");
+
+  Graph graph(std::move(offsets), std::move(neighbors));
+  OCA_RETURN_IF_ERROR(ValidateGraph(graph));
+  return graph;
+}
+
+Result<Graph> ReadGraphBinaryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  return ReadGraphBinary(in);
+}
+
+}  // namespace oca

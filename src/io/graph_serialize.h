@@ -1,0 +1,26 @@
+// Compact binary graph serialization for fast reload of generated
+// benchmark graphs. Little-endian, versioned header.
+//
+// Layout: magic "OCAG" | u32 version | u64 n | u64 2m |
+//         u64 offsets[n+1] | u32 neighbors[2m]
+
+#ifndef OCA_IO_GRAPH_SERIALIZE_H_
+#define OCA_IO_GRAPH_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace oca {
+
+Status WriteGraphBinary(const Graph& graph, std::ostream& out);
+Status WriteGraphBinaryFile(const Graph& graph, const std::string& path);
+
+Result<Graph> ReadGraphBinary(std::istream& in);
+Result<Graph> ReadGraphBinaryFile(const std::string& path);
+
+}  // namespace oca
+
+#endif  // OCA_IO_GRAPH_SERIALIZE_H_

@@ -1,0 +1,28 @@
+// METIS graph format I/O (unweighted variant).
+//
+// Header line: "<n> <m>" (optionally a format code we require to be 0 or
+// absent); line i (1-based) lists the 1-based neighbor ids of node i.
+// '%' lines are comments. The format stores each edge twice; we validate
+// symmetry on read. This is the input format of METIS/hMETIS/KaHIP and
+// of many community-detection tool chains.
+
+#ifndef OCA_IO_METIS_H_
+#define OCA_IO_METIS_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace oca {
+
+Result<Graph> ReadMetisStream(std::istream& in);
+Result<Graph> ReadMetisFile(const std::string& path);
+
+Status WriteMetisStream(const Graph& graph, std::ostream& out);
+Status WriteMetisFile(const Graph& graph, const std::string& path);
+
+}  // namespace oca
+
+#endif  // OCA_IO_METIS_H_

@@ -1,0 +1,74 @@
+#include "metrics/cover_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/community_state.h"
+
+namespace oca {
+
+CoverStats ComputeCoverStats(const Graph& graph, const Cover& cover) {
+  CoverStats stats;
+  stats.num_communities = cover.size();
+  if (cover.empty()) return stats;
+
+  std::vector<uint32_t> memberships(graph.num_nodes(), 0);
+  double density_sum = 0.0;
+  size_t density_terms = 0;
+  stats.min_community_size = SIZE_MAX;
+  size_t total_membership = 0;
+  for (const auto& community : cover) {
+    for (NodeId v : community) {
+      if (v < memberships.size()) ++memberships[v];
+    }
+    total_membership += community.size();
+    stats.min_community_size =
+        std::min(stats.min_community_size, community.size());
+    stats.max_community_size =
+        std::max(stats.max_community_size, community.size());
+    if (community.size() >= 2) {
+      SubsetStats s = ComputeSubsetStats(graph, community);
+      double pairs = static_cast<double>(community.size()) *
+                     (community.size() - 1) / 2.0;
+      density_sum += static_cast<double>(s.ein) / pairs;
+      ++density_terms;
+    }
+  }
+  for (uint32_t m : memberships) {
+    if (m > 0) ++stats.covered_nodes;
+    if (m >= 2) ++stats.overlapping_nodes;
+    stats.max_memberships = std::max<size_t>(stats.max_memberships, m);
+  }
+  stats.coverage_fraction =
+      graph.num_nodes() > 0
+          ? static_cast<double>(stats.covered_nodes) /
+                static_cast<double>(graph.num_nodes())
+          : 0.0;
+  stats.average_memberships =
+      stats.covered_nodes > 0
+          ? static_cast<double>(total_membership) /
+                static_cast<double>(stats.covered_nodes)
+          : 0.0;
+  stats.average_community_size =
+      static_cast<double>(total_membership) /
+      static_cast<double>(stats.num_communities);
+  stats.average_internal_density =
+      density_terms > 0 ? density_sum / static_cast<double>(density_terms)
+                        : 0.0;
+  return stats;
+}
+
+std::string CoverStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "communities=%zu coverage=%.1f%% overlap_nodes=%zu "
+                "avg_memberships=%.2f avg_size=%.1f size=[%zu,%zu] "
+                "avg_density=%.3f",
+                num_communities, coverage_fraction * 100.0, overlapping_nodes,
+                average_memberships, average_community_size,
+                min_community_size, max_community_size,
+                average_internal_density);
+  return buf;
+}
+
+}  // namespace oca

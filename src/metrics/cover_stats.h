@@ -1,0 +1,35 @@
+// Descriptive statistics of a cover relative to a graph: coverage,
+// overlap depth, per-community density. Used by examples and by the
+// dataset/quality tables.
+
+#ifndef OCA_METRICS_COVER_STATS_H_
+#define OCA_METRICS_COVER_STATS_H_
+
+#include <string>
+
+#include "core/cover.h"
+#include "graph/graph.h"
+
+namespace oca {
+
+struct CoverStats {
+  size_t num_communities = 0;
+  size_t covered_nodes = 0;
+  double coverage_fraction = 0.0;     // covered / n
+  size_t overlapping_nodes = 0;       // nodes in >= 2 communities
+  double average_memberships = 0.0;   // mean community count per covered node
+  size_t max_memberships = 0;
+  double average_community_size = 0.0;
+  size_t min_community_size = 0;
+  size_t max_community_size = 0;
+  double average_internal_density = 0.0;  // mean Ein / (s choose 2)
+
+  std::string ToString() const;
+};
+
+/// Computes all fields. O(total membership + sum community degrees).
+CoverStats ComputeCoverStats(const Graph& graph, const Cover& cover);
+
+}  // namespace oca
+
+#endif  // OCA_METRICS_COVER_STATS_H_

@@ -1,0 +1,59 @@
+#include "metrics/f1_overlap.h"
+
+#include <algorithm>
+
+#include "metrics/similarity.h"
+
+namespace oca {
+
+double CommunityF1(const Community& truth, const Community& found) {
+  if (truth.empty() && found.empty()) return 1.0;
+  if (truth.empty() || found.empty()) return 0.0;
+  double inter = static_cast<double>(IntersectionSize(truth, found));
+  if (inter == 0.0) return 0.0;
+  double precision = inter / static_cast<double>(found.size());
+  double recall = inter / static_cast<double>(truth.size());
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+namespace {
+
+// Directed mean best-F1 of `from` against `against`, using an inverted
+// index to restrict to communities that share nodes.
+double DirectedBestF1(const Cover& from, const Cover& against) {
+  size_t max_node = 0;
+  for (const auto& c : against) {
+    if (!c.empty()) max_node = std::max<size_t>(max_node, c.back());
+  }
+  auto index = against.BuildNodeIndex(max_node + 1);
+
+  double total = 0.0;
+  std::vector<uint32_t> mark(against.size(), UINT32_MAX);
+  for (uint32_t j = 0; j < from.size(); ++j) {
+    double best = 0.0;
+    for (NodeId v : from[j]) {
+      if (v > max_node) continue;
+      for (uint32_t i : index[v]) {
+        if (mark[i] == j) continue;
+        mark[i] = j;
+        best = std::max(best, CommunityF1(from[j], against[i]));
+      }
+    }
+    total += best;
+  }
+  return total / static_cast<double>(from.size());
+}
+
+}  // namespace
+
+Result<double> AverageF1(const Cover& truth_in, const Cover& found_in) {
+  Cover truth = truth_in, found = found_in;
+  truth.Canonicalize();
+  found.Canonicalize();
+  if (truth.empty() || found.empty()) {
+    return Status::InvalidArgument("AverageF1 needs two non-empty covers");
+  }
+  return 0.5 * (DirectedBestF1(truth, found) + DirectedBestF1(found, truth));
+}
+
+}  // namespace oca

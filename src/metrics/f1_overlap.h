@@ -1,0 +1,23 @@
+// Average best-match F1 between two covers (Yang & Leskovec 2013 style):
+// symmetric mean of, for each community on one side, the best F1 against
+// any community on the other side. Extension metric beyond the paper's
+// Theta; widely used for overlapping community evaluation.
+
+#ifndef OCA_METRICS_F1_OVERLAP_H_
+#define OCA_METRICS_F1_OVERLAP_H_
+
+#include "core/cover.h"
+#include "util/result.h"
+
+namespace oca {
+
+/// F1 of two sorted communities (harmonic mean of precision and recall of
+/// `found` against `truth`). F1 of two empty sets is 1.
+double CommunityF1(const Community& truth, const Community& found);
+
+/// Symmetric average best-match F1. Errors when either cover is empty.
+Result<double> AverageF1(const Cover& truth, const Cover& found);
+
+}  // namespace oca
+
+#endif  // OCA_METRICS_F1_OVERLAP_H_

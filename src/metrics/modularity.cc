@@ -1,0 +1,86 @@
+#include "metrics/modularity.h"
+
+#include <algorithm>
+
+#include "core/community_state.h"
+
+namespace oca {
+
+Result<double> Modularity(const Graph& graph, const Cover& partition) {
+  const double m = static_cast<double>(graph.num_edges());
+  if (m == 0.0) {
+    return Status::FailedPrecondition("modularity of an edgeless graph");
+  }
+  // Verify partition property over nodes with positive degree.
+  std::vector<uint32_t> memberships(graph.num_nodes(), 0);
+  for (const auto& community : partition) {
+    for (NodeId v : community) {
+      if (v >= graph.num_nodes()) {
+        return Status::InvalidArgument("cover node out of range");
+      }
+      ++memberships[v];
+    }
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (memberships[v] > 1) {
+      return Status::InvalidArgument(
+          "Modularity requires a partition; use OverlappingModularity");
+    }
+    if (memberships[v] == 0 && graph.Degree(v) > 0) {
+      return Status::InvalidArgument(
+          "partition misses a node with positive degree");
+    }
+  }
+
+  double q = 0.0;
+  for (const auto& community : partition) {
+    SubsetStats stats = ComputeSubsetStats(graph, community);
+    double ein = static_cast<double>(stats.ein);
+    double vol = static_cast<double>(stats.volume);
+    q += ein / m - (vol / (2.0 * m)) * (vol / (2.0 * m));
+  }
+  return q;
+}
+
+Result<double> OverlappingModularity(const Graph& graph, const Cover& cover) {
+  const double m2 = 2.0 * static_cast<double>(graph.num_edges());
+  if (m2 == 0.0) {
+    return Status::FailedPrecondition("modularity of an edgeless graph");
+  }
+  if (cover.empty()) {
+    return Status::InvalidArgument("overlapping modularity of an empty cover");
+  }
+  auto index = cover.BuildNodeIndex(graph.num_nodes());
+  std::vector<double> inv_memberships(graph.num_nodes(), 0.0);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (!index[v].empty()) {
+      inv_memberships[v] = 1.0 / static_cast<double>(index[v].size());
+    }
+  }
+
+  double eq = 0.0;
+  for (const auto& community : cover) {
+    // Positive part: sum over internal edges of 1/(O_u O_v), counting
+    // each unordered pair twice as the formula's double sum does.
+    for (NodeId u : community) {
+      if (u >= graph.num_nodes()) {
+        return Status::InvalidArgument("cover node out of range");
+      }
+      for (NodeId v : graph.Neighbors(u)) {
+        if (std::binary_search(community.begin(), community.end(), v)) {
+          eq += inv_memberships[u] * inv_memberships[v];
+        }
+      }
+    }
+    // Null-model part: (sum_{u in c} k_u/O_u)^2 / 2m.
+    double weighted_vol = 0.0;
+    for (NodeId u : community) {
+      weighted_vol +=
+          static_cast<double>(graph.Degree(u)) * inv_memberships[u];
+    }
+    eq -= weighted_vol * weighted_vol / m2;
+  }
+  return eq / m2;
+}
+
+}  // namespace oca

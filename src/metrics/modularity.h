@@ -1,0 +1,31 @@
+// Modularity measures: Newman's Q for partitions and the overlapping
+// extension EQ (Shen et al. 2009), which divides each node's
+// contribution by its membership count. These score a cover against the
+// graph itself — no ground truth needed — complementing the supervised
+// metrics (Theta, F1, omega, ONMI).
+
+#ifndef OCA_METRICS_MODULARITY_H_
+#define OCA_METRICS_MODULARITY_H_
+
+#include "core/cover.h"
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace oca {
+
+/// Newman modularity Q of a PARTITION cover:
+///   Q = sum_c [ ein_c/m - (vol_c / 2m)^2 ].
+/// Errors when the cover overlaps, misses nodes of positive degree, or
+/// the graph has no edges. Q in [-1/2, 1).
+Result<double> Modularity(const Graph& graph, const Cover& partition);
+
+/// Overlapping modularity EQ (Shen et al.):
+///   EQ = (1/2m) sum_c sum_{u,v in c} [A_uv - k_u k_v / 2m] / (O_u O_v)
+/// where O_v = number of communities containing v. Uncovered nodes are
+/// skipped (they contribute nothing). Reduces to Q on partitions.
+/// Errors on an edgeless graph or empty cover.
+Result<double> OverlappingModularity(const Graph& graph, const Cover& cover);
+
+}  // namespace oca
+
+#endif  // OCA_METRICS_MODULARITY_H_

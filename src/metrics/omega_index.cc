@@ -1,0 +1,94 @@
+#include "metrics/omega_index.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace oca {
+
+namespace {
+
+// Sparse pair -> co-membership count for one cover. Key packs (u, v),
+// u < v. Pairs never co-members are absent (count 0).
+std::unordered_map<uint64_t, uint32_t> PairCounts(const Cover& cover) {
+  std::unordered_map<uint64_t, uint32_t> counts;
+  for (const auto& community : cover) {
+    for (size_t i = 0; i < community.size(); ++i) {
+      for (size_t j = i + 1; j < community.size(); ++j) {
+        uint64_t key = (static_cast<uint64_t>(community[i]) << 32) |
+                       community[j];
+        ++counts[key];
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+Result<double> OmegaIndex(const Cover& a_in, const Cover& b_in,
+                          size_t num_nodes) {
+  if (num_nodes < 2) {
+    return Status::InvalidArgument("omega index needs at least 2 nodes");
+  }
+  Cover a = a_in, b = b_in;
+  a.Canonicalize();
+  b.Canonicalize();
+
+  auto ca = PairCounts(a);
+  auto cb = PairCounts(b);
+  const double total_pairs =
+      static_cast<double>(num_nodes) * (num_nodes - 1) / 2.0;
+
+  // Distribution of co-membership multiplicities in each cover.
+  // t_a[j] = #pairs with count j (j >= 1); level 0 is the complement.
+  auto levels = [&](const std::unordered_map<uint64_t, uint32_t>& counts) {
+    std::unordered_map<uint32_t, double> t;
+    for (const auto& [key, c] : counts) {
+      (void)key;
+      ++t[c];
+    }
+    double nonzero = 0.0;
+    for (auto& [lvl, n] : t) {
+      (void)lvl;
+      nonzero += n;
+    }
+    t[0] = total_pairs - nonzero;
+    return t;
+  };
+  auto ta = levels(ca);
+  auto tb = levels(cb);
+
+  // Observed agreement: pairs with identical counts in both covers.
+  double agree = 0.0;
+  for (const auto& [key, count_a] : ca) {
+    auto it = cb.find(key);
+    uint32_t count_b = it == cb.end() ? 0 : it->second;
+    if (count_a == count_b) ++agree;
+  }
+  // Pairs at level 0 in a: subtract those present in cb (nonzero there).
+  double zero_in_both = total_pairs;
+  {
+    // zero_in_both = total - |support(a) u support(b)|
+    double support_union = static_cast<double>(ca.size());
+    for (const auto& [key, c] : cb) {
+      (void)c;
+      if (ca.find(key) == ca.end()) ++support_union;
+    }
+    zero_in_both -= support_union;
+  }
+  double observed = (agree + zero_in_both) / total_pairs;
+
+  // Expected agreement under independence.
+  double expected = 0.0;
+  for (const auto& [lvl, na] : ta) {
+    auto it = tb.find(lvl);
+    if (it != tb.end()) {
+      expected += (na / total_pairs) * (it->second / total_pairs);
+    }
+  }
+  if (expected >= 1.0) return 1.0;  // degenerate: both covers constant
+  return (observed - expected) / (1.0 - expected);
+}
+
+}  // namespace oca

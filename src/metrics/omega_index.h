@@ -1,0 +1,24 @@
+// Omega index (Collins & Dent 1988): chance-corrected agreement between
+// two overlapping covers, generalizing the Adjusted Rand Index. Two
+// covers agree on a node pair when the pair co-occurs in the same number
+// of communities in both. Provided as an extension metric beyond the
+// paper's Theta.
+
+#ifndef OCA_METRICS_OMEGA_INDEX_H_
+#define OCA_METRICS_OMEGA_INDEX_H_
+
+#include <cstddef>
+
+#include "core/cover.h"
+#include "util/result.h"
+
+namespace oca {
+
+/// Computes the Omega index over all pairs of the node universe
+/// [0, num_nodes). 1 = perfect agreement; 0 = chance level; can be
+/// negative for worse-than-chance. Errors when num_nodes < 2.
+Result<double> OmegaIndex(const Cover& a, const Cover& b, size_t num_nodes);
+
+}  // namespace oca
+
+#endif  // OCA_METRICS_OMEGA_INDEX_H_

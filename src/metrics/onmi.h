@@ -1,0 +1,33 @@
+// Overlapping Normalized Mutual Information (Lancichinetti, Fortunato &
+// Kertész 2009, appendix) — the de-facto standard quality metric for
+// overlapping covers, introduced by the authors of the paper's LFK
+// baseline. Provided as an extension beyond the paper's Theta.
+//
+// Each community is treated as a binary random variable over nodes
+// (member / non-member). For covers X = {X_i} and Y = {Y_j}:
+//
+//   H(X_i | Y)      = min over j of h(X_i | Y_j), but only over j where
+//                     the joint entropy split passes the LFK validity
+//                     test (otherwise H(X_i)),
+//   H(X | Y)_norm   = mean_i H(X_i | Y) / H(X_i),
+//   ONMI(X, Y)      = 1 - [H(X|Y)_norm + H(Y|X)_norm] / 2.
+//
+// 1 = identical covers, 0 = independent.
+
+#ifndef OCA_METRICS_ONMI_H_
+#define OCA_METRICS_ONMI_H_
+
+#include <cstddef>
+
+#include "core/cover.h"
+#include "util/result.h"
+
+namespace oca {
+
+/// Computes ONMI over the node universe [0, num_nodes). Errors when a
+/// cover is empty or num_nodes == 0.
+Result<double> Onmi(const Cover& a, const Cover& b, size_t num_nodes);
+
+}  // namespace oca
+
+#endif  // OCA_METRICS_ONMI_H_

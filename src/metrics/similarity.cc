@@ -1,0 +1,28 @@
+#include "metrics/similarity.h"
+
+namespace oca {
+
+size_t IntersectionSize(const Community& a, const Community& b) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+double RhoSimilarity(const Community& a, const Community& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t inter = IntersectionSize(a, b);
+  size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace oca

@@ -1,0 +1,26 @@
+// The paper's community similarity rho (equation V.1):
+//
+//   rho(C, D) = 1 - (|C \ D| + |D \ C|) / |C u D|
+//
+// Since |C\D| + |D\C| = |C u D| - |C n D|, rho equals the Jaccard index
+// |C n D| / |C u D|; we compute it with a linear merge over sorted sets.
+
+#ifndef OCA_METRICS_SIMILARITY_H_
+#define OCA_METRICS_SIMILARITY_H_
+
+#include <cstddef>
+
+#include "core/cover.h"
+
+namespace oca {
+
+/// Intersection size of two sorted, duplicate-free communities. O(|a|+|b|).
+size_t IntersectionSize(const Community& a, const Community& b);
+
+/// rho(a, b) in [0, 1]; both inputs must be sorted and duplicate-free.
+/// rho of two empty sets is defined as 1 (identical).
+double RhoSimilarity(const Community& a, const Community& b);
+
+}  // namespace oca
+
+#endif  // OCA_METRICS_SIMILARITY_H_

@@ -1,0 +1,84 @@
+#include "metrics/theta.h"
+
+#include <algorithm>
+
+#include "metrics/similarity.h"
+
+namespace oca {
+
+Result<ThetaBreakdown> ComputeTheta(const Cover& real_in,
+                                    const Cover& observed_in) {
+  Cover real = real_in;
+  Cover observed = observed_in;
+  real.Canonicalize();
+  observed.Canonicalize();
+  if (real.empty()) {
+    return Status::InvalidArgument("Theta needs a non-empty real structure");
+  }
+
+  const size_t l = real.size();
+  const size_t m = observed.size();
+  ThetaBreakdown out;
+  out.attribution.assign(m, 0);
+  out.per_real_community.assign(l, 0.0);
+  if (m == 0) {
+    out.unmatched_real = l;
+    return out;
+  }
+
+  // Inverted index over the real cover bounds the rho computations to
+  // pairs that actually share nodes; disjoint pairs have rho = 0 and
+  // cannot win an argmax unless everything is 0 (handled by init to 0).
+  size_t max_node = 0;
+  for (const auto& c : real) {
+    if (!c.empty()) max_node = std::max<size_t>(max_node, c.back());
+  }
+  for (const auto& c : observed) {
+    if (!c.empty()) max_node = std::max<size_t>(max_node, c.back());
+  }
+  auto real_index = real.BuildNodeIndex(max_node + 1);
+
+  std::vector<std::vector<double>> attributed_rho(l);
+  std::vector<uint32_t> candidate_mark(l, UINT32_MAX);
+  for (uint32_t j = 0; j < m; ++j) {
+    // Candidate real communities: those sharing at least one node.
+    double best_rho = 0.0;
+    uint32_t best_i = 0;
+    for (NodeId v : observed[j]) {
+      for (uint32_t i : real_index[v]) {
+        if (candidate_mark[i] == j) continue;  // already scored this j
+        candidate_mark[i] = j;
+        double rho = RhoSimilarity(real[i], observed[j]);
+        if (rho > best_rho || (rho == best_rho && best_rho > 0.0 && i < best_i)) {
+          best_rho = rho;
+          best_i = i;
+        }
+      }
+    }
+    out.attribution[j] = best_i;
+    attributed_rho[best_i].push_back(best_rho);
+  }
+
+  double total = 0.0;
+  for (size_t i = 0; i < l; ++i) {
+    if (attributed_rho[i].empty()) {
+      ++out.unmatched_real;
+      continue;
+    }
+    double sum = 0.0;
+    for (double rho : attributed_rho[i]) sum += rho;
+    double avg = sum / static_cast<double>(attributed_rho[i].size());
+    out.per_real_community[i] = avg;
+    total += avg;
+  }
+  out.theta = total / static_cast<double>(l);
+  return out;
+}
+
+Result<double> Theta(const Cover& real, const Cover& observed) {
+  OCA_ASSIGN_OR_RETURN(ThetaBreakdown breakdown,
+                       ComputeTheta(real, observed));
+  return breakdown.theta;
+}
+
+}  // namespace oca

@@ -1,0 +1,47 @@
+// The paper's structure-suitability metric Theta (equation V.2).
+//
+// Given the real structure F = {F_1..F_l} and the observed structure
+// O = {O_1..O_m}: each observed community O_j is attributed to the real
+// community it best matches, V_i = { O_j : argmax_k rho(F_k, O_j) = i },
+// and
+//
+//   Theta(F, O) = (1/l) * sum_i [ (1/|V_i|) * sum_{O_j in V_i} rho(F_i, O_j) ]
+//
+// Theta = 1 means identical structures, 0 totally different. Real
+// communities with no attributed observation contribute 0 (missed
+// community); attributing many poor matches to the same F_i drags its
+// average down (fragmentation penalty). Defined for overlapping
+// structures on both sides.
+
+#ifndef OCA_METRICS_THETA_H_
+#define OCA_METRICS_THETA_H_
+
+#include <vector>
+
+#include "core/cover.h"
+#include "util/result.h"
+
+namespace oca {
+
+/// Per-real-community breakdown of a Theta computation.
+struct ThetaBreakdown {
+  double theta = 0.0;
+  /// attribution[j] = index i of the real community O_j was assigned to.
+  std::vector<uint32_t> attribution;
+  /// mean rho of observations attributed to F_i (0 when none).
+  std::vector<double> per_real_community;
+  size_t unmatched_real = 0;  // F_i with empty V_i
+};
+
+/// Computes Theta(real, observed). Both covers are canonicalized copies.
+/// Errors when `real` is empty. Ties in the argmax go to the smaller
+/// index, and an observation with rho = 0 to every real community is
+/// attributed to index 0 (it contributes a 0 term, penalizing noise).
+Result<ThetaBreakdown> ComputeTheta(const Cover& real, const Cover& observed);
+
+/// Convenience: just the scalar.
+Result<double> Theta(const Cover& real, const Cover& observed);
+
+}  // namespace oca
+
+#endif  // OCA_METRICS_THETA_H_

@@ -1,0 +1,38 @@
+// Extreme adjacency eigenvalues and the OCA coupling constant
+// c = -1 / lambda_min (paper Section II).
+//
+// lambda_min is obtained by a shifted power iteration: B = A - lambda_max I
+// has spectrum {lambda_i - lambda_max} <= 0, whose largest-magnitude
+// element is lambda_min - lambda_max, so power iteration on B converges to
+// the eigenvector of lambda_min.
+
+#ifndef OCA_SPECTRAL_EXTREME_EIGEN_H_
+#define OCA_SPECTRAL_EXTREME_EIGEN_H_
+
+#include "spectral/power_method.h"
+
+namespace oca {
+
+/// Both spectral extremes of the adjacency matrix.
+struct ExtremeEigenvalues {
+  double lambda_max = 0.0;
+  double lambda_min = 0.0;
+  size_t iterations_max = 0;  // power-method iterations for lambda_max
+  size_t iterations_min = 0;  // for lambda_min
+  bool converged = false;
+};
+
+/// Computes lambda_max and lambda_min. Errors on empty/edgeless graphs.
+Result<ExtremeEigenvalues> ComputeExtremeEigenvalues(
+    const Graph& graph, const PowerMethodOptions& options = {});
+
+/// The paper's coupling constant c = -1/lambda_min, the largest value for
+/// which a virtual vector representation exists. For any graph with at
+/// least one edge, lambda_min <= -1, hence c in (0, 1]. Errors when the
+/// eigen computation fails.
+Result<double> ComputeCouplingConstant(const Graph& graph,
+                                       const PowerMethodOptions& options = {});
+
+}  // namespace oca
+
+#endif  // OCA_SPECTRAL_EXTREME_EIGEN_H_

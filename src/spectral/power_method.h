@@ -1,0 +1,57 @@
+// Power iteration on the adjacency matrix of a Graph.
+//
+// The adjacency matrix is never materialized: the mat-vec y = A x walks
+// CSR neighbor lists, so one iteration costs O(n + m).
+
+#ifndef OCA_SPECTRAL_POWER_METHOD_H_
+#define OCA_SPECTRAL_POWER_METHOD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace oca {
+
+/// Convergence controls for power iterations.
+struct PowerMethodOptions {
+  /// Iteration cap. The coupling constant c = -1/lambda_min only needs a
+  /// few significant digits, so the default favors speed; raise it (and
+  /// lower `tolerance`) for spectral analyses that need tight eigenpairs.
+  size_t max_iterations = 300;
+  /// Stop when successive Rayleigh-quotient estimates differ by less than
+  /// this (relative to magnitude).
+  double tolerance = 1e-7;
+  uint64_t seed = 0x5EED5EEDull;  // random start vector
+};
+
+/// Outcome of a power iteration.
+struct EigenEstimate {
+  double eigenvalue = 0.0;
+  std::vector<double> eigenvector;  // unit 2-norm
+  size_t iterations = 0;
+  bool converged = false;
+};
+
+/// y = A x for the graph's adjacency matrix (y must have size n).
+void AdjacencyMatVec(const Graph& graph, const std::vector<double>& x,
+                     std::vector<double>* y);
+
+/// y = (A - shift*I) x.
+void ShiftedAdjacencyMatVec(const Graph& graph, double shift,
+                            const std::vector<double>& x,
+                            std::vector<double>* y);
+
+/// Rayleigh quotient x'Ax / x'x for the adjacency matrix.
+double RayleighQuotient(const Graph& graph, const std::vector<double>& x);
+
+/// Dominant eigenpair of A (largest |lambda|; for adjacency matrices this
+/// is the spectral radius lambda_max >= |lambda_min|). Errors on an empty
+/// or edgeless graph.
+Result<EigenEstimate> DominantEigenpair(const Graph& graph,
+                                        const PowerMethodOptions& options = {});
+
+}  // namespace oca
+
+#endif  // OCA_SPECTRAL_POWER_METHOD_H_

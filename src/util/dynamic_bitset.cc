@@ -1,0 +1,60 @@
+#include "util/dynamic_bitset.h"
+
+#include <cassert>
+
+namespace oca {
+
+DynamicBitset::DynamicBitset(size_t size)
+    : size_(size), words_((size + 63) / 64, 0) {}
+
+void DynamicBitset::Set(size_t i) {
+  assert(i < size_);
+  words_[i >> 6] |= (uint64_t{1} << (i & 63));
+}
+
+void DynamicBitset::Reset(size_t i) {
+  assert(i < size_);
+  words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+}
+
+bool DynamicBitset::Test(size_t i) const {
+  assert(i < size_);
+  return (words_[i >> 6] >> (i & 63)) & 1;
+}
+
+void DynamicBitset::Clear() {
+  for (auto& w : words_) w = 0;
+}
+
+size_t DynamicBitset::Count() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += static_cast<size_t>(__builtin_popcountll(w));
+  return total;
+}
+
+std::vector<uint32_t> DynamicBitset::ToVector() const {
+  std::vector<uint32_t> out;
+  out.reserve(Count());
+  ForEachSet([&out](size_t i) { out.push_back(static_cast<uint32_t>(i)); });
+  return out;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator-=(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+}  // namespace oca

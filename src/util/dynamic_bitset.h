@@ -1,0 +1,68 @@
+// Compact dynamic bitset with popcount and fast iteration over set bits.
+//
+// Used for node-membership tests in local search and clique enumeration,
+// where std::vector<bool> is too slow and std::unordered_set too heavy.
+
+#ifndef OCA_UTIL_DYNAMIC_BITSET_H_
+#define OCA_UTIL_DYNAMIC_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace oca {
+
+/// Fixed-capacity-after-construction bitset over [0, size).
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(size_t size);
+
+  size_t size() const { return size_; }
+
+  void Set(size_t i);
+  void Reset(size_t i);
+  bool Test(size_t i) const;
+
+  /// Sets all bits to zero.
+  void Clear();
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// True if no bit is set.
+  bool None() const { return Count() == 0; }
+
+  /// Calls fn(i) for each set bit i in ascending order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Returns indices of set bits in ascending order.
+  std::vector<uint32_t> ToVector() const;
+
+  /// In-place intersection / union / difference; sizes must match.
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  DynamicBitset& operator-=(const DynamicBitset& other);
+
+  bool operator==(const DynamicBitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace oca
+
+#endif  // OCA_UTIL_DYNAMIC_BITSET_H_

@@ -1,0 +1,45 @@
+// Minimal leveled logging to stderr. Intended for examples, benches and
+// long-running drivers; the library core stays silent unless asked.
+
+#ifndef OCA_UTIL_LOGGING_H_
+#define OCA_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace oca {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes one formatted line ("[LEVEL] message") to stderr, thread-safely.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style collector that emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace oca
+
+#define OCA_LOG(level) ::oca::internal::LogLine(::oca::LogLevel::level)
+
+#endif  // OCA_UTIL_LOGGING_H_

@@ -1,0 +1,122 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace oca {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(&sm);
+  }
+  // The all-zero state is invalid for xoshiro; SplitMix64 cannot emit four
+  // zeros in a row, but be defensive anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    s_[0] = 0x9E3779B97F4A7C15ull;
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller; guard against log(0).
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+uint64_t Rng::NextGeometric(double p) {
+  assert(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  double u = NextDouble();
+  while (u <= 0.0) u = NextDouble();
+  return static_cast<uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+uint64_t Rng::NextPowerLaw(uint64_t min, uint64_t max, double gamma) {
+  assert(min >= 1 && min <= max);
+  if (min == max) return min;
+  double u = NextDouble();
+  double a = static_cast<double>(min);
+  double b = static_cast<double>(max) + 1.0;
+  double x;
+  if (std::fabs(gamma - 1.0) < 1e-12) {
+    // P(x) ~ 1/x: inverse CDF is exponential interpolation.
+    x = a * std::pow(b / a, u);
+  } else {
+    double e = 1.0 - gamma;
+    double lo = std::pow(a, e);
+    double hi = std::pow(b, e);
+    x = std::pow(lo + u * (hi - lo), 1.0 / e);
+  }
+  uint64_t k = static_cast<uint64_t>(x);
+  if (k < min) k = min;
+  if (k > max) k = max;
+  return k;
+}
+
+Rng Rng::Fork(uint64_t stream_index) {
+  // Mix the parent's next output with the stream index through SplitMix64
+  // so sibling streams differ even for adjacent indices.
+  uint64_t mix = Next() ^ (0xA0761D6478BD642Full * (stream_index + 1));
+  return Rng(SplitMix64(&mix));
+}
+
+}  // namespace oca

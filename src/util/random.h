@@ -1,0 +1,95 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Every stochastic component in the library takes an explicit 64-bit seed
+// and derives its randomness from an Rng instance, so all experiments are
+// reproducible bit-for-bit across runs (given the same thread layout).
+//
+// The generator is xoshiro256** (Blackman & Vigna), seeded through
+// SplitMix64 as its authors recommend. It is much faster than
+// std::mt19937_64 and has no measurable bias for our use cases.
+
+#ifndef OCA_UTIL_RANDOM_H_
+#define OCA_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace oca {
+
+/// SplitMix64 step; used to bootstrap xoshiro state and to derive
+/// independent child seeds from a master seed.
+uint64_t SplitMix64(uint64_t* state);
+
+/// xoshiro256** generator with convenience sampling helpers.
+class Rng {
+ public:
+  /// Seeds the generator deterministically from a single 64-bit value.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64 random bits.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses
+  /// Lemire's multiply-shift rejection method (unbiased).
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Standard normal via Box-Muller (no cached spare; simple and stateless).
+  double NextGaussian();
+
+  /// Geometric-style skip sampling helper: returns the number of failures
+  /// before the first success of a Bernoulli(p) sequence; used by the
+  /// O(n + m) G(n,p) generator. Requires 0 < p <= 1.
+  uint64_t NextGeometric(double p);
+
+  /// Samples from a discrete power law on {min, ..., max} with exponent
+  /// `gamma` > 0: P(k) proportional to k^(-gamma). Inverse-CDF over the
+  /// continuous approximation, rounded and clamped; adequate for LFR-style
+  /// degree/community-size sequences.
+  uint64_t NextPowerLaw(uint64_t min, uint64_t max, double gamma);
+
+  /// Fisher-Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Uniformly samples `k` distinct elements (indices preserved order not
+  /// guaranteed) from `v` via partial Fisher-Yates. Requires k <= v.size().
+  template <typename T>
+  std::vector<T> SampleWithoutReplacement(const std::vector<T>& v, size_t k) {
+    assert(k <= v.size());
+    std::vector<T> pool = v;
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = i + static_cast<size_t>(NextBounded(pool.size() - i));
+      std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+  }
+
+  /// Derives an independent child generator; child streams are decorrelated
+  /// from the parent and from each other (indexed derivation).
+  Rng Fork(uint64_t stream_index);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace oca
+
+#endif  // OCA_UTIL_RANDOM_H_

@@ -1,0 +1,74 @@
+// Result<T>: a value or a Status, for fallible factory-style functions.
+
+#ifndef OCA_UTIL_RESULT_H_
+#define OCA_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace oca {
+
+/// Holds either a T (status is OK) or an error Status. Accessing the value
+/// of an errored Result is a programming error and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: success.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit from status: must be an error.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace oca
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its status, otherwise
+/// move-assigns the value into `lhs`. Usable in functions returning Status
+/// or Result<U>.
+#define OCA_ASSIGN_OR_RETURN(lhs, rexpr)     \
+  OCA_ASSIGN_OR_RETURN_IMPL_(                \
+      OCA_RESULT_CONCAT_(_oca_result, __LINE__), lhs, rexpr)
+
+#define OCA_RESULT_CONCAT_INNER_(a, b) a##b
+#define OCA_RESULT_CONCAT_(a, b) OCA_RESULT_CONCAT_INNER_(a, b)
+#define OCA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) {                                  \
+    return tmp.status();                            \
+  }                                                 \
+  lhs = std::move(tmp).value()
+
+#endif  // OCA_UTIL_RESULT_H_

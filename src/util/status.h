@@ -1,0 +1,107 @@
+// Status: lightweight error propagation without exceptions (RocksDB idiom).
+//
+// Functions that can fail return `Status` (or `Result<T>`, see result.h).
+// A default-constructed Status is OK. Statuses carry a code plus a
+// human-readable message and are cheap to move.
+
+#ifndef OCA_UTIL_STATUS_H_
+#define OCA_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace oca {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIOError = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kUnimplemented = 7,
+};
+
+/// Returns a stable lowercase name for a status code ("ok",
+/// "invalid_argument", ...). Useful for logs and test assertions.
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value-semantic error object. OK statuses carry no message and no
+/// allocation; error statuses carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  // Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+
+  /// "ok" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace oca
+
+/// Propagates a non-OK status to the caller. Usable only in functions
+/// returning Status.
+#define OCA_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::oca::Status _oca_status__ = (expr);    \
+    if (!_oca_status__.ok()) {               \
+      return _oca_status__;                  \
+    }                                        \
+  } while (false)
+
+#endif  // OCA_UTIL_STATUS_H_

@@ -1,0 +1,59 @@
+// Fixed-size thread pool with a simple work queue plus a deterministic
+// ParallelFor helper used by the multi-seed OCA driver.
+
+#ifndef OCA_UTIL_THREAD_POOL_H_
+#define OCA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace oca {
+
+/// Fixed-size pool. Tasks are void() closures; `Wait` blocks until the
+/// queue drains and all workers are idle. Destruction waits for pending
+/// tasks. Not copyable or movable.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, count) across the pool, blocking until done.
+  /// Work is chunked statically so assignment is deterministic; fn must be
+  /// safe to call concurrently for distinct i.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Sensible default worker count: hardware concurrency, at least 1.
+size_t DefaultThreadCount();
+
+}  // namespace oca
+
+#endif  // OCA_UTIL_THREAD_POOL_H_

@@ -1,0 +1,23 @@
+#include "util/timer.h"
+
+#include <cstdio>
+
+namespace oca {
+
+std::string FormatDuration(double seconds) {
+  char buf[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.0fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  } else {
+    int mins = static_cast<int>(seconds / 60.0);
+    int secs = static_cast<int>(seconds - mins * 60.0);
+    std::snprintf(buf, sizeof(buf), "%dm%02ds", mins, secs);
+  }
+  return buf;
+}
+
+}  // namespace oca

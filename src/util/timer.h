@@ -1,0 +1,41 @@
+// Wall-clock timing utilities used by benchmarks and the OCA driver.
+
+#ifndef OCA_UTIL_TIMER_H_
+#define OCA_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace oca {
+
+/// Monotonic stopwatch. Started on construction; `ElapsedSeconds` may be
+/// called repeatedly; `Restart` resets the origin.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a duration in seconds as a short human-readable string
+/// ("843us", "12.4ms", "3.21s", "2m05s").
+std::string FormatDuration(double seconds);
+
+}  // namespace oca
+
+#endif  // OCA_UTIL_TIMER_H_

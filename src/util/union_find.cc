@@ -1,0 +1,51 @@
+#include "util/union_find.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace oca {
+
+UnionFind::UnionFind(size_t size)
+    : parent_(size), rank_(size, 0), size_(size, 1), num_sets_(size) {
+  std::iota(parent_.begin(), parent_.end(), 0u);
+}
+
+uint32_t UnionFind::Find(uint32_t x) {
+  assert(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(uint32_t a, uint32_t b) {
+  uint32_t ra = Find(a);
+  uint32_t rb = Find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --num_sets_;
+  return true;
+}
+
+std::vector<std::vector<uint32_t>> UnionFind::Groups() {
+  // First pass: map representatives to dense group ids in order of first
+  // appearance (which, scanning ascending, is order of smallest member).
+  std::vector<int32_t> group_of(parent_.size(), -1);
+  std::vector<std::vector<uint32_t>> groups;
+  for (uint32_t x = 0; x < parent_.size(); ++x) {
+    uint32_t r = Find(x);
+    if (group_of[r] < 0) {
+      group_of[r] = static_cast<int32_t>(groups.size());
+      groups.emplace_back();
+    }
+    groups[static_cast<size_t>(group_of[r])].push_back(x);
+  }
+  return groups;
+}
+
+}  // namespace oca

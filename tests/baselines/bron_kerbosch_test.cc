@@ -1,0 +1,118 @@
+#include "baselines/bron_kerbosch.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/erdos_renyi.h"
+#include "testing/test_graphs.h"
+#include "util/random.h"
+
+namespace oca {
+namespace {
+
+using testing::Clique;
+using testing::Cycle;
+using testing::KarateClub;
+using testing::Path5;
+using testing::Triangle;
+using testing::TwoCliquesOverlap;
+
+TEST(BronKerboschTest, TriangleIsOneClique) {
+  auto cliques = FindMaximalCliques(Triangle()).value();
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_EQ(cliques[0], (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(BronKerboschTest, PathCliquesAreEdges) {
+  auto cliques = FindMaximalCliques(Path5()).value();
+  EXPECT_EQ(cliques.size(), 4u);
+  for (const auto& c : cliques) EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(BronKerboschTest, CompleteGraphOneClique) {
+  auto cliques = FindMaximalCliques(Clique(7)).value();
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_EQ(cliques[0].size(), 7u);
+}
+
+TEST(BronKerboschTest, OverlappingCliquesBothFound) {
+  auto cliques = FindMaximalCliques(TwoCliquesOverlap()).value();
+  ASSERT_EQ(cliques.size(), 2u);
+  std::set<std::vector<NodeId>> expected = {{0, 1, 2, 3, 4, 5},
+                                            {4, 5, 6, 7, 8, 9}};
+  std::set<std::vector<NodeId>> got(cliques.begin(), cliques.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(BronKerboschTest, MinSizeFilters) {
+  CliqueEnumerationOptions opt;
+  opt.min_size = 3;
+  auto cliques = FindMaximalCliques(Path5(), opt).value();
+  EXPECT_TRUE(cliques.empty());
+}
+
+TEST(BronKerboschTest, MaxCliquesTruncates) {
+  CliqueEnumerationOptions opt;
+  opt.max_cliques = 2;
+  CliqueEnumerationStats stats =
+      EnumerateMaximalCliques(KarateClub(), opt,
+                              [](const std::vector<NodeId>&) {})
+          .value();
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.cliques_reported, 2u);
+}
+
+TEST(BronKerboschTest, NullSinkErrors) {
+  auto result = EnumerateMaximalCliques(Triangle(), {}, nullptr);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(BronKerboschTest, EveryReportedCliqueIsMaximalClique) {
+  Rng rng(5);
+  Graph g = ErdosRenyi(60, 0.2, &rng).value();
+  auto cliques = FindMaximalCliques(g).value();
+  ASSERT_FALSE(cliques.empty());
+  for (const auto& clique : cliques) {
+    // Clique property.
+    for (size_t i = 0; i < clique.size(); ++i) {
+      for (size_t j = i + 1; j < clique.size(); ++j) {
+        EXPECT_TRUE(g.HasEdge(clique[i], clique[j]));
+      }
+    }
+    // Maximality: no external node adjacent to every member.
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (std::binary_search(clique.begin(), clique.end(), v)) continue;
+      bool adjacent_to_all = true;
+      for (NodeId u : clique) {
+        if (!g.HasEdge(u, v)) {
+          adjacent_to_all = false;
+          break;
+        }
+      }
+      EXPECT_FALSE(adjacent_to_all)
+          << "node " << v << " extends a reported 'maximal' clique";
+    }
+  }
+}
+
+TEST(BronKerboschTest, CliqueSetIsDuplicateFree) {
+  Rng rng(6);
+  Graph g = ErdosRenyi(50, 0.25, &rng).value();
+  auto cliques = FindMaximalCliques(g).value();
+  std::set<std::vector<NodeId>> unique(cliques.begin(), cliques.end());
+  EXPECT_EQ(unique.size(), cliques.size());
+}
+
+TEST(BronKerboschTest, CountMatchesMoonMoserOnSmallExamples) {
+  // C5 has exactly 5 maximal cliques (its edges).
+  EXPECT_EQ(FindMaximalCliques(Cycle(5)).value().size(), 5u);
+  // Empty graph on n nodes: n isolated vertices are trivial cliques of
+  // size 1 each... our enumeration reports singletons too.
+  Graph g = BuildGraph(3, {}).value();
+  auto singles = FindMaximalCliques(g).value();
+  EXPECT_EQ(singles.size(), 3u);
+}
+
+}  // namespace
+}  // namespace oca

@@ -1,0 +1,85 @@
+#include "baselines/cfinder.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/daisy.h"
+#include "testing/test_graphs.h"
+
+namespace oca {
+namespace {
+
+using testing::Clique;
+using testing::KarateClub;
+using testing::Path5;
+using testing::TwoCliquesBridge;
+using testing::TwoCliquesOverlap;
+
+TEST(CfinderTest, SeparatesBridgedCliques) {
+  auto result = RunCfinder(TwoCliquesBridge(), {}).value();
+  ASSERT_EQ(result.cover.size(), 2u);
+  EXPECT_EQ(result.cover[0], (Community{0, 1, 2, 3, 4}));
+  EXPECT_EQ(result.cover[1], (Community{5, 6, 7, 8, 9}));
+}
+
+TEST(CfinderTest, OverlappingCliquesShareNodes) {
+  // The two K6s share 2 nodes = k-1 at k=3... they percolate into one
+  // community at k=3; at k=4 they stay separate but overlapping.
+  CfinderOptions opt;
+  opt.k = 4;
+  auto result = RunCfinder(TwoCliquesOverlap(), opt).value();
+  ASSERT_EQ(result.cover.size(), 2u);
+  EXPECT_EQ(result.cover[0], (Community{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(result.cover[1], (Community{4, 5, 6, 7, 8, 9}));
+}
+
+TEST(CfinderTest, TriangleFreeGraphHasNoCommunities) {
+  auto result = RunCfinder(Path5(), {}).value();
+  EXPECT_TRUE(result.cover.empty());
+}
+
+TEST(CfinderTest, StatsReportCliqueWork) {
+  auto result = RunCfinder(KarateClub(), {}).value();
+  EXPECT_GT(result.stats.maximal_cliques, 0u);
+  EXPECT_GT(result.stats.bk_recursive_calls, 0u);
+  EXPECT_FALSE(result.cover.empty());
+}
+
+TEST(CfinderTest, CliqueBudgetAborts) {
+  CfinderOptions opt;
+  opt.max_cliques = 1;
+  auto result = RunCfinder(KarateClub(), opt);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+}
+
+TEST(CfinderTest, InvalidOptionsError) {
+  CfinderOptions opt;
+  opt.k = 1;
+  EXPECT_TRUE(RunCfinder(KarateClub(), opt).status().IsInvalidArgument());
+  EXPECT_TRUE(RunCfinder(Graph{}, {}).status().IsInvalidArgument());
+}
+
+TEST(CfinderTest, WholeCliqueIsOneCommunity) {
+  auto result = RunCfinder(Clique(8), {}).value();
+  ASSERT_EQ(result.cover.size(), 1u);
+  EXPECT_EQ(result.cover[0].size(), 8u);
+}
+
+TEST(CfinderTest, DenseDaisyPetalsFound) {
+  DaisyOptions dopt;
+  dopt.p = 5;
+  dopt.q = 4;
+  dopt.n = 40;
+  dopt.alpha = 1.0;
+  dopt.beta = 1.0;
+  Rng rng(3);
+  auto bench = GenerateDaisy(dopt, &rng).value();
+  auto result = RunCfinder(bench.graph, {}).value();
+  // Deterministic cliques: CPM finds dense units; there must be at least
+  // as many communities as petals minus merges through shared nodes.
+  EXPECT_GE(result.cover.size(), 1u);
+  EXPECT_GT(result.cover.CoveredNodeCount(), 30u);
+}
+
+}  // namespace
+}  // namespace oca

@@ -1,0 +1,74 @@
+#include "baselines/clique_percolation.h"
+
+#include <gtest/gtest.h>
+
+namespace oca {
+namespace {
+
+TEST(PercolationTest, SingleCliqueSingleCommunity) {
+  std::vector<std::vector<NodeId>> cliques = {{0, 1, 2}};
+  Cover cover = PercolateCliques(cliques, 3, 3).value();
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], (Community{0, 1, 2}));
+}
+
+TEST(PercolationTest, AdjacentCliquesMerge) {
+  // Two triangles sharing an edge (2 = k-1 shared nodes at k=3).
+  std::vector<std::vector<NodeId>> cliques = {{0, 1, 2}, {1, 2, 3}};
+  Cover cover = PercolateCliques(cliques, 3, 4).value();
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], (Community{0, 1, 2, 3}));
+}
+
+TEST(PercolationTest, SingleSharedNodeDoesNotMergeAtK3) {
+  std::vector<std::vector<NodeId>> cliques = {{0, 1, 2}, {2, 3, 4}};
+  Cover cover = PercolateCliques(cliques, 3, 5).value();
+  ASSERT_EQ(cover.size(), 2u);
+  // Node 2 belongs to both: overlapping communities, CPM's signature.
+  EXPECT_EQ(cover[0], (Community{0, 1, 2}));
+  EXPECT_EQ(cover[1], (Community{2, 3, 4}));
+}
+
+TEST(PercolationTest, SmallCliquesIgnored) {
+  std::vector<std::vector<NodeId>> cliques = {{0, 1}, {2, 3, 4}};
+  Cover cover = PercolateCliques(cliques, 3, 5).value();
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], (Community{2, 3, 4}));
+}
+
+TEST(PercolationTest, HigherKDisconnects) {
+  // Two K4s sharing 2 nodes: merge at k=3 (share >= 2) but not k=4
+  // (need >= 3 shared).
+  std::vector<std::vector<NodeId>> cliques = {{0, 1, 2, 3}, {2, 3, 4, 5}};
+  EXPECT_EQ(PercolateCliques(cliques, 3, 6).value().size(), 1u);
+  EXPECT_EQ(PercolateCliques(cliques, 4, 6).value().size(), 2u);
+}
+
+TEST(PercolationTest, ChainPercolates) {
+  // Chain of triangles, each sharing an edge with the next.
+  std::vector<std::vector<NodeId>> cliques;
+  for (NodeId i = 0; i < 10; ++i) {
+    cliques.push_back({i, static_cast<NodeId>(i + 1),
+                       static_cast<NodeId>(i + 2)});
+  }
+  Cover cover = PercolateCliques(cliques, 3, 12).value();
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].size(), 12u);
+}
+
+TEST(PercolationTest, KBelowTwoErrors) {
+  EXPECT_FALSE(PercolateCliques({{0, 1}}, 1, 2).ok());
+}
+
+TEST(PercolationTest, OutOfRangeNodeErrors) {
+  EXPECT_FALSE(PercolateCliques({{0, 1, 9}}, 3, 5).ok());
+}
+
+TEST(PercolationTest, NoCliquesNoCommunities) {
+  EXPECT_TRUE(PercolateCliques({}, 3, 10).value().empty());
+  // Only sub-k cliques.
+  EXPECT_TRUE(PercolateCliques({{0, 1}}, 3, 10).value().empty());
+}
+
+}  // namespace
+}  // namespace oca

@@ -1,0 +1,87 @@
+#include "baselines/label_propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/lfr.h"
+#include "metrics/theta.h"
+#include "testing/test_graphs.h"
+
+namespace oca {
+namespace {
+
+using testing::TwoCliquesBridge;
+using testing::TwoCliquesOverlap;
+
+TEST(LabelPropagationTest, OutputIsAPartition) {
+  Graph g = testing::KarateClub();
+  auto result = RunLabelPropagation(g, {}).value();
+  std::vector<int> count(g.num_nodes(), 0);
+  for (const auto& c : result.cover) {
+    for (NodeId v : c) ++count[v];
+  }
+  for (int c : count) EXPECT_EQ(c, 1);
+}
+
+TEST(LabelPropagationTest, SeparatesBridgedCliques) {
+  auto result = RunLabelPropagation(TwoCliquesBridge(), {}).value();
+  ASSERT_EQ(result.cover.size(), 2u);
+  EXPECT_EQ(result.cover[0], (Community{0, 1, 2, 3, 4}));
+  EXPECT_EQ(result.cover[1], (Community{5, 6, 7, 8, 9}));
+  EXPECT_TRUE(result.stats.converged);
+}
+
+TEST(LabelPropagationTest, CannotExpressOverlap) {
+  // The paper's core argument, quantified: the overlap nodes {4, 5} end
+  // up in exactly one community whatever happens.
+  auto result = RunLabelPropagation(TwoCliquesOverlap(), {}).value();
+  auto index = result.cover.BuildNodeIndex(10);
+  EXPECT_EQ(index[4].size(), 1u);
+  EXPECT_EQ(index[5].size(), 1u);
+}
+
+TEST(LabelPropagationTest, IsolatedNodesKeptOrDropped) {
+  Graph g = BuildGraph(4, {{0, 1}}).value();
+  LabelPropagationOptions opt;
+  opt.keep_singletons = true;
+  auto kept = RunLabelPropagation(g, opt).value();
+  EXPECT_EQ(kept.cover.CoveredNodeCount(), 4u);
+  opt.keep_singletons = false;
+  auto dropped = RunLabelPropagation(g, opt).value();
+  EXPECT_EQ(dropped.cover.CoveredNodeCount(), 2u);
+}
+
+TEST(LabelPropagationTest, DeterministicPerSeed) {
+  Graph g = testing::KarateClub();
+  LabelPropagationOptions opt;
+  opt.seed = 5;
+  auto a = RunLabelPropagation(g, opt).value();
+  auto b = RunLabelPropagation(g, opt).value();
+  EXPECT_EQ(a.cover, b.cover);
+}
+
+TEST(LabelPropagationTest, EmptyGraphErrors) {
+  EXPECT_TRUE(RunLabelPropagation(Graph{}, {}).status().IsInvalidArgument());
+}
+
+TEST(LabelPropagationTest, RecoversSharpLfrPartition) {
+  LfrOptions lfr;
+  lfr.num_nodes = 400;
+  lfr.average_degree = 14.0;
+  lfr.max_degree = 35;
+  lfr.mixing = 0.1;
+  lfr.min_community = 20;
+  lfr.max_community = 60;
+  lfr.seed = 5;
+  auto bench = GenerateLfr(lfr).value();
+  auto result = RunLabelPropagation(bench.graph, {}).value();
+  double theta = Theta(bench.ground_truth, result.cover).value();
+  EXPECT_GT(theta, 0.6);
+}
+
+TEST(LabelPropagationTest, ConvergesQuicklyOnSmallGraphs) {
+  auto result = RunLabelPropagation(TwoCliquesBridge(), {}).value();
+  EXPECT_LE(result.stats.iterations, 20u);
+}
+
+}  // namespace
+}  // namespace oca

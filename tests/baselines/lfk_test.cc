@@ -1,0 +1,127 @@
+#include "baselines/lfk.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/lfr.h"
+#include "metrics/theta.h"
+#include "testing/test_graphs.h"
+
+namespace oca {
+namespace {
+
+using testing::KarateClub;
+using testing::TwoCliquesBridge;
+using testing::TwoCliquesOverlap;
+
+TEST(LfkNaturalCommunityTest, RecoversClique) {
+  Graph g = TwoCliquesBridge();
+  EXPECT_EQ(LfkNaturalCommunity(g, 0, 1.0), (Community{0, 1, 2, 3, 4}));
+  EXPECT_EQ(LfkNaturalCommunity(g, 9, 1.0), (Community{5, 6, 7, 8, 9}));
+}
+
+TEST(LfkNaturalCommunityTest, OverlappingCliquesAlphaControlsResolution) {
+  // Two K6s sharing nodes {4,5}. At the standard alpha=1 the fitness gain
+  // of crossing the overlap is positive (kin 30->34 vs kout 38->43), so
+  // the natural community is the whole graph — LFK's known coarse
+  // resolution. At alpha=2 the boundary penalty separates the cliques;
+  // both contain the shared nodes, i.e. genuinely overlapping output.
+  // At alpha=2 the penalty overshoots: the shared nodes' external edges
+  // get them evicted, leaving the non-overlap cores. Either way LFK never
+  // reports the two true overlapping 6-cliques — the behaviour behind its
+  // daisy-benchmark losses in the paper's Figure 3/4.
+  Graph g = TwoCliquesOverlap();
+  EXPECT_EQ(LfkNaturalCommunity(g, 0, 1.0).size(), 10u);
+  auto left = LfkNaturalCommunity(g, 0, 2.0);
+  auto right = LfkNaturalCommunity(g, 9, 2.0);
+  EXPECT_EQ(left, (Community{0, 1, 2, 3}));
+  EXPECT_EQ(right, (Community{6, 7, 8, 9}));
+}
+
+TEST(LfkNaturalCommunityTest, ContainsOrigin) {
+  Graph g = KarateClub();
+  for (NodeId v : {0u, 8u, 33u}) {
+    auto community = LfkNaturalCommunity(g, v, 1.0);
+    EXPECT_TRUE(std::binary_search(community.begin(), community.end(), v));
+  }
+}
+
+TEST(LfkNaturalCommunityTest, AlphaControlsSize) {
+  // Larger alpha penalizes boundary more -> smaller communities
+  // (hierarchy knob of the LFK paper). Weak inequality: both may hit the
+  // same maximum on tiny graphs.
+  Graph g = KarateClub();
+  auto loose = LfkNaturalCommunity(g, 0, 0.8);
+  auto tight = LfkNaturalCommunity(g, 0, 1.5);
+  EXPECT_GE(loose.size(), tight.size());
+}
+
+TEST(RunLfkTest, FullCoverageByDefault) {
+  Graph g = KarateClub();
+  auto result = RunLfk(g, {}).value();
+  EXPECT_DOUBLE_EQ(result.stats.coverage_fraction, 1.0);
+  EXPECT_TRUE(result.cover.UncoveredNodes(g.num_nodes()).empty());
+  EXPECT_GT(result.stats.communities_grown, 0u);
+}
+
+TEST(RunLfkTest, TwoCliquesYieldTwoCommunities) {
+  Graph g = TwoCliquesBridge();
+  auto result = RunLfk(g, {}).value();
+  ASSERT_EQ(result.cover.size(), 2u);
+  EXPECT_EQ(result.cover[0], (Community{0, 1, 2, 3, 4}));
+  EXPECT_EQ(result.cover[1], (Community{5, 6, 7, 8, 9}));
+}
+
+TEST(RunLfkTest, DeterministicPerSeed) {
+  Graph g = KarateClub();
+  LfkOptions opt;
+  opt.seed = 31;
+  auto a = RunLfk(g, opt).value();
+  auto b = RunLfk(g, opt).value();
+  EXPECT_EQ(a.cover, b.cover);
+}
+
+TEST(RunLfkTest, MaxCommunitiesCap) {
+  Graph g = KarateClub();
+  LfkOptions opt;
+  opt.max_communities = 1;
+  auto result = RunLfk(g, opt).value();
+  EXPECT_EQ(result.stats.communities_grown, 1u);
+}
+
+TEST(RunLfkTest, IsolatedNodesBecomeSingletons) {
+  Graph g = BuildGraph(4, {{0, 1}}).value();
+  auto result = RunLfk(g, {}).value();
+  EXPECT_DOUBLE_EQ(result.stats.coverage_fraction, 1.0);
+  // Singletons {2} and {3} must exist.
+  size_t singletons = 0;
+  for (const auto& c : result.cover) {
+    if (c.size() == 1) ++singletons;
+  }
+  EXPECT_EQ(singletons, 2u);
+}
+
+TEST(RunLfkTest, InvalidOptionsError) {
+  Graph g = KarateClub();
+  LfkOptions opt;
+  opt.alpha = 0.0;
+  EXPECT_TRUE(RunLfk(g, opt).status().IsInvalidArgument());
+  EXPECT_TRUE(RunLfk(Graph{}, {}).status().IsInvalidArgument());
+}
+
+TEST(RunLfkTest, RecoversSharpLfrStructure) {
+  LfrOptions lfr;
+  lfr.num_nodes = 300;
+  lfr.average_degree = 12.0;
+  lfr.max_degree = 30;
+  lfr.mixing = 0.15;
+  lfr.min_community = 15;
+  lfr.max_community = 50;
+  lfr.seed = 5;
+  auto bench = GenerateLfr(lfr).value();
+  auto result = RunLfk(bench.graph, {}).value();
+  double theta = Theta(bench.ground_truth, result.cover).value();
+  EXPECT_GT(theta, 0.5);
+}
+
+}  // namespace
+}  // namespace oca

@@ -1,0 +1,157 @@
+#include "core/community_state.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.h"
+#include "testing/test_graphs.h"
+#include "util/random.h"
+
+namespace oca {
+namespace {
+
+using testing::KarateClub;
+using testing::TwoCliquesBridge;
+
+TEST(CommunityStateTest, EmptyState) {
+  Graph g = TwoCliquesBridge();
+  CommunityState state(g);
+  EXPECT_EQ(state.stats().size, 0u);
+  EXPECT_EQ(state.stats().ein, 0u);
+  EXPECT_EQ(state.stats().volume, 0u);
+  EXPECT_TRUE(state.Frontier().empty());
+  EXPECT_FALSE(state.Contains(0));
+}
+
+TEST(CommunityStateTest, SingleAddTracksVolumeAndFrontier) {
+  Graph g = TwoCliquesBridge();
+  CommunityState state(g);
+  state.Add(4);  // bridge node: degree 5
+  EXPECT_EQ(state.stats().size, 1u);
+  EXPECT_EQ(state.stats().ein, 0u);
+  EXPECT_EQ(state.stats().volume, 5u);
+  EXPECT_TRUE(state.Contains(4));
+  auto frontier = state.Frontier();
+  // Neighbors: 0,1,2,3,5.
+  ASSERT_EQ(frontier.size(), 5u);
+  for (const auto& [node, deg_in] : frontier) {
+    EXPECT_EQ(deg_in, 1u);
+    EXPECT_TRUE(node <= 3 || node == 5);
+  }
+}
+
+TEST(CommunityStateTest, EinAccumulates) {
+  Graph g = TwoCliquesBridge();
+  CommunityState state(g);
+  state.Add(0);
+  state.Add(1);
+  state.Add(2);
+  EXPECT_EQ(state.stats().ein, 3u);  // triangle inside K5
+  EXPECT_EQ(state.stats().size, 3u);
+  EXPECT_EQ(state.DegIn(3), 3u);  // 3 sees all members
+  EXPECT_EQ(state.DegIn(5), 0u);
+}
+
+TEST(CommunityStateTest, RemoveUndoesAdd) {
+  Graph g = TwoCliquesBridge();
+  CommunityState state(g);
+  state.Add(0);
+  state.Add(1);
+  state.Add(2);
+  SubsetStats before = state.stats();
+  state.Add(3);
+  state.Remove(3);
+  EXPECT_EQ(state.stats().size, before.size);
+  EXPECT_EQ(state.stats().ein, before.ein);
+  EXPECT_EQ(state.stats().volume, before.volume);
+  EXPECT_FALSE(state.Contains(3));
+}
+
+TEST(CommunityStateTest, MatchesNaiveRecomputation) {
+  // Property test: after a random add/remove walk the incremental stats
+  // equal the from-scratch computation.
+  Rng rng(13);
+  Graph g = ErdosRenyi(150, 0.06, &rng).value();
+  CommunityState state(g);
+  std::vector<NodeId> members;
+  for (int step = 0; step < 400; ++step) {
+    bool do_add = members.empty() || rng.NextBool(0.6);
+    if (do_add) {
+      NodeId v = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+      if (state.Contains(v)) continue;
+      state.Add(v);
+      members.push_back(v);
+    } else {
+      size_t idx = static_cast<size_t>(rng.NextBounded(members.size()));
+      state.Remove(members[idx]);
+      members.erase(members.begin() + static_cast<ptrdiff_t>(idx));
+    }
+    SubsetStats expected = ComputeSubsetStats(g, state.ToCommunity());
+    ASSERT_EQ(state.stats().size, expected.size) << "step " << step;
+    ASSERT_EQ(state.stats().ein, expected.ein) << "step " << step;
+    ASSERT_EQ(state.stats().volume, expected.volume) << "step " << step;
+  }
+}
+
+TEST(CommunityStateTest, FrontierIsSortedNonMembersOnly) {
+  Graph g = KarateClub();
+  CommunityState state(g);
+  state.Add(0);
+  state.Add(1);
+  auto frontier = state.Frontier();
+  for (size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_LT(frontier[i - 1].first, frontier[i].first);
+  }
+  for (const auto& [node, deg_in] : frontier) {
+    EXPECT_FALSE(state.Contains(node));
+    EXPECT_GT(deg_in, 0u);
+  }
+}
+
+TEST(CommunityStateTest, DegInCountsMembersOnly) {
+  Graph g = KarateClub();
+  CommunityState state(g);
+  state.Add(0);
+  state.Add(1);
+  state.Add(2);
+  // Node 7 is adjacent to 0,1,2 -> deg_in 3.
+  EXPECT_EQ(state.DegIn(7), 3u);
+  // Node 33 is adjacent to none of {0,1,2}... it neighbors 2? Karate:
+  // edge (2,32) yes, (2,33) no; 33's neighbors include 13,19 etc.
+  EXPECT_EQ(state.DegIn(33), 0u);
+}
+
+TEST(CommunityStateTest, ClearResets) {
+  Graph g = KarateClub();
+  CommunityState state(g);
+  state.Add(5);
+  state.Add(6);
+  state.Clear();
+  EXPECT_EQ(state.stats().size, 0u);
+  EXPECT_TRUE(state.Frontier().empty());
+  EXPECT_TRUE(state.members().empty());
+  state.Add(5);  // reusable after Clear
+  EXPECT_EQ(state.stats().size, 1u);
+}
+
+TEST(CommunityStateTest, ToCommunityIsSorted) {
+  Graph g = KarateClub();
+  CommunityState state(g);
+  state.Add(20);
+  state.Add(3);
+  state.Add(11);
+  EXPECT_EQ(state.ToCommunity(), (Community{3, 11, 20}));
+}
+
+TEST(ComputeSubsetStatsTest, WholeGraph) {
+  Graph g = KarateClub();
+  Community all(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+  SubsetStats stats = ComputeSubsetStats(g, all);
+  EXPECT_EQ(stats.size, 34u);
+  EXPECT_EQ(stats.ein, 78u);
+  EXPECT_EQ(stats.volume, 156u);
+  EXPECT_EQ(stats.Eout(), 0u);
+}
+
+}  // namespace
+}  // namespace oca

@@ -1,0 +1,96 @@
+#include "core/cover.h"
+
+#include <gtest/gtest.h>
+
+namespace oca {
+namespace {
+
+TEST(CoverTest, CanonicalizeSortsAndDedups) {
+  Cover cover;
+  cover.Add({3, 1, 2, 1});
+  cover.Add({});
+  cover.Add({5, 4});
+  cover.Add({1, 2, 3});  // duplicate of the first after sorting
+  cover.Canonicalize();
+  ASSERT_EQ(cover.size(), 2u);
+  EXPECT_EQ(cover[0], (Community{1, 2, 3}));
+  EXPECT_EQ(cover[1], (Community{4, 5}));
+}
+
+TEST(CoverTest, CoveredNodeCountWithOverlap) {
+  Cover cover;
+  cover.Add({0, 1, 2});
+  cover.Add({2, 3});
+  EXPECT_EQ(cover.CoveredNodeCount(), 4u);
+  EXPECT_EQ(cover.TotalMembership(), 5u);
+}
+
+TEST(CoverTest, UncoveredNodes) {
+  Cover cover;
+  cover.Add({1, 3});
+  auto uncovered = cover.UncoveredNodes(6);
+  EXPECT_EQ(uncovered, (std::vector<NodeId>{0, 2, 4, 5}));
+}
+
+TEST(CoverTest, NodeIndexListsMemberships) {
+  Cover cover;
+  cover.Add({0, 1});
+  cover.Add({1, 2});
+  cover.Add({2, 3});
+  auto index = cover.BuildNodeIndex(4);
+  EXPECT_EQ(index[0], (std::vector<uint32_t>{0}));
+  EXPECT_EQ(index[1], (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(index[2], (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(index[3], (std::vector<uint32_t>{2}));
+}
+
+TEST(CoverTest, SizeExtremes) {
+  Cover cover;
+  EXPECT_EQ(cover.MaxCommunitySize(), 0u);
+  EXPECT_EQ(cover.MinCommunitySize(), 0u);
+  cover.Add({0});
+  cover.Add({1, 2, 3});
+  EXPECT_EQ(cover.MaxCommunitySize(), 3u);
+  EXPECT_EQ(cover.MinCommunitySize(), 1u);
+}
+
+TEST(CoverTest, EqualityAfterCanonicalization) {
+  Cover a, b;
+  a.Add({2, 1});
+  a.Add({3});
+  b.Add({3});
+  b.Add({1, 2});
+  a.Canonicalize();
+  b.Canonicalize();
+  EXPECT_EQ(a, b);
+}
+
+TEST(CoverTest, SummaryMentionsCounts) {
+  Cover cover;
+  cover.Add({0, 1, 2});
+  auto s = cover.Summary();
+  EXPECT_NE(s.find("communities=1"), std::string::npos);
+  EXPECT_NE(s.find("covered_nodes=3"), std::string::npos);
+}
+
+TEST(CoverTest, IterationOrderMatchesIndexing) {
+  Cover cover;
+  cover.Add({0});
+  cover.Add({1});
+  size_t i = 0;
+  for (const auto& c : cover) {
+    EXPECT_EQ(c, cover[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, 2u);
+}
+
+TEST(CoverTest, UncoveredIgnoresOutOfRangeMembers) {
+  Cover cover;
+  cover.Add({1, 99});
+  auto uncovered = cover.UncoveredNodes(3);
+  EXPECT_EQ(uncovered, (std::vector<NodeId>{0, 2}));
+}
+
+}  // namespace
+}  // namespace oca

@@ -1,0 +1,92 @@
+#include "core/halting.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace oca {
+namespace {
+
+TEST(HaltingTest, MaxSeedsFires) {
+  HaltingOptions opt;
+  opt.max_seeds = 3;
+  opt.target_coverage = 2.0;   // disabled
+  opt.stagnation_window = 0;   // disabled
+  HaltingTracker tracker(opt);
+  tracker.RecordSeed(true, 0.1);
+  tracker.RecordSeed(true, 0.2);
+  EXPECT_FALSE(tracker.ShouldStop());
+  tracker.RecordSeed(true, 0.3);
+  EXPECT_TRUE(tracker.ShouldStop());
+  EXPECT_EQ(std::string(tracker.Reason()), "max_seeds");
+}
+
+TEST(HaltingTest, CoverageFires) {
+  HaltingOptions opt;
+  opt.max_seeds = 0;
+  opt.target_coverage = 0.9;
+  opt.stagnation_window = 0;
+  HaltingTracker tracker(opt);
+  tracker.RecordSeed(true, 0.5);
+  EXPECT_FALSE(tracker.ShouldStop());
+  tracker.RecordSeed(true, 0.95);
+  EXPECT_TRUE(tracker.ShouldStop());
+  EXPECT_EQ(std::string(tracker.Reason()), "coverage");
+}
+
+TEST(HaltingTest, StagnationFires) {
+  HaltingOptions opt;
+  opt.max_seeds = 0;
+  opt.target_coverage = 2.0;
+  opt.stagnation_window = 3;
+  HaltingTracker tracker(opt);
+  tracker.RecordSeed(false, 0.1);
+  tracker.RecordSeed(false, 0.1);
+  EXPECT_FALSE(tracker.ShouldStop());
+  tracker.RecordSeed(false, 0.1);
+  EXPECT_TRUE(tracker.ShouldStop());
+  EXPECT_EQ(std::string(tracker.Reason()), "stagnation");
+}
+
+TEST(HaltingTest, NoveltyResetsStagnation) {
+  HaltingOptions opt;
+  opt.target_coverage = 2.0;
+  opt.stagnation_window = 3;
+  HaltingTracker tracker(opt);
+  tracker.RecordSeed(false, 0.1);
+  tracker.RecordSeed(false, 0.1);
+  tracker.RecordSeed(true, 0.2);  // reset
+  tracker.RecordSeed(false, 0.2);
+  tracker.RecordSeed(false, 0.2);
+  EXPECT_FALSE(tracker.ShouldStop());
+  EXPECT_EQ(tracker.consecutive_stale(), 2u);
+  tracker.RecordSeed(false, 0.2);
+  EXPECT_TRUE(tracker.ShouldStop());
+}
+
+TEST(HaltingTest, ReasonEmptyWhileRunning) {
+  HaltingOptions opt;
+  opt.max_seeds = 100;
+  HaltingTracker tracker(opt);
+  EXPECT_FALSE(tracker.ShouldStop());
+  EXPECT_EQ(std::string(tracker.Reason()), "");
+}
+
+TEST(HaltingTest, SeedsRunCounts) {
+  HaltingOptions opt;
+  opt.max_seeds = 10;
+  HaltingTracker tracker(opt);
+  for (int i = 0; i < 5; ++i) tracker.RecordSeed(true, 0.0);
+  EXPECT_EQ(tracker.seeds_run(), 5u);
+}
+
+TEST(HaltingTest, ZeroCoverageTargetStopsImmediately) {
+  HaltingOptions opt;
+  opt.target_coverage = 0.0;
+  HaltingTracker tracker(opt);
+  // Even before any seed, coverage 0 >= 0 fires.
+  EXPECT_TRUE(tracker.ShouldStop());
+}
+
+}  // namespace
+}  // namespace oca

@@ -1,0 +1,121 @@
+#include "core/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/lfr.h"
+#include "testing/test_graphs.h"
+
+namespace oca {
+namespace {
+
+using testing::TwoCliquesBridge;
+
+HierarchyOptions SmallOptions() {
+  HierarchyOptions opt;
+  opt.base.seed = 42;
+  opt.base.halting.max_seeds = 100;
+  return opt;
+}
+
+TEST(HierarchyTest, LevelsMatchResolutionList) {
+  Graph g = TwoCliquesBridge();
+  HierarchyOptions opt = SmallOptions();
+  opt.resolution_fractions = {0.3, 0.7, 1.0};
+  auto h = BuildHierarchy(g, opt).value();
+  ASSERT_EQ(h.levels.size(), 3u);
+  ASSERT_EQ(h.links.size(), 2u);
+  EXPECT_LT(h.levels[0].c, h.levels[1].c);
+  EXPECT_LT(h.levels[1].c, h.levels[2].c);
+}
+
+TEST(HierarchyTest, InvalidResolutionsError) {
+  Graph g = TwoCliquesBridge();
+  HierarchyOptions opt = SmallOptions();
+  opt.resolution_fractions = {};
+  EXPECT_FALSE(BuildHierarchy(g, opt).ok());
+  opt.resolution_fractions = {0.5, 0.4};  // not ascending
+  EXPECT_FALSE(BuildHierarchy(g, opt).ok());
+  opt.resolution_fractions = {0.0, 0.5};  // out of range
+  EXPECT_FALSE(BuildHierarchy(g, opt).ok());
+  opt.resolution_fractions = {0.5, 1.5};
+  EXPECT_FALSE(BuildHierarchy(g, opt).ok());
+}
+
+TEST(HierarchyTest, LinksPointIntoNextLevelWithValidContainment) {
+  LfrOptions lfr;
+  lfr.num_nodes = 300;
+  lfr.average_degree = 12.0;
+  lfr.max_degree = 30;
+  lfr.mixing = 0.2;
+  lfr.min_community = 15;
+  lfr.max_community = 50;
+  lfr.seed = 5;
+  auto bench = GenerateLfr(lfr).value();
+
+  HierarchyOptions opt = SmallOptions();
+  opt.base.halting.max_seeds = 300;
+  opt.resolution_fractions = {0.4, 1.0};
+  auto h = BuildHierarchy(bench.graph, opt).value();
+  ASSERT_EQ(h.links.size(), 1u);
+  ASSERT_EQ(h.links[0].size(), h.levels[0].cover.size());
+  for (const auto& link : h.links[0]) {
+    if (link.parent_index == Hierarchy::kNoParent) continue;
+    EXPECT_LT(link.parent_index, h.levels[1].cover.size());
+    EXPECT_GT(link.containment, 0.0);
+    EXPECT_LE(link.containment, 1.0);
+  }
+}
+
+TEST(HierarchyTest, FullResolutionLevelMatchesFlatOca) {
+  Graph g = TwoCliquesBridge();
+  HierarchyOptions opt = SmallOptions();
+  opt.resolution_fractions = {1.0};
+  auto h = BuildHierarchy(g, opt).value();
+
+  OcaOptions flat;
+  flat.seed = 42;
+  flat.halting.max_seeds = 100;
+  auto direct = RunOca(g, flat).value();
+  EXPECT_EQ(h.levels[0].cover, direct.cover);
+}
+
+TEST(HierarchyTest, FinerLevelsHaveSmallerOrEqualCommunities) {
+  LfrOptions lfr;
+  lfr.num_nodes = 300;
+  lfr.average_degree = 14.0;
+  lfr.max_degree = 35;
+  lfr.mixing = 0.25;
+  lfr.min_community = 20;
+  lfr.max_community = 60;
+  lfr.seed = 9;
+  auto bench = GenerateLfr(lfr).value();
+
+  HierarchyOptions opt = SmallOptions();
+  opt.base.halting.max_seeds = 400;
+  opt.resolution_fractions = {0.2, 1.0};
+  auto h = BuildHierarchy(bench.graph, opt).value();
+  if (h.levels[0].cover.empty() || h.levels[1].cover.empty()) {
+    GTEST_SKIP() << "degenerate covers at this scale";
+  }
+  double avg_fine = static_cast<double>(h.levels[0].cover.TotalMembership()) /
+                    static_cast<double>(h.levels[0].cover.size());
+  double avg_coarse =
+      static_cast<double>(h.levels[1].cover.TotalMembership()) /
+      static_cast<double>(h.levels[1].cover.size());
+  EXPECT_LE(avg_fine, avg_coarse * 1.1)
+      << "low c should not produce coarser communities";
+}
+
+TEST(HierarchyTest, DeterministicPerSeed) {
+  Graph g = TwoCliquesBridge();
+  HierarchyOptions opt = SmallOptions();
+  auto a = BuildHierarchy(g, opt).value();
+  auto b = BuildHierarchy(g, opt).value();
+  ASSERT_EQ(a.levels.size(), b.levels.size());
+  for (size_t i = 0; i < a.levels.size(); ++i) {
+    EXPECT_EQ(a.levels[i].cover, b.levels[i].cover);
+  }
+}
+
+}  // namespace
+}  // namespace oca

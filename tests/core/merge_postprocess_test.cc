@@ -1,0 +1,119 @@
+#include "core/merge_postprocess.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/similarity.h"
+
+namespace oca {
+namespace {
+
+TEST(MergeTest, NearDuplicatesMerge) {
+  Cover cover;
+  cover.Add({0, 1, 2, 3, 4, 5, 6, 7});
+  cover.Add({0, 1, 2, 3, 4, 5, 6, 8});  // rho = 7/9 ~ 0.78
+  MergeOptions opt;
+  opt.similarity_threshold = 0.75;
+  MergeStats stats;
+  Cover merged = MergeSimilarCommunities(cover, opt, &stats);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], (Community{0, 1, 2, 3, 4, 5, 6, 7, 8}));
+  EXPECT_EQ(stats.merges, 1u);
+}
+
+TEST(MergeTest, DissimilarSurvive) {
+  Cover cover;
+  cover.Add({0, 1, 2});
+  cover.Add({3, 4, 5});
+  cover.Add({2, 3});  // small overlaps, low rho
+  MergeOptions opt;
+  opt.similarity_threshold = 0.75;
+  Cover merged = MergeSimilarCommunities(cover, opt);
+  EXPECT_EQ(merged.size(), 3u);
+}
+
+TEST(MergeTest, TransitiveChainsMergeInRounds) {
+  // A ~ B and B ~ C but A !~ C: union-find merges the chain; the merged
+  // community is the union of all three.
+  Cover cover;
+  cover.Add({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  cover.Add({0, 1, 2, 3, 4, 5, 6, 7, 8, 10});
+  cover.Add({0, 1, 2, 3, 4, 5, 6, 7, 10, 11});
+  MergeOptions opt;
+  opt.similarity_threshold = 0.7;
+  Cover merged = MergeSimilarCommunities(cover, opt);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].size(), 12u);
+}
+
+TEST(MergeTest, ThresholdOneMergesOnlyExactDuplicates) {
+  Cover cover;
+  cover.Add({0, 1, 2});
+  cover.Add({0, 1, 2});
+  cover.Add({0, 1, 3});
+  MergeOptions opt;
+  opt.similarity_threshold = 1.0;
+  Cover merged = MergeSimilarCommunities(cover, opt);
+  // Exact duplicates already collapse in canonicalization.
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(MergeTest, MinSizeFilterDropsSmall) {
+  Cover cover;
+  cover.Add({0, 1});
+  cover.Add({2, 3, 4, 5});
+  MergeOptions opt;
+  opt.similarity_threshold = 0.9;
+  opt.min_community_size = 3;
+  MergeStats stats;
+  Cover merged = MergeSimilarCommunities(cover, opt, &stats);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].size(), 4u);
+  EXPECT_EQ(stats.dropped_small, 1u);
+}
+
+TEST(MergeTest, EmptyAndSingletonCovers) {
+  MergeOptions opt;
+  EXPECT_TRUE(MergeSimilarCommunities(Cover{}, opt).empty());
+  Cover one;
+  one.Add({0, 1, 2});
+  Cover merged = MergeSimilarCommunities(one, opt);
+  EXPECT_EQ(merged.size(), 1u);
+}
+
+TEST(MergeTest, MaxRoundsBoundsWork) {
+  Cover cover;
+  cover.Add({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  cover.Add({0, 1, 2, 3, 4, 5, 6, 7, 8, 10});
+  MergeOptions opt;
+  opt.similarity_threshold = 0.7;
+  opt.max_rounds = 1;
+  MergeStats stats;
+  MergeSimilarCommunities(cover, opt, &stats);
+  EXPECT_LE(stats.rounds, 1u);
+}
+
+TEST(MergeTest, MergedCoverIsCanonical) {
+  Cover cover;
+  cover.Add({5, 3, 1});
+  cover.Add({2, 0});
+  Cover merged = MergeSimilarCommunities(cover, MergeOptions{});
+  for (const auto& c : merged) {
+    EXPECT_TRUE(std::is_sorted(c.begin(), c.end()));
+  }
+}
+
+TEST(MergeTest, DisjointPairsNeverConsidered) {
+  // 1000 disjoint pairs: inverted-index discovery must not blow up and
+  // nothing merges.
+  Cover cover;
+  for (NodeId v = 0; v < 2000; v += 2) {
+    cover.Add({v, static_cast<NodeId>(v + 1)});
+  }
+  MergeOptions opt;
+  opt.similarity_threshold = 0.5;
+  Cover merged = MergeSimilarCommunities(cover, opt);
+  EXPECT_EQ(merged.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace oca

@@ -1,0 +1,107 @@
+#include "core/orphan_assignment.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace oca {
+namespace {
+
+using testing::TwoCliquesBridge;
+
+TEST(OrphanTest, AssignsToPluralityCommunity) {
+  Graph g = TwoCliquesBridge();
+  Cover cover;
+  cover.Add({0, 1, 2, 3});  // clique 1 minus node 4
+  cover.Add({5, 6, 7, 8, 9});
+  OrphanAssignmentStats stats;
+  Cover result = AssignOrphans(g, cover, true, &stats);
+  EXPECT_EQ(stats.assigned, 1u);
+  // Node 4 has 4 neighbors in community 0 and 1 (node 5) in community 1.
+  bool in_first = std::binary_search(result[0].begin(), result[0].end(),
+                                     NodeId{4}) ||
+                  std::binary_search(result[1].begin(), result[1].end(),
+                                     NodeId{4});
+  EXPECT_TRUE(in_first);
+  EXPECT_TRUE(result.UncoveredNodes(g.num_nodes()).empty());
+}
+
+TEST(OrphanTest, ChainResolvesOverRounds) {
+  // Path 0-1-2-3-4 with only {0,1} covered: 2 then 3 then 4 join in
+  // successive rounds.
+  Graph g = testing::Path5();
+  Cover cover;
+  cover.Add({0, 1});
+  OrphanAssignmentStats stats;
+  Cover result = AssignOrphans(g, cover, true, &stats);
+  EXPECT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], (Community{0, 1, 2, 3, 4}));
+  EXPECT_GE(stats.rounds, 3u);
+  EXPECT_EQ(stats.unassignable, 0u);
+}
+
+TEST(OrphanTest, SingleRoundLeavesChain) {
+  Graph g = testing::Path5();
+  Cover cover;
+  cover.Add({0, 1});
+  OrphanAssignmentStats stats;
+  Cover result = AssignOrphans(g, cover, false, &stats);
+  EXPECT_EQ(result[0], (Community{0, 1, 2}));
+  EXPECT_EQ(stats.unassignable, 2u);
+}
+
+TEST(OrphanTest, IsolatedComponentStaysUncovered) {
+  Graph g = testing::ThreeComponents();  // triangle + edge + isolated
+  Cover cover;
+  cover.Add({0, 1, 2});
+  OrphanAssignmentStats stats;
+  Cover result = AssignOrphans(g, cover, true, &stats);
+  auto uncovered = result.UncoveredNodes(g.num_nodes());
+  EXPECT_EQ(uncovered, (std::vector<NodeId>{3, 4, 5}));
+  EXPECT_EQ(stats.unassignable, 3u);
+}
+
+TEST(OrphanTest, TieBreaksTowardSmallerCommunityIndex) {
+  // Node 2 adjacent to one node of each community.
+  Graph g = BuildGraph(5, {{0, 2}, {1, 2}, {0, 3}, {1, 4}}).value();
+  Cover cover;
+  cover.Add({0, 3});
+  cover.Add({1, 4});
+  Cover result = AssignOrphans(g, cover, true, nullptr);
+  // One vote each -> community 0 wins the tie.
+  EXPECT_TRUE(std::binary_search(result[0].begin(), result[0].end(),
+                                 NodeId{2}));
+}
+
+TEST(OrphanTest, MultiMembershipNeighborsVoteEverywhere) {
+  // Neighbor 1 belongs to two communities; orphan 0's vote counts for
+  // both, and the smaller index wins.
+  Graph g = BuildGraph(4, {{0, 1}, {1, 2}, {1, 3}}).value();
+  Cover cover;
+  cover.Add({1, 2});
+  cover.Add({1, 3});
+  Cover result = AssignOrphans(g, cover, true, nullptr);
+  EXPECT_TRUE(std::binary_search(result[0].begin(), result[0].end(),
+                                 NodeId{0}));
+}
+
+TEST(OrphanTest, NoOrphansIsNoOp) {
+  Graph g = testing::Triangle();
+  Cover cover;
+  cover.Add({0, 1, 2});
+  OrphanAssignmentStats stats;
+  Cover result = AssignOrphans(g, cover, true, &stats);
+  EXPECT_EQ(stats.assigned, 0u);
+  EXPECT_EQ(result.size(), 1u);
+}
+
+TEST(OrphanTest, EmptyCoverLeavesEveryoneOrphan) {
+  Graph g = testing::Triangle();
+  OrphanAssignmentStats stats;
+  Cover result = AssignOrphans(g, Cover{}, true, &stats);
+  EXPECT_TRUE(result.empty());
+  EXPECT_EQ(stats.unassignable, 3u);
+}
+
+}  // namespace
+}  // namespace oca

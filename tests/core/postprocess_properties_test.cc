@@ -1,0 +1,105 @@
+// Idempotence and stability properties of the postprocessing stages.
+
+#include <gtest/gtest.h>
+
+#include "core/merge_postprocess.h"
+#include "core/orphan_assignment.h"
+#include "gen/erdos_renyi.h"
+#include "testing/test_graphs.h"
+#include "util/random.h"
+
+namespace oca {
+namespace {
+
+Cover RandomCover(Rng* rng, size_t universe, size_t communities) {
+  Cover cover;
+  for (size_t i = 0; i < communities; ++i) {
+    Community c;
+    size_t size = 3 + rng->NextBounded(12);
+    for (size_t j = 0; j < size; ++j) {
+      c.push_back(static_cast<NodeId>(rng->NextBounded(universe)));
+    }
+    cover.Add(std::move(c));
+  }
+  cover.Canonicalize();
+  return cover;
+}
+
+class PostprocessSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PostprocessSweepTest, MergeIsIdempotent) {
+  Rng rng(GetParam());
+  Cover cover = RandomCover(&rng, 50, 12);
+  MergeOptions opt;
+  opt.similarity_threshold = 0.5;
+  Cover once = MergeSimilarCommunities(cover, opt);
+  Cover twice = MergeSimilarCommunities(once, opt);
+  EXPECT_EQ(once, twice);
+}
+
+TEST_P(PostprocessSweepTest, MergeNeverLosesNodes) {
+  Rng rng(GetParam() ^ 0x5555);
+  Cover cover = RandomCover(&rng, 60, 10);
+  size_t covered_before = cover.CoveredNodeCount();
+  MergeOptions opt;
+  opt.similarity_threshold = 0.4;
+  opt.min_community_size = 0;  // no size filter: node set must be stable
+  Cover merged = MergeSimilarCommunities(cover, opt);
+  EXPECT_EQ(merged.CoveredNodeCount(), covered_before);
+}
+
+TEST_P(PostprocessSweepTest, MergeMonotoneInThreshold) {
+  // A lower threshold can only merge more (weakly fewer communities).
+  Rng rng(GetParam() ^ 0xAAAA);
+  Cover cover = RandomCover(&rng, 40, 10);
+  size_t prev = 0;
+  bool first = true;
+  for (double threshold : {0.3, 0.5, 0.7, 0.9, 1.01}) {
+    MergeOptions opt;
+    opt.similarity_threshold = threshold;
+    size_t count = MergeSimilarCommunities(cover, opt).size();
+    if (!first) {
+      EXPECT_GE(count, prev) << "threshold " << threshold;
+    }
+    prev = count;
+    first = false;
+  }
+}
+
+TEST_P(PostprocessSweepTest, OrphanAssignmentIsIdempotent) {
+  Rng rng(GetParam() ^ 0x1234);
+  Graph g = ErdosRenyi(60, 0.08, &rng).value();
+  Cover cover = RandomCover(&rng, 60, 4);
+  Cover once = AssignOrphans(g, cover, true);
+  Cover twice = AssignOrphans(g, once, true);
+  EXPECT_EQ(once, twice);
+}
+
+TEST_P(PostprocessSweepTest, OrphanAssignmentOnlyGrowsCommunities) {
+  Rng rng(GetParam() ^ 0x9876);
+  Graph g = ErdosRenyi(60, 0.1, &rng).value();
+  Cover cover = RandomCover(&rng, 60, 4);
+  Cover before = cover;
+  before.Canonicalize();
+  Cover after = AssignOrphans(g, cover, true);
+  // Every original community survives as a subset of some community.
+  for (const auto& original : before) {
+    bool contained = false;
+    for (const auto& grown : after) {
+      if (std::includes(grown.begin(), grown.end(), original.begin(),
+                        original.end())) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained);
+  }
+  // Coverage never shrinks.
+  EXPECT_GE(after.CoveredNodeCount(), before.CoveredNodeCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PostprocessSweepTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace oca

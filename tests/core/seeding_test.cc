@@ -1,0 +1,126 @@
+#include "core/seeding.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testing/test_graphs.h"
+
+namespace oca {
+namespace {
+
+using testing::KarateClub;
+using testing::Star;
+
+TEST(SeederTest, NodeOnlyMode) {
+  Graph g = KarateClub();
+  SeedingOptions opt;
+  opt.mode = SeedMode::kNodeOnly;
+  Seeder seeder(g, opt, Rng(1));
+  auto set = seeder.BuildSeedSet(5);
+  EXPECT_EQ(set, (Community{5}));
+}
+
+TEST(SeederTest, ClosedNeighborhoodMode) {
+  Graph g = Star(6);
+  SeedingOptions opt;
+  opt.mode = SeedMode::kClosedNeighborhood;
+  Seeder seeder(g, opt, Rng(2));
+  auto set = seeder.BuildSeedSet(0);
+  std::sort(set.begin(), set.end());
+  EXPECT_EQ(set.size(), 7u);  // center + 6 leaves
+}
+
+TEST(SeederTest, RandomNeighborhoodKeepsSubset) {
+  Graph g = Star(20);
+  SeedingOptions opt;
+  opt.mode = SeedMode::kRandomNeighborhood;
+  opt.neighbor_keep_probability = 0.5;
+  Seeder seeder(g, opt, Rng(3));
+  auto set = seeder.BuildSeedSet(0);
+  EXPECT_GE(set.size(), 2u);   // seed + at least one neighbor
+  EXPECT_LE(set.size(), 21u);
+  EXPECT_EQ(set[0], 0u);
+}
+
+TEST(SeederTest, RandomNeighborhoodNeverEmptyBesideIsolated) {
+  // Even with keep probability 0 a non-isolated seed gets one neighbor.
+  Graph g = Star(5);
+  SeedingOptions opt;
+  opt.mode = SeedMode::kRandomNeighborhood;
+  opt.neighbor_keep_probability = 0.0;
+  Seeder seeder(g, opt, Rng(4));
+  auto set = seeder.BuildSeedSet(1);  // a leaf
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(SeederTest, IsolatedSeedIsSingleton) {
+  Graph g = BuildGraph(3, {{0, 1}}).value();
+  SeedingOptions opt;
+  opt.mode = SeedMode::kRandomNeighborhood;
+  Seeder seeder(g, opt, Rng(5));
+  EXPECT_EQ(seeder.BuildSeedSet(2), (Community{2}));
+}
+
+TEST(SeederTest, UncoveredFirstAvoidsCoveredNodes) {
+  Graph g = KarateClub();
+  SeedingOptions opt;
+  opt.selection = SeedSelection::kUncoveredFirst;
+  Seeder seeder(g, opt, Rng(6));
+  Community covered;
+  for (NodeId v = 0; v < 30; ++v) covered.push_back(v);
+  seeder.MarkCovered(covered);
+  // Remaining uncovered: 30..33. All draws must land there.
+  for (int i = 0; i < 50; ++i) {
+    NodeId seed = seeder.NextSeedNode();
+    EXPECT_GE(seed, 30u);
+  }
+}
+
+TEST(SeederTest, FullCoverageFallsBackToUniform) {
+  Graph g = Star(4);
+  SeedingOptions opt;
+  opt.selection = SeedSelection::kUncoveredFirst;
+  Seeder seeder(g, opt, Rng(7));
+  Community all = {0, 1, 2, 3, 4};
+  seeder.MarkCovered(all);
+  EXPECT_DOUBLE_EQ(seeder.CoverageFraction(), 1.0);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(seeder.NextSeedNode());
+  EXPECT_GT(seen.size(), 1u);  // still draws, uniformly
+}
+
+TEST(SeederTest, CoverageFractionTracksMarks) {
+  Graph g = Star(9);  // 10 nodes
+  Seeder seeder(g, SeedingOptions{}, Rng(8));
+  EXPECT_DOUBLE_EQ(seeder.CoverageFraction(), 0.0);
+  seeder.MarkCovered({0, 1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(seeder.CoverageFraction(), 0.5);
+  seeder.MarkCovered({0, 1});  // repeats don't double count
+  EXPECT_DOUBLE_EQ(seeder.CoverageFraction(), 0.5);
+  EXPECT_EQ(seeder.covered_count(), 5u);
+}
+
+TEST(SeederTest, DeterministicPerRng) {
+  Graph g = KarateClub();
+  SeedingOptions opt;
+  Seeder a(g, opt, Rng(9));
+  Seeder b(g, opt, Rng(9));
+  for (int i = 0; i < 20; ++i) {
+    NodeId sa = a.NextSeedNode();
+    NodeId sb = b.NextSeedNode();
+    EXPECT_EQ(sa, sb);
+    EXPECT_EQ(a.BuildSeedSet(sa), b.BuildSeedSet(sb));
+  }
+}
+
+TEST(SeedModeNameTest, AllNamed) {
+  EXPECT_EQ(SeedModeName(SeedMode::kNodeOnly), "node_only");
+  EXPECT_EQ(SeedModeName(SeedMode::kClosedNeighborhood),
+            "closed_neighborhood");
+  EXPECT_EQ(SeedModeName(SeedMode::kRandomNeighborhood),
+            "random_neighborhood");
+}
+
+}  // namespace
+}  // namespace oca

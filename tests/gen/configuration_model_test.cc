@@ -1,0 +1,92 @@
+#include "gen/configuration_model.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_checks.h"
+
+namespace oca {
+namespace {
+
+TEST(ConfigurationModelTest, OddDegreeSumErrors) {
+  Rng rng(1);
+  auto result = ConfigurationModel({1, 1, 1}, &rng);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(ConfigurationModelTest, RealizesSimpleSequencesExactly) {
+  Rng rng(2);
+  // Regular-ish sequences on enough nodes almost always repair fully.
+  std::vector<uint32_t> degrees(100, 4);
+  ConfigurationModelStats stats;
+  Graph g = ConfigurationModel(degrees, &rng, &stats).value();
+  EXPECT_TRUE(ValidateGraph(g).ok());
+  EXPECT_EQ(stats.requested_edges, 200u);
+  EXPECT_EQ(stats.realized_edges + stats.erased_edges, 200u);
+  // Degrees must match except for erased stubs.
+  size_t deficit = 0;
+  for (NodeId v = 0; v < 100; ++v) {
+    EXPECT_LE(g.Degree(v), 4u);
+    deficit += 4 - g.Degree(v);
+  }
+  EXPECT_EQ(deficit, 2 * stats.erased_edges);
+}
+
+TEST(ConfigurationModelTest, ZeroDegreesYieldIsolatedNodes) {
+  Rng rng(3);
+  Graph g = ConfigurationModel({0, 0, 2, 2, 0}, &rng).value();
+  EXPECT_EQ(g.Degree(0), 0u);
+  EXPECT_EQ(g.Degree(4), 0u);
+  // Nodes 2,3 must be joined (only way to pair 4 stubs simply: edge 2-3
+  // once; the duplicate pair is erased or swapped away).
+  EXPECT_TRUE(ValidateGraph(g).ok());
+}
+
+TEST(ConfigurationModelTest, EmptySequence) {
+  Rng rng(4);
+  Graph g = ConfigurationModel({}, &rng).value();
+  EXPECT_EQ(g.num_nodes(), 0u);
+}
+
+TEST(ConfigurationModelTest, DeterministicPerRngState) {
+  std::vector<uint32_t> degrees(60, 3);
+  Rng a(77), b(77);
+  Graph ga = ConfigurationModel(degrees, &a).value();
+  Graph gb = ConfigurationModel(degrees, &b).value();
+  EXPECT_EQ(ga.Edges(), gb.Edges());
+}
+
+TEST(ConfigurationModelTest, HeavyTailSequenceStaysSimple) {
+  Rng rng(5);
+  // One hub of degree 30 among degree-2 nodes: forces conflicts, tests
+  // the repair path.
+  std::vector<uint32_t> degrees(101, 2);
+  degrees[0] = 30;
+  ConfigurationModelStats stats;
+  Graph g = ConfigurationModel(degrees, &rng, &stats).value();
+  EXPECT_TRUE(ValidateGraph(g).ok());
+  EXPECT_LE(g.Degree(0), 30u);
+}
+
+TEST(ConfigurationModelEdgesTest, EmitsCanonicalEdges) {
+  Rng rng(6);
+  auto edges = ConfigurationModelEdges({3, 3, 3, 3, 2, 2}, &rng).value();
+  for (auto [u, v] : edges) {
+    EXPECT_NE(u, v);
+    EXPECT_LT(u, 6u);
+    EXPECT_LT(v, 6u);
+  }
+}
+
+TEST(ConfigurationModelTest, StatsAccounting) {
+  Rng rng(7);
+  std::vector<uint32_t> degrees(40, 6);
+  ConfigurationModelStats stats;
+  ConfigurationModel(degrees, &rng, &stats).value();
+  EXPECT_EQ(stats.requested_edges, 120u);
+  EXPECT_EQ(stats.realized_edges + stats.erased_edges,
+            stats.requested_edges);
+}
+
+}  // namespace
+}  // namespace oca

@@ -1,0 +1,148 @@
+#include "gen/daisy.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_checks.h"
+#include "metrics/similarity.h"
+
+namespace oca {
+namespace {
+
+DaisyOptions DenseDaisy() {
+  DaisyOptions opt;
+  opt.p = 6;
+  opt.q = 5;
+  opt.n = 90;
+  opt.alpha = 1.0;  // deterministic edges for structure tests
+  opt.beta = 1.0;
+  return opt;
+}
+
+TEST(DaisyTest, GroundTruthLayout) {
+  Rng rng(1);
+  auto bench = GenerateDaisy(DenseDaisy(), &rng).value();
+  // p-1 petals + core.
+  EXPECT_EQ(bench.ground_truth.size(), 6u);
+  EXPECT_TRUE(ValidateGraph(bench.graph).ok());
+
+  // Petal i = {v : v = i mod 6}, i in 1..5, each of size 15.
+  // Core = {v = 0 mod 6} u {v = 0 mod 5}: 15 + 18 - 3 = 30 nodes.
+  size_t core_count = 0, petal_count = 0;
+  for (const auto& c : bench.ground_truth) {
+    if (c.size() == 30) {
+      ++core_count;
+    } else if (c.size() == 15) {
+      ++petal_count;
+    } else {
+      FAIL() << "unexpected community size " << c.size();
+    }
+  }
+  EXPECT_EQ(core_count, 1u);
+  EXPECT_EQ(petal_count, 5u);
+}
+
+TEST(DaisyTest, OverlapNodesInPetalAndCore) {
+  Rng rng(2);
+  auto bench = GenerateDaisy(DenseDaisy(), &rng).value();
+  // Node 25: 25 mod 6 = 1 (petal 1), 25 mod 5 = 0 (core) -> overlapping.
+  size_t memberships = 0;
+  for (const auto& c : bench.ground_truth) {
+    if (std::binary_search(c.begin(), c.end(), NodeId{25})) ++memberships;
+  }
+  EXPECT_EQ(memberships, 2u);
+}
+
+TEST(DaisyTest, FullProbabilityMakesPetalsCliques) {
+  Rng rng(3);
+  auto bench = GenerateDaisy(DenseDaisy(), &rng).value();
+  // Check petal 1 = {1, 7, 13, ...} is a clique.
+  std::vector<NodeId> petal;
+  for (NodeId v = 1; v < 90; v += 6) petal.push_back(v);
+  for (size_t i = 0; i < petal.size(); ++i) {
+    for (size_t j = i + 1; j < petal.size(); ++j) {
+      EXPECT_TRUE(bench.graph.HasEdge(petal[i], petal[j]));
+    }
+  }
+}
+
+TEST(DaisyTest, ZeroProbabilityIsEdgeless) {
+  DaisyOptions opt = DenseDaisy();
+  opt.alpha = 0.0;
+  opt.beta = 0.0;
+  Rng rng(4);
+  auto bench = GenerateDaisy(opt, &rng).value();
+  EXPECT_EQ(bench.graph.num_edges(), 0u);
+}
+
+TEST(DaisyTest, InvalidOptionsError) {
+  Rng rng(5);
+  DaisyOptions opt = DenseDaisy();
+  opt.p = 1;
+  EXPECT_FALSE(GenerateDaisy(opt, &rng).ok());
+  opt = DenseDaisy();
+  opt.q = 0;
+  EXPECT_FALSE(GenerateDaisy(opt, &rng).ok());
+  opt = DenseDaisy();
+  opt.n = 3;  // < p
+  EXPECT_FALSE(GenerateDaisy(opt, &rng).ok());
+  opt = DenseDaisy();
+  opt.alpha = 1.5;
+  EXPECT_FALSE(GenerateDaisy(opt, &rng).ok());
+}
+
+TEST(DaisyTreeTest, SizesScaleWithK) {
+  DaisyTreeOptions opt;
+  opt.daisy = DenseDaisy();
+  opt.extra_daisies = 4;
+  opt.gamma = 0.05;
+  opt.seed = 6;
+  auto bench = GenerateDaisyTree(opt).value();
+  EXPECT_EQ(bench.graph.num_nodes(), 90u * 5u);
+  // 5 daisies x 6 communities.
+  EXPECT_EQ(bench.ground_truth.size(), 30u);
+  EXPECT_TRUE(ValidateGraph(bench.graph).ok());
+}
+
+TEST(DaisyTreeTest, JoinEdgesConnectDaisies) {
+  DaisyTreeOptions opt;
+  opt.daisy = DenseDaisy();
+  opt.extra_daisies = 3;
+  opt.gamma = 1.0;  // every inter-petal pair joined
+  opt.seed = 7;
+  auto bench = GenerateDaisyTree(opt).value();
+  // With gamma=1 some edge must cross the first daisy boundary.
+  bool crossing = false;
+  bench.graph.ForEachEdge([&crossing](NodeId u, NodeId v) {
+    if (u < 90 && v >= 90) crossing = true;
+  });
+  EXPECT_TRUE(crossing);
+}
+
+TEST(DaisyTreeTest, ZeroGammaKeepsDaisiesDisconnected) {
+  DaisyTreeOptions opt;
+  opt.daisy = DenseDaisy();
+  opt.extra_daisies = 2;
+  opt.gamma = 0.0;
+  opt.seed = 8;
+  auto bench = GenerateDaisyTree(opt).value();
+  bench.graph.ForEachEdge([](NodeId u, NodeId v) {
+    EXPECT_EQ(u / 90, v / 90) << "edge crosses daisies despite gamma=0";
+  });
+}
+
+TEST(DaisyTreeTest, DeterministicPerSeed) {
+  DaisyTreeOptions opt;
+  opt.daisy = DenseDaisy();
+  opt.daisy.alpha = 0.7;
+  opt.daisy.beta = 0.6;
+  opt.extra_daisies = 3;
+  opt.gamma = 0.1;
+  opt.seed = 99;
+  auto a = GenerateDaisyTree(opt).value();
+  auto b = GenerateDaisyTree(opt).value();
+  EXPECT_EQ(a.graph.Edges(), b.graph.Edges());
+  EXPECT_EQ(a.ground_truth, b.ground_truth);
+}
+
+}  // namespace
+}  // namespace oca

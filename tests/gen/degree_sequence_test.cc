@@ -1,0 +1,103 @@
+#include "gen/degree_sequence.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace oca {
+namespace {
+
+TEST(PowerLawMeanTest, DegenerateRange) {
+  EXPECT_DOUBLE_EQ(PowerLawMean(5, 5, 2.0), 5.0);
+}
+
+TEST(PowerLawMeanTest, MonotoneInMin) {
+  double prev = 0.0;
+  for (uint64_t min = 1; min <= 20; ++min) {
+    double mean = PowerLawMean(min, 50, 2.0);
+    EXPECT_GT(mean, prev);
+    prev = mean;
+  }
+}
+
+TEST(PowerLawMeanTest, BoundedByRange) {
+  double mean = PowerLawMean(3, 30, 2.5);
+  EXPECT_GT(mean, 3.0);
+  EXPECT_LT(mean, 30.0);
+}
+
+TEST(SolveMinDegreeTest, RecoversTarget) {
+  uint64_t min = SolveMinDegree(20.0, 150, 2.0).value();
+  double mean = PowerLawMean(min, 150, 2.0);
+  EXPECT_GE(mean, 20.0);
+  if (min > 1) {
+    EXPECT_LT(PowerLawMean(min - 1, 150, 2.0), 20.0);
+  }
+}
+
+TEST(SolveMinDegreeTest, InfeasibleTargetErrors) {
+  auto result = SolveMinDegree(200.0, 150, 2.0);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(SamplePowerLawSequenceTest, RespectsBoundsAndParity) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto seq = SamplePowerLawSequence(501, 5, 50, 2.0, &rng);
+    ASSERT_EQ(seq.size(), 501u);
+    uint64_t sum = 0;
+    for (uint32_t d : seq) {
+      EXPECT_GE(d, 5u);
+      EXPECT_LE(d, 50u);
+      sum += d;
+    }
+    EXPECT_EQ(sum % 2, 0u) << "stub count must be even";
+  }
+}
+
+TEST(SamplePowerLawSequenceTest, MeanTracksAnalytic) {
+  Rng rng(9);
+  auto seq = SamplePowerLawSequence(20000, 10, 100, 2.0, &rng);
+  double mean = std::accumulate(seq.begin(), seq.end(), 0.0) / seq.size();
+  double expected = PowerLawMean(10, 100, 2.0);
+  EXPECT_NEAR(mean, expected, expected * 0.05);
+}
+
+TEST(SampleCommunitySizesTest, SumsExactlyToTotal) {
+  Rng rng(17);
+  for (size_t total : {100u, 1000u, 10000u}) {
+    auto sizes = SampleCommunitySizes(total, 20, 100, 1.0, &rng).value();
+    size_t sum = 0;
+    for (uint32_t s : sizes) sum += s;
+    EXPECT_EQ(sum, total);
+  }
+}
+
+TEST(SampleCommunitySizesTest, RespectsBoundsMostly) {
+  Rng rng(23);
+  auto sizes = SampleCommunitySizes(5000, 20, 100, 1.0, &rng).value();
+  // All but possibly the last adjusted community obey the bounds.
+  size_t violations = 0;
+  for (uint32_t s : sizes) {
+    if (s < 20 || s > 100) ++violations;
+  }
+  EXPECT_LE(violations, 1u);
+}
+
+TEST(SampleCommunitySizesTest, InvalidBoundsError) {
+  Rng rng(1);
+  EXPECT_FALSE(SampleCommunitySizes(100, 0, 10, 1.0, &rng).ok());
+  EXPECT_FALSE(SampleCommunitySizes(100, 30, 10, 1.0, &rng).ok());
+  EXPECT_FALSE(SampleCommunitySizes(5, 10, 20, 1.0, &rng).ok());
+}
+
+TEST(SampleCommunitySizesTest, SingleCommunityWhenTotalFits) {
+  Rng rng(29);
+  auto sizes = SampleCommunitySizes(50, 20, 100, 1.0, &rng).value();
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes[0], 50u);
+}
+
+}  // namespace
+}  // namespace oca

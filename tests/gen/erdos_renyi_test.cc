@@ -1,0 +1,78 @@
+#include "gen/erdos_renyi.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_checks.h"
+
+namespace oca {
+namespace {
+
+TEST(ErdosRenyiTest, ProbabilityZeroIsEdgeless) {
+  Rng rng(1);
+  Graph g = ErdosRenyi(50, 0.0, &rng).value();
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(ErdosRenyiTest, ProbabilityOneIsComplete) {
+  Rng rng(2);
+  Graph g = ErdosRenyi(20, 1.0, &rng).value();
+  EXPECT_EQ(g.num_edges(), 190u);  // C(20,2)
+}
+
+TEST(ErdosRenyiTest, InvalidProbabilityErrors) {
+  Rng rng(3);
+  EXPECT_FALSE(ErdosRenyi(10, -0.1, &rng).ok());
+  EXPECT_FALSE(ErdosRenyi(10, 1.5, &rng).ok());
+}
+
+TEST(ErdosRenyiTest, EdgeCountNearExpectation) {
+  Rng rng(4);
+  const size_t n = 500;
+  const double p = 0.02;
+  double expected = p * n * (n - 1) / 2.0;  // 2495
+  double total = 0;
+  for (int i = 0; i < 10; ++i) {
+    total += static_cast<double>(ErdosRenyi(n, p, &rng).value().num_edges());
+  }
+  EXPECT_NEAR(total / 10.0, expected, expected * 0.06);
+}
+
+TEST(ErdosRenyiTest, OutputIsValidSimpleGraph) {
+  Rng rng(5);
+  Graph g = ErdosRenyi(200, 0.05, &rng).value();
+  EXPECT_TRUE(ValidateGraph(g).ok());
+}
+
+TEST(ErdosRenyiTest, SmallGraphs) {
+  Rng rng(6);
+  EXPECT_EQ(ErdosRenyi(0, 0.5, &rng).value().num_nodes(), 0u);
+  EXPECT_EQ(ErdosRenyi(1, 0.5, &rng).value().num_edges(), 0u);
+}
+
+TEST(ErdosRenyiMTest, ExactEdgeCount) {
+  Rng rng(7);
+  Graph g = ErdosRenyiM(100, 321, &rng).value();
+  EXPECT_EQ(g.num_edges(), 321u);
+  EXPECT_TRUE(ValidateGraph(g).ok());
+}
+
+TEST(ErdosRenyiMTest, TooManyEdgesErrors) {
+  Rng rng(8);
+  EXPECT_FALSE(ErdosRenyiM(5, 11, &rng).ok());  // C(5,2)=10
+}
+
+TEST(ErdosRenyiMTest, CompleteGraphReachable) {
+  Rng rng(9);
+  Graph g = ErdosRenyiM(6, 15, &rng).value();
+  EXPECT_EQ(g.num_edges(), 15u);
+}
+
+TEST(ErdosRenyiTest, DeterministicPerSeed) {
+  Rng a(42), b(42);
+  Graph ga = ErdosRenyi(80, 0.1, &a).value();
+  Graph gb = ErdosRenyi(80, 0.1, &b).value();
+  EXPECT_EQ(ga.Edges(), gb.Edges());
+}
+
+}  // namespace
+}  // namespace oca

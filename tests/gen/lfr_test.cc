@@ -1,0 +1,205 @@
+#include "gen/lfr.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/degree_stats.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_checks.h"
+
+namespace oca {
+namespace {
+
+LfrOptions SmallLfr(double mu, uint64_t seed = 42) {
+  LfrOptions opt;
+  opt.num_nodes = 1000;
+  opt.average_degree = 15.0;
+  opt.max_degree = 50;
+  opt.mixing = mu;
+  opt.min_community = 20;
+  opt.max_community = 80;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(LfrTest, OutputIsValidSimpleGraph) {
+  auto bench = GenerateLfr(SmallLfr(0.2)).value();
+  EXPECT_TRUE(ValidateGraph(bench.graph).ok());
+  EXPECT_EQ(bench.graph.num_nodes(), 1000u);
+}
+
+TEST(LfrTest, GroundTruthIsPartition) {
+  auto bench = GenerateLfr(SmallLfr(0.3)).value();
+  // Every node in exactly one community.
+  std::vector<int> count(bench.graph.num_nodes(), 0);
+  for (const auto& c : bench.ground_truth) {
+    for (NodeId v : c) ++count[v];
+  }
+  for (int c : count) EXPECT_EQ(c, 1);
+}
+
+TEST(LfrTest, CommunitySizesWithinBounds) {
+  auto bench = GenerateLfr(SmallLfr(0.2)).value();
+  size_t violations = 0;
+  for (const auto& c : bench.ground_truth) {
+    if (c.size() < 20 || c.size() > 80) ++violations;
+  }
+  EXPECT_LE(violations, 1u);  // at most the remainder-adjusted community
+}
+
+TEST(LfrTest, RealizedMixingTracksTarget) {
+  for (double mu : {0.1, 0.3, 0.5}) {
+    LfrStats stats;
+    auto bench = GenerateLfr(SmallLfr(mu, 7), &stats).value();
+    (void)bench;
+    EXPECT_NEAR(stats.realized_mixing, mu, 0.08)
+        << "target mu=" << mu;
+  }
+}
+
+TEST(LfrTest, AverageDegreeNearTarget) {
+  auto bench = GenerateLfr(SmallLfr(0.2)).value();
+  auto stats = ComputeDegreeStats(bench.graph);
+  // Erased conflict edges can shave a little off the target.
+  EXPECT_NEAR(stats.average_degree, 15.0, 3.0);
+  EXPECT_LE(stats.max_degree, 50u);
+}
+
+TEST(LfrTest, DeterministicPerSeed) {
+  auto a = GenerateLfr(SmallLfr(0.3, 99)).value();
+  auto b = GenerateLfr(SmallLfr(0.3, 99)).value();
+  EXPECT_EQ(a.graph.Edges(), b.graph.Edges());
+  EXPECT_EQ(a.ground_truth, b.ground_truth);
+}
+
+TEST(LfrTest, DifferentSeedsDiffer) {
+  auto a = GenerateLfr(SmallLfr(0.3, 1)).value();
+  auto b = GenerateLfr(SmallLfr(0.3, 2)).value();
+  EXPECT_NE(a.graph.Edges(), b.graph.Edges());
+}
+
+TEST(LfrTest, HighMixingStillBuilds) {
+  LfrStats stats;
+  auto bench = GenerateLfr(SmallLfr(0.8), &stats).value();
+  EXPECT_TRUE(ValidateGraph(bench.graph).ok());
+  EXPECT_GT(stats.realized_mixing, 0.6);
+}
+
+TEST(LfrTest, ZeroMixingIsolatesCommunities) {
+  LfrStats stats;
+  auto bench = GenerateLfr(SmallLfr(0.0), &stats).value();
+  EXPECT_LT(stats.realized_mixing, 0.02);
+}
+
+TEST(LfrTest, InvalidOptionsError) {
+  LfrOptions opt = SmallLfr(0.2);
+  opt.mixing = 1.5;
+  EXPECT_FALSE(GenerateLfr(opt).ok());
+
+  opt = SmallLfr(0.2);
+  opt.average_degree = 500.0;  // exceeds max_degree
+  EXPECT_FALSE(GenerateLfr(opt).ok());
+
+  opt = SmallLfr(0.2);
+  opt.min_community = 90;
+  opt.max_community = 80;
+  EXPECT_FALSE(GenerateLfr(opt).ok());
+
+  opt = SmallLfr(0.2);
+  opt.num_nodes = 2;
+  EXPECT_FALSE(GenerateLfr(opt).ok());
+}
+
+TEST(OverlappingLfrTest, OverlapNodesHaveOmMemberships) {
+  LfrOptions opt = SmallLfr(0.2);
+  opt.overlapping_nodes = 100;
+  opt.overlap_memberships = 2;
+  auto bench = GenerateLfr(opt).value();
+  std::vector<int> count(bench.graph.num_nodes(), 0);
+  for (const auto& c : bench.ground_truth) {
+    for (NodeId v : c) ++count[v];
+  }
+  size_t doubles = 0, singles = 0;
+  for (int c : count) {
+    if (c == 2) ++doubles;
+    if (c == 1) ++singles;
+    EXPECT_GE(c, 1);
+    EXPECT_LE(c, 2);
+  }
+  // All slots placed except rare drops.
+  EXPECT_NEAR(static_cast<double>(doubles), 100.0, 5.0);
+  EXPECT_NEAR(static_cast<double>(singles), 900.0, 5.0);
+}
+
+TEST(OverlappingLfrTest, ThreeMemberships) {
+  LfrOptions opt = SmallLfr(0.2);
+  opt.overlapping_nodes = 50;
+  opt.overlap_memberships = 3;
+  auto bench = GenerateLfr(opt).value();
+  EXPECT_TRUE(ValidateGraph(bench.graph).ok());
+  std::vector<int> count(bench.graph.num_nodes(), 0);
+  for (const auto& c : bench.ground_truth) {
+    for (NodeId v : c) ++count[v];
+  }
+  size_t triples = 0;
+  for (int c : count) {
+    if (c == 3) ++triples;
+  }
+  EXPECT_NEAR(static_cast<double>(triples), 50.0, 5.0);
+}
+
+TEST(OverlappingLfrTest, MixingStillTracksWithOverlap) {
+  LfrOptions opt = SmallLfr(0.3, 11);
+  opt.overlapping_nodes = 100;
+  LfrStats stats;
+  auto bench = GenerateLfr(opt, &stats).value();
+  (void)bench;
+  EXPECT_NEAR(stats.realized_mixing, 0.3, 0.1);
+}
+
+TEST(OverlappingLfrTest, MembershipsAreDistinctCommunities) {
+  LfrOptions opt = SmallLfr(0.2, 23);
+  opt.overlapping_nodes = 200;
+  auto bench = GenerateLfr(opt).value();
+  // No community contains the same node twice (Canonicalize dedups, so
+  // compare total membership against per-community sizes directly).
+  for (const auto& c : bench.ground_truth) {
+    EXPECT_TRUE(std::adjacent_find(c.begin(), c.end()) == c.end());
+  }
+}
+
+TEST(OverlappingLfrTest, InvalidOverlapOptionsError) {
+  LfrOptions opt = SmallLfr(0.2);
+  opt.overlapping_nodes = 5000;  // > n
+  EXPECT_FALSE(GenerateLfr(opt).ok());
+  opt = SmallLfr(0.2);
+  opt.overlapping_nodes = 10;
+  opt.overlap_memberships = 1;
+  EXPECT_FALSE(GenerateLfr(opt).ok());
+  opt = SmallLfr(0.2);
+  opt.overlapping_nodes = 10;
+  opt.overlap_memberships = 100;  // more than communities exist
+  EXPECT_FALSE(GenerateLfr(opt).ok());
+}
+
+TEST(OverlappingLfrTest, DeterministicPerSeed) {
+  LfrOptions opt = SmallLfr(0.25, 31);
+  opt.overlapping_nodes = 80;
+  auto a = GenerateLfr(opt).value();
+  auto b = GenerateLfr(opt).value();
+  EXPECT_EQ(a.graph.Edges(), b.graph.Edges());
+  EXPECT_EQ(a.ground_truth, b.ground_truth);
+}
+
+TEST(LfrTest, MeasureMixingOnHandGraph) {
+  // Two triangles joined by one edge; partition = the triangles.
+  Graph g = BuildGraph(6, {{0, 1}, {1, 2}, {0, 2},
+                           {3, 4}, {4, 5}, {3, 5},
+                           {2, 3}}).value();
+  Cover partition;
+  partition.Add({0, 1, 2});
+  partition.Add({3, 4, 5});
+  EXPECT_DOUBLE_EQ(MeasureMixing(g, partition), 1.0 / 7.0);
+}
+
+}  // namespace
+}  // namespace oca

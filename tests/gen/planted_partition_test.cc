@@ -1,0 +1,64 @@
+#include "gen/planted_partition.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_checks.h"
+
+namespace oca {
+namespace {
+
+TEST(PlantedPartitionTest, GroundTruthPartitionsNodes) {
+  Rng rng(1);
+  auto bench = PlantedPartition(100, 4, 0.5, 0.05, &rng).value();
+  EXPECT_EQ(bench.ground_truth.size(), 4u);
+  std::vector<int> count(100, 0);
+  for (const auto& c : bench.ground_truth) {
+    EXPECT_EQ(c.size(), 25u);
+    for (NodeId v : c) ++count[v];
+  }
+  for (int c : count) EXPECT_EQ(c, 1);
+}
+
+TEST(PlantedPartitionTest, DensityContrast) {
+  Rng rng(2);
+  auto bench = PlantedPartition(200, 2, 0.6, 0.02, &rng).value();
+  size_t internal = 0, external = 0;
+  bench.graph.ForEachEdge([&](NodeId u, NodeId v) {
+    if (u % 2 == v % 2) {
+      ++internal;
+    } else {
+      ++external;
+    }
+  });
+  // ~0.6 * 2 * C(100,2) internal vs ~0.02 * 100*100 external.
+  EXPECT_GT(internal, 5000u);
+  EXPECT_LT(external, 400u);
+}
+
+TEST(PlantedPartitionTest, ExtremeProbabilities) {
+  Rng rng(3);
+  auto bench = PlantedPartition(40, 4, 1.0, 0.0, &rng).value();
+  // Four disjoint K10s: 4 * 45 edges.
+  EXPECT_EQ(bench.graph.num_edges(), 180u);
+  EXPECT_TRUE(ValidateGraph(bench.graph).ok());
+}
+
+TEST(PlantedPartitionTest, InvalidParamsError) {
+  Rng rng(4);
+  EXPECT_FALSE(PlantedPartition(10, 0, 0.5, 0.1, &rng).ok());
+  EXPECT_FALSE(PlantedPartition(10, 11, 0.5, 0.1, &rng).ok());
+  EXPECT_FALSE(PlantedPartition(10, 2, 1.5, 0.1, &rng).ok());
+  EXPECT_FALSE(PlantedPartition(10, 2, 0.5, -0.1, &rng).ok());
+}
+
+TEST(PlantedPartitionTest, UnevenGroupSizesWithinOne) {
+  Rng rng(5);
+  auto bench = PlantedPartition(10, 3, 0.5, 0.1, &rng).value();
+  std::vector<size_t> sizes;
+  for (const auto& c : bench.ground_truth) sizes.push_back(c.size());
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<size_t>{3, 3, 4}));
+}
+
+}  // namespace
+}  // namespace oca

@@ -1,0 +1,78 @@
+#include "gen/watts_strogatz.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connected_components.h"
+#include "graph/graph_checks.h"
+#include "graph/traversal.h"
+#include "graph/triangles.h"
+
+namespace oca {
+namespace {
+
+TEST(WattsStrogatzTest, ZeroBetaIsExactLattice) {
+  Rng rng(1);
+  Graph g = WattsStrogatz(20, 4, 0.0, &rng).value();
+  EXPECT_EQ(g.num_edges(), 40u);  // n*k/2
+  for (NodeId v = 0; v < 20; ++v) {
+    EXPECT_EQ(g.Degree(v), 4u);
+    EXPECT_TRUE(g.HasEdge(v, (v + 1) % 20));
+    EXPECT_TRUE(g.HasEdge(v, (v + 2) % 20));
+  }
+  EXPECT_TRUE(ValidateGraph(g).ok());
+}
+
+TEST(WattsStrogatzTest, EdgeCountPreservedUnderRewiring) {
+  Rng rng(2);
+  Graph g = WattsStrogatz(200, 6, 0.3, &rng).value();
+  EXPECT_EQ(g.num_edges(), 600u);
+  EXPECT_TRUE(ValidateGraph(g).ok());
+}
+
+TEST(WattsStrogatzTest, SmallWorldEffect) {
+  // Moderate rewiring shrinks path lengths but keeps clustering well
+  // above the random-graph level — the defining small-world signature.
+  Rng rng1(3), rng2(3);
+  Graph lattice = WattsStrogatz(400, 8, 0.0, &rng1).value();
+  Graph small_world = WattsStrogatz(400, 8, 0.1, &rng2).value();
+
+  auto eccentricity_sum = [](const Graph& g) {
+    uint64_t total = 0;
+    auto dist = BfsDistances(g, 0);
+    for (uint32_t d : dist) {
+      if (d != kUnreachable) total += d;
+    }
+    return total;
+  };
+  EXPECT_LT(eccentricity_sum(small_world), eccentricity_sum(lattice) / 2);
+  EXPECT_GT(GlobalClusteringCoefficient(small_world), 0.2);
+}
+
+TEST(WattsStrogatzTest, HighBetaDestroysClustering) {
+  Rng rng(4);
+  Graph g = WattsStrogatz(500, 6, 1.0, &rng).value();
+  // Fully rewired: clustering near k/n, far below the lattice's ~0.6.
+  EXPECT_LT(GlobalClusteringCoefficient(g), 0.1);
+}
+
+TEST(WattsStrogatzTest, StaysConnectedAtModerateBeta) {
+  Rng rng(5);
+  Graph g = WattsStrogatz(300, 6, 0.2, &rng).value();
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(WattsStrogatzTest, InvalidParamsError) {
+  Rng rng(6);
+  EXPECT_FALSE(WattsStrogatz(10, 3, 0.1, &rng).ok());   // odd k
+  EXPECT_FALSE(WattsStrogatz(10, 10, 0.1, &rng).ok());  // k >= n
+  EXPECT_FALSE(WattsStrogatz(10, 4, 1.5, &rng).ok());   // beta > 1
+}
+
+TEST(WattsStrogatzTest, DeterministicPerSeed) {
+  Rng a(7), b(7);
+  EXPECT_EQ(WattsStrogatz(100, 4, 0.3, &a).value().Edges(),
+            WattsStrogatz(100, 4, 0.3, &b).value().Edges());
+}
+
+}  // namespace
+}  // namespace oca

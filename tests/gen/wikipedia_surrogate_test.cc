@@ -1,0 +1,74 @@
+#include "gen/wikipedia_surrogate.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/degree_stats.h"
+#include "graph/graph_checks.h"
+#include "metrics/cover_stats.h"
+
+namespace oca {
+namespace {
+
+WikipediaSurrogateOptions SmallSurrogate() {
+  WikipediaSurrogateOptions opt;
+  opt.num_nodes = 5000;
+  opt.attachment_edges = 4;
+  opt.num_topics = 40;
+  opt.topic_min_size = 10;
+  opt.topic_max_size = 100;
+  opt.topic_density = 0.3;
+  opt.topic_overlap = 0.2;
+  opt.seed = 42;
+  return opt;
+}
+
+TEST(WikipediaSurrogateTest, ValidGraphWithPlantedTopics) {
+  auto bench = GenerateWikipediaSurrogate(SmallSurrogate()).value();
+  EXPECT_EQ(bench.graph.num_nodes(), 5000u);
+  EXPECT_TRUE(ValidateGraph(bench.graph).ok());
+  EXPECT_EQ(bench.ground_truth.size(), 40u);
+}
+
+TEST(WikipediaSurrogateTest, HeavyTailedDegrees) {
+  auto bench = GenerateWikipediaSurrogate(SmallSurrogate()).value();
+  auto stats = ComputeDegreeStats(bench.graph);
+  EXPECT_GT(static_cast<double>(stats.max_degree),
+            4.0 * stats.average_degree);
+}
+
+TEST(WikipediaSurrogateTest, TopicsOverlap) {
+  auto bench = GenerateWikipediaSurrogate(SmallSurrogate()).value();
+  auto cstats = ComputeCoverStats(bench.graph, bench.ground_truth);
+  EXPECT_GT(cstats.overlapping_nodes, 0u)
+      << "surrogate must produce multi-topic articles";
+}
+
+TEST(WikipediaSurrogateTest, TopicsAreDenserThanBackbone) {
+  auto bench = GenerateWikipediaSurrogate(SmallSurrogate()).value();
+  auto cstats = ComputeCoverStats(bench.graph, bench.ground_truth);
+  // Global density of a 5000-node sparse graph is tiny; topics ~0.3.
+  EXPECT_GT(cstats.average_internal_density, 0.1);
+}
+
+TEST(WikipediaSurrogateTest, DeterministicPerSeed) {
+  auto a = GenerateWikipediaSurrogate(SmallSurrogate()).value();
+  auto b = GenerateWikipediaSurrogate(SmallSurrogate()).value();
+  EXPECT_EQ(a.graph.Edges(), b.graph.Edges());
+  EXPECT_EQ(a.ground_truth, b.ground_truth);
+}
+
+TEST(WikipediaSurrogateTest, InvalidOptionsError) {
+  auto opt = SmallSurrogate();
+  opt.num_nodes = 3;
+  EXPECT_FALSE(GenerateWikipediaSurrogate(opt).ok());
+  opt = SmallSurrogate();
+  opt.topic_min_size = 1;
+  EXPECT_FALSE(GenerateWikipediaSurrogate(opt).ok());
+  opt = SmallSurrogate();
+  opt.topic_min_size = 200;
+  opt.topic_max_size = 100;
+  EXPECT_FALSE(GenerateWikipediaSurrogate(opt).ok());
+}
+
+}  // namespace
+}  // namespace oca

@@ -1,0 +1,63 @@
+#include "graph/connected_components.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace oca {
+namespace {
+
+using testing::KarateClub;
+using testing::ThreeComponents;
+using testing::Triangle;
+
+TEST(ConnectedComponentsTest, SingleComponent) {
+  auto result = ConnectedComponents(Triangle());
+  EXPECT_EQ(result.num_components(), 1u);
+  EXPECT_EQ(result.sizes[0], 3u);
+  EXPECT_EQ(result.label, (std::vector<uint32_t>{0, 0, 0}));
+}
+
+TEST(ConnectedComponentsTest, MultipleComponents) {
+  auto result = ConnectedComponents(ThreeComponents());
+  EXPECT_EQ(result.num_components(), 3u);
+  EXPECT_EQ(result.sizes, (std::vector<size_t>{3, 2, 1}));
+  EXPECT_EQ(result.LargestComponent(), 0u);
+}
+
+TEST(ConnectedComponentsTest, EmptyGraph) {
+  Graph g;
+  auto result = ConnectedComponents(g);
+  EXPECT_EQ(result.num_components(), 0u);
+  EXPECT_TRUE(IsConnected(g));  // vacuously connected
+}
+
+TEST(ConnectedComponentsTest, IsolatedNodesAreSingletons) {
+  Graph g = BuildGraph(4, {{0, 1}}).value();
+  auto result = ConnectedComponents(g);
+  EXPECT_EQ(result.num_components(), 3u);
+  EXPECT_EQ(result.sizes, (std::vector<size_t>{2, 1, 1}));
+}
+
+TEST(IsConnectedTest, RecognizesConnectivity) {
+  EXPECT_TRUE(IsConnected(KarateClub()));
+  EXPECT_FALSE(IsConnected(ThreeComponents()));
+}
+
+TEST(ConnectedComponentsTest, LargestComponentTieGoesToLowerId) {
+  Graph g = BuildGraph(4, {{0, 1}, {2, 3}}).value();
+  auto result = ConnectedComponents(g);
+  EXPECT_EQ(result.num_components(), 2u);
+  EXPECT_EQ(result.LargestComponent(), 0u);
+}
+
+TEST(ConnectedComponentsTest, LabelsArePartition) {
+  auto result = ConnectedComponents(KarateClub());
+  EXPECT_EQ(result.num_components(), 1u);
+  size_t total = 0;
+  for (size_t s : result.sizes) total += s;
+  EXPECT_EQ(total, 34u);
+}
+
+}  // namespace
+}  // namespace oca

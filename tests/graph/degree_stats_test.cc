@@ -1,0 +1,70 @@
+#include "graph/degree_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/barabasi_albert.h"
+#include "testing/test_graphs.h"
+#include "util/random.h"
+
+namespace oca {
+namespace {
+
+using testing::KarateClub;
+using testing::Path5;
+using testing::Star;
+
+TEST(DegreeStatsTest, PathStats) {
+  auto stats = ComputeDegreeStats(Path5());
+  EXPECT_EQ(stats.num_nodes, 5u);
+  EXPECT_EQ(stats.num_edges, 4u);
+  EXPECT_EQ(stats.min_degree, 1u);
+  EXPECT_EQ(stats.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(stats.average_degree, 1.6);
+  EXPECT_DOUBLE_EQ(stats.median_degree, 2.0);
+  EXPECT_EQ(stats.isolated_nodes, 0u);
+  // Histogram: 0 nodes of degree 0, 2 of degree 1, 3 of degree 2.
+  EXPECT_EQ(stats.histogram, (std::vector<size_t>{0, 2, 3}));
+}
+
+TEST(DegreeStatsTest, StarIsSkewed) {
+  auto stats = ComputeDegreeStats(Star(9));
+  EXPECT_EQ(stats.max_degree, 9u);
+  EXPECT_EQ(stats.min_degree, 1u);
+  EXPECT_DOUBLE_EQ(stats.median_degree, 1.0);
+}
+
+TEST(DegreeStatsTest, IsolatedNodesCounted) {
+  Graph g = BuildGraph(5, {{0, 1}}).value();
+  auto stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.isolated_nodes, 3u);
+  EXPECT_EQ(stats.min_degree, 0u);
+}
+
+TEST(DegreeStatsTest, EmptyGraph) {
+  Graph g;
+  auto stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.num_nodes, 0u);
+  EXPECT_TRUE(stats.histogram.empty());
+}
+
+TEST(DegreeStatsTest, ToStringContainsKeyFields) {
+  auto str = ComputeDegreeStats(KarateClub()).ToString();
+  EXPECT_NE(str.find("n=34"), std::string::npos);
+  EXPECT_NE(str.find("m=78"), std::string::npos);
+}
+
+TEST(PowerLawExponentTest, TooFewNodesReturnsZero) {
+  EXPECT_DOUBLE_EQ(EstimatePowerLawExponent(Path5(), 1), 0.0);
+}
+
+TEST(PowerLawExponentTest, ScaleFreeGraphNearThree) {
+  // BA graphs have exponent ~3 in the tail.
+  Rng rng(7);
+  Graph g = BarabasiAlbert(20000, 4, &rng).value();
+  double gamma = EstimatePowerLawExponent(g, 8);
+  EXPECT_GT(gamma, 2.0);
+  EXPECT_LT(gamma, 4.5);
+}
+
+}  // namespace
+}  // namespace oca

@@ -1,0 +1,104 @@
+#include "graph/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_checks.h"
+
+namespace oca {
+namespace {
+
+TEST(GraphBuilderTest, BuildsEmptyGraph) {
+  GraphBuilder builder(4);
+  Graph g = builder.Build().value();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, DropsSelfLoops) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 0);
+  builder.AddEdge(1, 1);
+  builder.AddEdge(0, 1);
+  Graph g = builder.Build().value();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(ValidateGraph(g).ok());
+}
+
+TEST(GraphBuilderTest, DedupsParallelEdges) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);  // same edge, reversed
+  builder.AddEdge(0, 1);  // repeated
+  Graph g = builder.Build().value();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 1u);
+}
+
+TEST(GraphBuilderTest, SymmetrizesOrientation) {
+  GraphBuilder builder(4);
+  builder.AddEdge(3, 1);  // reversed orientation
+  Graph g = builder.Build().value();
+  EXPECT_TRUE(g.HasEdge(1, 3));
+  EXPECT_TRUE(g.HasEdge(3, 1));
+}
+
+TEST(GraphBuilderTest, OutOfRangeEndpointFailsBuild) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 5);
+  auto result = builder.Build();
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, EnsureNodesGrowsOnly) {
+  GraphBuilder builder(3);
+  builder.EnsureNodes(10);
+  EXPECT_EQ(builder.num_nodes(), 10u);
+  builder.EnsureNodes(5);
+  EXPECT_EQ(builder.num_nodes(), 10u);
+}
+
+TEST(GraphBuilderTest, BuildIsRepeatableAndNonDestructive) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  Graph g1 = builder.Build().value();
+  builder.AddEdge(1, 2);
+  Graph g2 = builder.Build().value();
+  EXPECT_EQ(g1.num_edges(), 1u);
+  EXPECT_EQ(g2.num_edges(), 2u);
+}
+
+TEST(GraphBuilderTest, ResetClearsEdgesKeepsNodes) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.Reset();
+  EXPECT_EQ(builder.num_pending_edges(), 0u);
+  Graph g = builder.Build().value();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, AddEdgesBulk) {
+  GraphBuilder builder(5);
+  builder.AddEdges({{0, 1}, {2, 3}, {3, 4}, {1, 1}});
+  Graph g = builder.Build().value();
+  EXPECT_EQ(g.num_edges(), 3u);  // self-loop dropped
+}
+
+TEST(GraphBuilderTest, LargeRandomGraphValidates) {
+  GraphBuilder builder(500);
+  // Deterministic pseudo-random edge pattern.
+  uint64_t x = 12345;
+  for (int i = 0; i < 3000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    NodeId u = static_cast<NodeId>((x >> 32) % 500);
+    NodeId v = static_cast<NodeId>((x >> 12) % 500);
+    builder.AddEdge(u, v);
+  }
+  Graph g = builder.Build().value();
+  EXPECT_TRUE(ValidateGraph(g).ok());
+}
+
+}  // namespace
+}  // namespace oca

@@ -1,0 +1,57 @@
+#include "graph/graph_checks.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace oca {
+namespace {
+
+using testing::KarateClub;
+
+TEST(ValidateGraphTest, BuilderOutputAlwaysValid) {
+  EXPECT_TRUE(ValidateGraph(KarateClub()).ok());
+  EXPECT_TRUE(ValidateGraph(Graph{}).ok());
+  EXPECT_TRUE(ValidateGraph(BuildGraph(3, {}).value()).ok());
+}
+
+TEST(ValidateGraphTest, DetectsUnsortedNeighbors) {
+  // Hand-craft a CSR with an unsorted list: node 0 -> {2, 1}.
+  Graph g({0, 2, 3, 4}, {2, 1, 0, 0});
+  auto status = ValidateGraph(g);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInternal());
+}
+
+TEST(ValidateGraphTest, DetectsSelfLoop) {
+  Graph g({0, 1, 1}, {0});  // node 0 lists itself
+  EXPECT_FALSE(ValidateGraph(g).ok());
+}
+
+TEST(ValidateGraphTest, DetectsAsymmetry) {
+  // 0 lists 1, but 1 lists nothing.
+  Graph g({0, 1, 1}, {1});
+  auto status = ValidateGraph(g);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("asymmetric"), std::string::npos);
+}
+
+TEST(ValidateGraphTest, DetectsOutOfRangeNeighbor) {
+  Graph g({0, 1, 2}, {7, 0});
+  EXPECT_FALSE(ValidateGraph(g).ok());
+}
+
+TEST(ValidateGraphTest, DetectsDuplicateNeighbors) {
+  Graph g({0, 2, 4}, {1, 1, 0, 0});
+  auto status = ValidateGraph(g);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("sorted"), std::string::npos);
+}
+
+TEST(ValidateGraphTest, DetectsNonMonotoneOffsets) {
+  Graph g({0, 2, 1, 2}, {1, 2});
+  EXPECT_FALSE(ValidateGraph(g).ok());
+}
+
+}  // namespace
+}  // namespace oca

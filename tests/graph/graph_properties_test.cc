@@ -1,0 +1,135 @@
+// Cross-checking property tests for the graph substrate: every fast
+// algorithm is validated against a brute-force reference or a structural
+// invariant over random-graph sweeps.
+
+#include <gtest/gtest.h>
+
+#include "gen/barabasi_albert.h"
+#include "gen/erdos_renyi.h"
+#include "graph/connected_components.h"
+#include "graph/k_core.h"
+#include "graph/subgraph.h"
+#include "graph/traversal.h"
+#include "graph/triangles.h"
+#include "util/random.h"
+
+namespace oca {
+namespace {
+
+class GraphSweepTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Graph MakeGraph() {
+    Rng rng(GetParam());
+    // Alternate families across seeds for diversity.
+    if (GetParam() % 2 == 0) {
+      return ErdosRenyi(80, 0.08, &rng).value();
+    }
+    return BarabasiAlbert(80, 3, &rng).value();
+  }
+};
+
+TEST_P(GraphSweepTest, BfsDistancesAreOneLipschitzAlongEdges) {
+  Graph g = MakeGraph();
+  if (g.num_nodes() == 0) GTEST_SKIP();
+  auto dist = BfsDistances(g, 0);
+  g.ForEachEdge([&dist](NodeId u, NodeId v) {
+    if (dist[u] == kUnreachable || dist[v] == kUnreachable) {
+      // Both endpoints must be unreachable together.
+      EXPECT_EQ(dist[u], dist[v]);
+      return;
+    }
+    uint32_t lo = std::min(dist[u], dist[v]);
+    uint32_t hi = std::max(dist[u], dist[v]);
+    EXPECT_LE(hi - lo, 1u) << "edge " << u << "-" << v;
+  });
+}
+
+TEST_P(GraphSweepTest, BfsDistanceZeroOnlyAtSource) {
+  Graph g = MakeGraph();
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    EXPECT_NE(dist[v], 0u);
+  }
+}
+
+TEST_P(GraphSweepTest, KCoreInducedSubgraphHasMinDegreeK) {
+  Graph g = MakeGraph();
+  uint32_t degeneracy = Degeneracy(g);
+  for (uint32_t k = 1; k <= degeneracy; ++k) {
+    auto nodes = KCoreNodes(g, k);
+    if (nodes.empty()) continue;
+    auto sub = InducedSubgraph(g, nodes).value();
+    for (NodeId v = 0; v < sub.graph.num_nodes(); ++v) {
+      EXPECT_GE(sub.graph.Degree(v), k)
+          << "node " << sub.Original(v) << " violates the " << k << "-core";
+    }
+  }
+}
+
+TEST_P(GraphSweepTest, CoreNumbersAreMaximal) {
+  // Each node's core number is tight: the (c+1)-core excludes it.
+  Graph g = MakeGraph();
+  auto core = CoreNumbers(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto higher = KCoreNodes(g, core[v] + 1);
+    EXPECT_FALSE(std::binary_search(higher.begin(), higher.end(), v));
+  }
+}
+
+TEST_P(GraphSweepTest, TriangleCountMatchesBruteForce) {
+  Graph g = MakeGraph();
+  uint64_t brute = 0;
+  const size_t n = g.num_nodes();
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      if (!g.HasEdge(a, b)) continue;
+      for (NodeId c = b + 1; c < n; ++c) {
+        if (g.HasEdge(a, c) && g.HasEdge(b, c)) ++brute;
+      }
+    }
+  }
+  EXPECT_EQ(CountTriangles(g), brute);
+}
+
+TEST_P(GraphSweepTest, ComponentsPartitionAndEdgesStayInside) {
+  Graph g = MakeGraph();
+  auto comps = ConnectedComponents(g);
+  size_t total = 0;
+  for (size_t s : comps.sizes) total += s;
+  EXPECT_EQ(total, g.num_nodes());
+  g.ForEachEdge([&comps](NodeId u, NodeId v) {
+    EXPECT_EQ(comps.label[u], comps.label[v]);
+  });
+}
+
+TEST_P(GraphSweepTest, DegreeSumEqualsTwiceEdges) {
+  Graph g = MakeGraph();
+  size_t sum = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) sum += g.Degree(v);
+  EXPECT_EQ(sum, 2 * g.num_edges());
+}
+
+TEST_P(GraphSweepTest, SubgraphOfEverythingIsIdentity) {
+  Graph g = MakeGraph();
+  std::vector<NodeId> all(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+  auto sub = InducedSubgraph(g, all).value();
+  EXPECT_EQ(sub.graph.Edges(), g.Edges());
+}
+
+TEST_P(GraphSweepTest, BfsBallGrowsMonotonically) {
+  Graph g = MakeGraph();
+  size_t prev = 0;
+  for (uint32_t hops = 0; hops <= 4; ++hops) {
+    auto ball = BfsBall(g, 0, hops);
+    EXPECT_GE(ball.size(), prev);
+    prev = ball.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphSweepTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace oca

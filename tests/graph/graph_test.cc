@@ -1,0 +1,97 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "testing/test_graphs.h"
+
+namespace oca {
+namespace {
+
+using testing::KarateClub;
+using testing::Path5;
+using testing::Triangle;
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.MaxDegree(), 0u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 0.0);
+  EXPECT_TRUE(g.Edges().empty());
+}
+
+TEST(GraphTest, TriangleBasics) {
+  Graph g = Triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_EQ(g.Degree(v), 2u);
+  }
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));  // symmetric
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphTest, HasEdgeOutOfRangeIsFalse) {
+  Graph g = Triangle();
+  EXPECT_FALSE(g.HasEdge(0, 99));
+  EXPECT_FALSE(g.HasEdge(99, 0));
+}
+
+TEST(GraphTest, NeighborsAreSorted) {
+  Graph g = KarateClub();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto nbrs = g.Neighbors(v);
+    for (size_t i = 1; i < nbrs.size(); ++i) {
+      EXPECT_LT(nbrs[i - 1], nbrs[i]);
+    }
+  }
+}
+
+TEST(GraphTest, PathDegrees) {
+  Graph g = Path5();
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.Degree(4), 1u);
+  EXPECT_EQ(g.MaxDegree(), 2u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 8.0 / 5.0);
+}
+
+TEST(GraphTest, ForEachEdgeVisitsOncePerEdgeCanonical) {
+  Graph g = Triangle();
+  std::vector<Edge> seen;
+  g.ForEachEdge([&seen](NodeId u, NodeId v) {
+    EXPECT_LT(u, v);
+    seen.emplace_back(u, v);
+  });
+  EXPECT_EQ(seen, (std::vector<Edge>{{0, 1}, {0, 2}, {1, 2}}));
+}
+
+TEST(GraphTest, EdgesRoundTripThroughBuilder) {
+  Graph g = KarateClub();
+  auto edges = g.Edges();
+  EXPECT_EQ(edges.size(), 78u);
+  Graph rebuilt = BuildGraph(g.num_nodes(), edges).value();
+  EXPECT_EQ(rebuilt.Edges(), edges);
+}
+
+TEST(GraphTest, KarateClubKnownProperties) {
+  Graph g = KarateClub();
+  EXPECT_EQ(g.num_nodes(), 34u);
+  EXPECT_EQ(g.num_edges(), 78u);
+  EXPECT_EQ(g.Degree(33), 17u);  // instructor hub
+  EXPECT_EQ(g.Degree(0), 16u);   // president hub
+  EXPECT_EQ(g.MaxDegree(), 17u);
+}
+
+TEST(GraphTest, MemoryBytesScalesWithSize) {
+  Graph small = Triangle();
+  Graph big = KarateClub();
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace oca

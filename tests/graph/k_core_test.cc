@@ -1,0 +1,92 @@
+#include "graph/k_core.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace oca {
+namespace {
+
+using testing::Clique;
+using testing::Cycle;
+using testing::Path5;
+using testing::Star;
+using testing::TwoCliquesBridge;
+
+TEST(CoreNumbersTest, CliqueIsUniformCore) {
+  Graph g = Clique(6);
+  auto core = CoreNumbers(g);
+  for (uint32_t c : core) EXPECT_EQ(c, 5u);
+  EXPECT_EQ(Degeneracy(g), 5u);
+}
+
+TEST(CoreNumbersTest, PathIsOneCore) {
+  auto core = CoreNumbers(Path5());
+  for (uint32_t c : core) EXPECT_EQ(c, 1u);
+}
+
+TEST(CoreNumbersTest, CycleIsTwoCore) {
+  auto core = CoreNumbers(Cycle(7));
+  for (uint32_t c : core) EXPECT_EQ(c, 2u);
+}
+
+TEST(CoreNumbersTest, StarLeavesAreOneCore) {
+  auto core = CoreNumbers(Star(6));
+  EXPECT_EQ(core[0], 1u);  // center also 1-core: removing leaves strands it
+  for (size_t v = 1; v < core.size(); ++v) EXPECT_EQ(core[v], 1u);
+}
+
+TEST(CoreNumbersTest, TwoCliquesBridgeIsFourCore) {
+  auto core = CoreNumbers(TwoCliquesBridge());
+  for (uint32_t c : core) EXPECT_EQ(c, 4u);  // each K5 is a 4-core
+}
+
+TEST(CoreNumbersTest, EmptyAndIsolated) {
+  Graph empty;
+  EXPECT_TRUE(CoreNumbers(empty).empty());
+  EXPECT_EQ(Degeneracy(empty), 0u);
+
+  Graph isolated = BuildGraph(3, {}).value();
+  auto core = CoreNumbers(isolated);
+  for (uint32_t c : core) EXPECT_EQ(c, 0u);
+}
+
+TEST(KCoreNodesTest, FiltersByThreshold) {
+  // Star plus a triangle glued on leaves 1,2: triangle nodes are 2-core.
+  Graph g = BuildGraph(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}}).value();
+  auto two_core = KCoreNodes(g, 2);
+  EXPECT_EQ(two_core, (std::vector<NodeId>{0, 1, 2}));
+  auto one_core = KCoreNodes(g, 1);
+  EXPECT_EQ(one_core.size(), 5u);
+  auto three_core = KCoreNodes(g, 3);
+  EXPECT_TRUE(three_core.empty());
+}
+
+TEST(DegeneracyOrderTest, IsPermutation) {
+  Graph g = TwoCliquesBridge();
+  auto order = DegeneracyOrder(g);
+  ASSERT_EQ(order.size(), g.num_nodes());
+  std::vector<bool> seen(g.num_nodes(), false);
+  for (NodeId v : order) {
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(DegeneracyOrderTest, LaterNeighborsBoundedByDegeneracy) {
+  Graph g = TwoCliquesBridge();
+  auto order = DegeneracyOrder(g);
+  uint32_t degeneracy = Degeneracy(g);
+  std::vector<uint32_t> rank(g.num_nodes());
+  for (uint32_t i = 0; i < order.size(); ++i) rank[order[i]] = i;
+  for (NodeId v : order) {
+    size_t later = 0;
+    for (NodeId u : g.Neighbors(v)) {
+      if (rank[u] > rank[v]) ++later;
+    }
+    EXPECT_LE(later, degeneracy);
+  }
+}
+
+}  // namespace
+}  // namespace oca

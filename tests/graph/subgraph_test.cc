@@ -1,0 +1,78 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace oca {
+namespace {
+
+using testing::KarateClub;
+using testing::TwoCliquesBridge;
+
+TEST(InducedSubgraphTest, ExtractsCliqueIntact) {
+  Graph g = TwoCliquesBridge();
+  auto sub = InducedSubgraph(g, {0, 1, 2, 3, 4}).value();
+  EXPECT_EQ(sub.graph.num_nodes(), 5u);
+  EXPECT_EQ(sub.graph.num_edges(), 10u);  // K5
+  EXPECT_EQ(sub.to_original, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(InducedSubgraphTest, RelabelsAcrossGap) {
+  Graph g = TwoCliquesBridge();
+  auto sub = InducedSubgraph(g, {4, 5, 6}).value();
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  // Edges present: 4-5 (bridge), 5-6 (clique). 4-6 absent.
+  EXPECT_EQ(sub.graph.num_edges(), 2u);
+  EXPECT_EQ(sub.Original(0), 4u);
+  EXPECT_EQ(sub.Original(1), 5u);
+  EXPECT_EQ(sub.Original(2), 6u);
+  EXPECT_TRUE(sub.graph.HasEdge(0, 1));
+  EXPECT_TRUE(sub.graph.HasEdge(1, 2));
+  EXPECT_FALSE(sub.graph.HasEdge(0, 2));
+}
+
+TEST(InducedSubgraphTest, DuplicatesAndUnsortedInputHandled) {
+  Graph g = TwoCliquesBridge();
+  auto sub = InducedSubgraph(g, {3, 1, 3, 2, 1}).value();
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.to_original, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(sub.graph.num_edges(), 3u);  // triangle inside K5
+}
+
+TEST(InducedSubgraphTest, EmptySelection) {
+  Graph g = TwoCliquesBridge();
+  auto sub = InducedSubgraph(g, {}).value();
+  EXPECT_EQ(sub.graph.num_nodes(), 0u);
+  EXPECT_EQ(sub.graph.num_edges(), 0u);
+}
+
+TEST(InducedSubgraphTest, OutOfRangeErrors) {
+  Graph g = TwoCliquesBridge();
+  auto result = InducedSubgraph(g, {0, 99});
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(CountInternalEdgesTest, MatchesSubgraphEdgeCount) {
+  Graph g = KarateClub();
+  std::vector<NodeId> nodes = {0, 1, 2, 3, 7, 13};
+  auto sub = InducedSubgraph(g, nodes).value();
+  EXPECT_EQ(CountInternalEdges(g, nodes), sub.graph.num_edges());
+}
+
+TEST(CountInternalEdgesTest, EmptyAndSingleton) {
+  Graph g = KarateClub();
+  EXPECT_EQ(CountInternalEdges(g, {}), 0u);
+  EXPECT_EQ(CountInternalEdges(g, {0}), 0u);
+}
+
+TEST(CountInternalEdgesTest, WholeGraph) {
+  Graph g = KarateClub();
+  std::vector<NodeId> all(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+  EXPECT_EQ(CountInternalEdges(g, all), g.num_edges());
+}
+
+}  // namespace
+}  // namespace oca

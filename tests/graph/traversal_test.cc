@@ -1,0 +1,101 @@
+#include "graph/traversal.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace oca {
+namespace {
+
+using testing::Cycle;
+using testing::Path5;
+using testing::Star;
+using testing::ThreeComponents;
+using testing::TwoCliquesBridge;
+
+TEST(BfsDistancesTest, PathDistances) {
+  Graph g = Path5();
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist, (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+  dist = BfsDistances(g, 2);
+  EXPECT_EQ(dist, (std::vector<uint32_t>{2, 1, 0, 1, 2}));
+}
+
+TEST(BfsDistancesTest, UnreachableMarked) {
+  Graph g = ThreeComponents();
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[3], kUnreachable);
+  EXPECT_EQ(dist[5], kUnreachable);
+}
+
+TEST(BfsDistancesTest, CycleDiameter) {
+  Graph g = Cycle(8);
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[4], 4u);  // antipodal
+  EXPECT_EQ(dist[7], 1u);
+}
+
+TEST(BfsBallTest, ZeroHopsIsSourceOnly) {
+  Graph g = Star(5);
+  auto ball = BfsBall(g, 0, 0);
+  EXPECT_EQ(ball, (std::vector<NodeId>{0}));
+}
+
+TEST(BfsBallTest, OneHopIsClosedNeighborhood) {
+  Graph g = Star(5);
+  auto ball = BfsBall(g, 0, 1);
+  EXPECT_EQ(ball.size(), 6u);
+  EXPECT_EQ(ball[0], 0u);
+}
+
+TEST(BfsBallTest, TwoHopsOnPath) {
+  Graph g = Path5();
+  auto ball = BfsBall(g, 0, 2);
+  EXPECT_EQ(ball, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(BfsBallTest, BallStopsAtBridge) {
+  Graph g = TwoCliquesBridge();
+  auto ball = BfsBall(g, 0, 1);
+  // Closed neighborhood of node 0: the first clique {0..4}.
+  EXPECT_EQ(ball.size(), 5u);
+  for (NodeId v : ball) EXPECT_LT(v, 5u);
+}
+
+TEST(DfsPreorderTest, VisitsComponentOnce) {
+  Graph g = Path5();
+  auto order = DfsPreorder(g, 0);
+  EXPECT_EQ(order, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(DfsPreorderTest, SmallestNeighborFirst) {
+  Graph g = Star(4);
+  auto order = DfsPreorder(g, 0);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);  // smallest leaf expanded first
+}
+
+TEST(DfsPreorderTest, StaysInsideComponent) {
+  Graph g = ThreeComponents();
+  auto order = DfsPreorder(g, 3);
+  std::sort(order.begin(), order.end());
+  EXPECT_EQ(order, (std::vector<NodeId>{3, 4}));
+}
+
+TEST(BfsForestTest, LabelsComponentsInOrder) {
+  Graph g = ThreeComponents();
+  std::vector<size_t> label(g.num_nodes(), 99);
+  BfsForest(g, [&label](NodeId v, size_t comp) { label[v] = comp; });
+  EXPECT_EQ(label, (std::vector<size_t>{0, 0, 0, 1, 1, 2}));
+}
+
+TEST(BfsForestTest, VisitsEveryNodeExactlyOnce) {
+  Graph g = TwoCliquesBridge();
+  std::vector<int> visits(g.num_nodes(), 0);
+  BfsForest(g, [&visits](NodeId v, size_t) { ++visits[v]; });
+  for (int c : visits) EXPECT_EQ(c, 1);
+}
+
+}  // namespace
+}  // namespace oca

@@ -1,0 +1,76 @@
+#include "graph/triangles.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace oca {
+namespace {
+
+using testing::Clique;
+using testing::Cycle;
+using testing::KarateClub;
+using testing::Path5;
+using testing::Star;
+using testing::Triangle;
+
+TEST(TrianglesTest, SingleTriangle) {
+  EXPECT_EQ(CountTriangles(Triangle()), 1u);
+  auto per_node = TrianglesPerNode(Triangle());
+  EXPECT_EQ(per_node, (std::vector<uint64_t>{1, 1, 1}));
+}
+
+TEST(TrianglesTest, TriangleFreeGraphs) {
+  EXPECT_EQ(CountTriangles(Path5()), 0u);
+  EXPECT_EQ(CountTriangles(Star(6)), 0u);
+  EXPECT_EQ(CountTriangles(Cycle(5)), 0u);
+}
+
+TEST(TrianglesTest, CliqueCount) {
+  // K6 has C(6,3) = 20 triangles; each node is in C(5,2) = 10.
+  Graph g = Clique(6);
+  EXPECT_EQ(CountTriangles(g), 20u);
+  for (uint64_t t : TrianglesPerNode(g)) EXPECT_EQ(t, 10u);
+}
+
+TEST(TrianglesTest, KarateClubKnownValue) {
+  // Zachary's karate club has 45 triangles (standard reference value).
+  EXPECT_EQ(CountTriangles(KarateClub()), 45u);
+}
+
+TEST(ClusteringTest, CliqueIsFullyClustered) {
+  auto coeff = LocalClusteringCoefficients(Clique(5));
+  for (double c : coeff) EXPECT_DOUBLE_EQ(c, 1.0);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(Clique(5)), 1.0);
+}
+
+TEST(ClusteringTest, TreeHasZeroClustering) {
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(Star(8)), 0.0);
+  auto coeff = LocalClusteringCoefficients(Path5());
+  for (double c : coeff) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(ClusteringTest, LowDegreeNodesGetZero) {
+  auto coeff = LocalClusteringCoefficients(Path5());
+  EXPECT_DOUBLE_EQ(coeff[0], 0.0);  // degree 1
+}
+
+TEST(ClusteringTest, MixedGraph) {
+  // Triangle with a pendant: node 0 in triangle {0,1,2}, pendant 3 on 0.
+  Graph g = BuildGraph(4, {{0, 1}, {1, 2}, {0, 2}, {0, 3}}).value();
+  auto coeff = LocalClusteringCoefficients(g);
+  EXPECT_DOUBLE_EQ(coeff[0], 1.0 / 3.0);  // 1 triangle of 3 possible pairs
+  EXPECT_DOUBLE_EQ(coeff[1], 1.0);
+  EXPECT_DOUBLE_EQ(coeff[3], 0.0);
+  // Global: 3 closed wedge-ends... 3*1 triangles / (3+1+1+0) wedges.
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 3.0 / 5.0);
+}
+
+TEST(TrianglesTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(CountTriangles(g), 0u);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 0.0);
+}
+
+}  // namespace
+}  // namespace oca

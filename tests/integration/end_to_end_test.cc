@@ -1,0 +1,197 @@
+// Integration tests: full pipelines across modules — generator -> file
+// round trip -> algorithm -> metrics, mirroring how the bench harness and
+// a downstream user drive the library.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/cfinder.h"
+#include "baselines/lfk.h"
+#include "core/oca.h"
+#include "gen/daisy.h"
+#include "gen/lfr.h"
+#include "gen/wikipedia_surrogate.h"
+#include "io/cover_io.h"
+#include "io/edge_list.h"
+#include "io/graph_serialize.h"
+#include "metrics/f1_overlap.h"
+#include "metrics/omega_index.h"
+#include "metrics/theta.h"
+
+namespace oca {
+namespace {
+
+// Generator -> binary serialization -> reload -> OCA -> metric. The
+// reloaded graph must produce the identical cover (bitwise determinism
+// across the I/O boundary).
+TEST(EndToEndTest, SerializeReloadRunIsIdentical) {
+  LfrOptions lfr;
+  lfr.num_nodes = 400;
+  lfr.average_degree = 12.0;
+  lfr.max_degree = 30;
+  lfr.mixing = 0.2;
+  lfr.min_community = 20;
+  lfr.max_community = 60;
+  lfr.seed = 21;
+  auto bench = GenerateLfr(lfr).value();
+
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteGraphBinary(bench.graph, buffer).ok());
+  Graph reloaded = ReadGraphBinary(buffer).value();
+
+  OcaOptions opt;
+  opt.seed = 33;
+  opt.halting.max_seeds = 400;
+  auto original = RunOca(bench.graph, opt).value();
+  auto rerun = RunOca(reloaded, opt).value();
+  EXPECT_EQ(original.cover, rerun.cover);
+}
+
+// Text round trip of both graph and cover, then metric agreement.
+TEST(EndToEndTest, TextPipelineAgreesOnTheta) {
+  DaisyTreeOptions dt;
+  dt.daisy.p = 5;
+  dt.daisy.q = 4;
+  dt.daisy.n = 60;
+  dt.daisy.alpha = 0.9;
+  dt.daisy.beta = 0.9;
+  dt.extra_daisies = 1;
+  dt.gamma = 0.05;
+  dt.seed = 8;
+  auto bench = GenerateDaisyTree(dt).value();
+
+  OcaOptions opt;
+  opt.seed = 9;
+  opt.halting.max_seeds = 400;
+  auto run = RunOca(bench.graph, opt).value();
+  double theta_before = Theta(bench.ground_truth, run.cover).value();
+
+  std::stringstream cover_buf;
+  ASSERT_TRUE(WriteCoverStream(run.cover, cover_buf).ok());
+  Cover reloaded_cover = ReadCoverStream(cover_buf).value();
+  reloaded_cover.Canonicalize();
+  double theta_after = Theta(bench.ground_truth, reloaded_cover).value();
+  EXPECT_DOUBLE_EQ(theta_before, theta_after);
+}
+
+// All three algorithms on one workload; every produced cover must be
+// structurally sane relative to the graph.
+TEST(EndToEndTest, AllAlgorithmsProduceSaneCovers) {
+  LfrOptions lfr;
+  lfr.num_nodes = 300;
+  lfr.average_degree = 10.0;
+  lfr.max_degree = 25;
+  lfr.mixing = 0.25;
+  lfr.min_community = 15;
+  lfr.max_community = 45;
+  lfr.seed = 77;
+  auto bench = GenerateLfr(lfr).value();
+  const size_t n = bench.graph.num_nodes();
+
+  auto check_cover = [n](const Cover& cover, const char* name) {
+    ASSERT_FALSE(cover.empty()) << name;
+    for (const auto& community : cover) {
+      EXPECT_FALSE(community.empty()) << name;
+      EXPECT_TRUE(std::is_sorted(community.begin(), community.end())) << name;
+      EXPECT_LT(community.back(), n) << name;
+      EXPECT_TRUE(std::adjacent_find(community.begin(), community.end()) ==
+                  community.end())
+          << name << ": duplicate members";
+    }
+  };
+
+  OcaOptions oca_opt;
+  oca_opt.seed = 3;
+  oca_opt.halting.max_seeds = 600;
+  check_cover(RunOca(bench.graph, oca_opt).value().cover, "OCA");
+  LfkOptions lfk_opt;
+  lfk_opt.seed = 3;
+  check_cover(RunLfk(bench.graph, lfk_opt).value().cover, "LFK");
+  CfinderOptions cf_opt;
+  cf_opt.k = 3;
+  cf_opt.max_cliques = 500000;
+  auto cf = RunCfinder(bench.graph, cf_opt);
+  if (cf.ok()) check_cover(cf.value().cover, "CFinder");
+}
+
+// The paper's central comparison, in miniature: on a sharp LFR graph all
+// three metrics must rank OCA's cover at or near the top.
+TEST(EndToEndTest, MetricsAgreeOcaRecoversSharpStructure) {
+  LfrOptions lfr;
+  lfr.num_nodes = 400;
+  lfr.average_degree = 14.0;
+  lfr.max_degree = 35;
+  lfr.mixing = 0.1;
+  lfr.min_community = 20;
+  lfr.max_community = 60;
+  lfr.seed = 15;
+  auto bench = GenerateLfr(lfr).value();
+
+  OcaOptions opt;
+  opt.seed = 5;
+  opt.halting.max_seeds = 800;
+  opt.halting.target_coverage = 0.99;
+  auto run = RunOca(bench.graph, opt).value();
+
+  double theta = Theta(bench.ground_truth, run.cover).value();
+  double f1 = AverageF1(bench.ground_truth, run.cover).value();
+  double omega =
+      OmegaIndex(bench.ground_truth, run.cover, bench.graph.num_nodes())
+          .value();
+  EXPECT_GT(theta, 0.75);
+  EXPECT_GT(f1, 0.8);
+  EXPECT_GT(omega, 0.7);
+}
+
+// Orphan assignment composes with the full pipeline: full coverage, no
+// ghost nodes, metrics still computable.
+TEST(EndToEndTest, OrphanAssignmentComposes) {
+  WikipediaSurrogateOptions gen;
+  gen.num_nodes = 3000;
+  gen.num_topics = 20;
+  gen.topic_min_size = 10;
+  gen.topic_max_size = 80;
+  gen.seed = 4;
+  auto bench = GenerateWikipediaSurrogate(gen).value();
+
+  OcaOptions opt;
+  opt.seed = 4;
+  opt.halting.max_seeds = 800;
+  opt.halting.target_coverage = 0.4;
+  opt.assign_orphans = true;
+  auto run = RunOca(bench.graph, opt).value();
+  // Connected graph (BA backbone) with at least one community found:
+  // orphan rounds must cover everything.
+  EXPECT_TRUE(run.cover.UncoveredNodes(bench.graph.num_nodes()).empty());
+}
+
+// Multithreaded end-to-end determinism on a nontrivial workload.
+TEST(EndToEndTest, ThreadCountInvariance) {
+  LfrOptions lfr;
+  lfr.num_nodes = 500;
+  lfr.average_degree = 12.0;
+  lfr.max_degree = 30;
+  lfr.mixing = 0.3;
+  lfr.min_community = 20;
+  lfr.max_community = 60;
+  lfr.seed = 66;
+  auto bench = GenerateLfr(lfr).value();
+
+  Cover reference;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    OcaOptions opt;
+    opt.seed = 10;
+    opt.num_threads = threads;
+    opt.halting.max_seeds = 500;
+    auto run = RunOca(bench.graph, opt).value();
+    if (threads == 1) {
+      reference = run.cover;
+    } else {
+      EXPECT_EQ(run.cover, reference) << threads << " threads";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oca

@@ -1,0 +1,235 @@
+// Property-based tests: invariants that must hold for every graph in a
+// randomized family, swept with parameterized gtest.
+
+#include <gtest/gtest.h>
+
+#include "baselines/cfinder.h"
+#include "baselines/lfk.h"
+#include "core/community_state.h"
+#include "core/oca.h"
+#include "gen/erdos_renyi.h"
+#include "gen/lfr.h"
+#include "graph/connected_components.h"
+#include "graph/graph_checks.h"
+#include "graph/subgraph.h"
+#include "metrics/similarity.h"
+#include "metrics/theta.h"
+#include "spectral/extreme_eigen.h"
+#include "util/random.h"
+
+namespace oca {
+namespace {
+
+// ---- Invariants over random Erdos-Renyi graphs ----
+
+class RandomGraphPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Graph MakeGraph() {
+    Rng rng(GetParam());
+    return ErdosRenyi(150, 0.06, &rng).value();
+  }
+};
+
+TEST_P(RandomGraphPropertyTest, GeneratorOutputIsValid) {
+  EXPECT_TRUE(ValidateGraph(MakeGraph()).ok());
+}
+
+TEST_P(RandomGraphPropertyTest, CouplingConstantIsAdmissible) {
+  Graph g = MakeGraph();
+  if (g.num_edges() == 0) GTEST_SKIP();
+  double c = ComputeCouplingConstant(g).value();
+  EXPECT_GT(c, 0.0);
+  EXPECT_LT(c, 1.0);
+  // Admissibility: 1 + c*lambda_min >= 0 (within numerical slack).
+  auto eig = ComputeExtremeEigenvalues(g).value();
+  EXPECT_GE(1.0 + c * eig.lambda_min, -1e-6);
+}
+
+TEST_P(RandomGraphPropertyTest, OcaCoverNodesAreInRange) {
+  Graph g = MakeGraph();
+  if (g.num_edges() == 0) GTEST_SKIP();
+  OcaOptions opt;
+  opt.seed = GetParam();
+  opt.halting.max_seeds = 150;
+  auto run = RunOca(g, opt);
+  if (!run.ok()) GTEST_SKIP();
+  for (const auto& community : run.value().cover) {
+    EXPECT_GE(community.size(), opt.min_community_size);
+    for (NodeId v : community) EXPECT_LT(v, g.num_nodes());
+  }
+}
+
+TEST_P(RandomGraphPropertyTest, OcaCommunitiesAreInternallyConnected) {
+  // A fitness local maximum of L could in principle be disconnected, but
+  // seeded neighborhood growth should produce connected communities on
+  // sparse random graphs — a regression tripwire for frontier bugs.
+  Graph g = MakeGraph();
+  if (g.num_edges() == 0) GTEST_SKIP();
+  OcaOptions opt;
+  opt.seed = GetParam() + 1;
+  opt.halting.max_seeds = 100;
+  auto run = RunOca(g, opt);
+  if (!run.ok()) GTEST_SKIP();
+  for (const auto& community : run.value().cover) {
+    auto sub = InducedSubgraph(g, community).value();
+    EXPECT_TRUE(IsConnected(sub.graph))
+        << "disconnected community of size " << community.size();
+  }
+}
+
+TEST_P(RandomGraphPropertyTest, LfkCoverIsExhaustive) {
+  Graph g = MakeGraph();
+  LfkOptions opt;
+  opt.seed = GetParam();
+  auto run = RunLfk(g, opt).value();
+  EXPECT_TRUE(run.cover.UncoveredNodes(g.num_nodes()).empty());
+}
+
+TEST_P(RandomGraphPropertyTest, CfinderCommunitiesContainKClique) {
+  Graph g = MakeGraph();
+  CfinderOptions opt;
+  opt.k = 3;
+  opt.max_cliques = 200000;
+  auto run = RunCfinder(g, opt);
+  if (!run.ok()) GTEST_SKIP();
+  // Every CPM community contains at least k nodes by construction.
+  for (const auto& community : run.value().cover) {
+    EXPECT_GE(community.size(), 3u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// ---- Invariants over the LFR family (mu sweep) ----
+
+class LfrSweepTest : public ::testing::TestWithParam<int> {
+ protected:
+  double Mu() const { return GetParam() / 10.0; }
+};
+
+TEST_P(LfrSweepTest, GeneratedGraphValidAndMixingTracks) {
+  LfrOptions lfr;
+  lfr.num_nodes = 600;
+  lfr.average_degree = 14.0;
+  lfr.max_degree = 40;
+  lfr.mixing = Mu();
+  lfr.min_community = 20;
+  lfr.max_community = 60;
+  lfr.seed = 100 + static_cast<uint64_t>(GetParam());
+  LfrStats stats;
+  auto bench = GenerateLfr(lfr, &stats).value();
+  EXPECT_TRUE(ValidateGraph(bench.graph).ok());
+  EXPECT_NEAR(stats.realized_mixing, Mu(), 0.1);
+  // Partition property of the ground truth.
+  std::vector<int> count(bench.graph.num_nodes(), 0);
+  for (const auto& c : bench.ground_truth) {
+    for (NodeId v : c) ++count[v];
+  }
+  for (int c : count) EXPECT_EQ(c, 1);
+}
+
+TEST_P(LfrSweepTest, QualityDegradesMonotonicallyInExpectation) {
+  // Not a strict per-seed guarantee; assert the loose envelope the paper
+  // relies on: near-perfect recovery at mu<=0.2, nonzero always.
+  if (GetParam() > 3) GTEST_SKIP() << "envelope asserted at low mu only";
+  LfrOptions lfr;
+  lfr.num_nodes = 400;
+  lfr.average_degree = 14.0;
+  lfr.max_degree = 35;
+  lfr.mixing = Mu();
+  lfr.min_community = 20;
+  lfr.max_community = 60;
+  lfr.seed = 55;
+  auto bench = GenerateLfr(lfr).value();
+  OcaOptions opt;
+  opt.seed = 5;
+  opt.halting.max_seeds = 800;
+  opt.halting.target_coverage = 0.99;
+  auto run = RunOca(bench.graph, opt).value();
+  double theta = Theta(bench.ground_truth, run.cover).value();
+  if (GetParam() <= 2) {
+    EXPECT_GT(theta, 0.7) << "mu=" << Mu();
+  } else {
+    EXPECT_GT(theta, 0.4) << "mu=" << Mu();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MixingSweep, LfrSweepTest, ::testing::Range(1, 7));
+
+// ---- Metric axioms over random covers ----
+
+class MetricAxiomTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Cover RandomCover(Rng* rng, size_t universe) {
+    Cover cover;
+    size_t communities = 2 + rng->NextBounded(6);
+    for (size_t i = 0; i < communities; ++i) {
+      Community c;
+      size_t size = 2 + rng->NextBounded(10);
+      for (size_t j = 0; j < size; ++j) {
+        c.push_back(static_cast<NodeId>(rng->NextBounded(universe)));
+      }
+      cover.Add(std::move(c));
+    }
+    cover.Canonicalize();
+    return cover;
+  }
+};
+
+TEST_P(MetricAxiomTest, ThetaIdentityAndBounds) {
+  Rng rng(GetParam());
+  Cover a = RandomCover(&rng, 60);
+  Cover b = RandomCover(&rng, 60);
+  if (a.empty() || b.empty()) GTEST_SKIP();
+  EXPECT_DOUBLE_EQ(Theta(a, a).value(), 1.0);
+  double theta = Theta(a, b).value();
+  EXPECT_GE(theta, 0.0);
+  EXPECT_LE(theta, 1.0);
+}
+
+TEST_P(MetricAxiomTest, RhoTriangleOfIdentity) {
+  Rng rng(GetParam() ^ 0xABCD);
+  Cover a = RandomCover(&rng, 40);
+  for (const auto& c : a) {
+    EXPECT_DOUBLE_EQ(RhoSimilarity(c, c), 1.0);
+    for (const auto& d : a) {
+      double rho = RhoSimilarity(c, d);
+      EXPECT_GE(rho, 0.0);
+      EXPECT_LE(rho, 1.0);
+      EXPECT_DOUBLE_EQ(rho, RhoSimilarity(d, c));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricAxiomTest,
+                         ::testing::Range<uint64_t>(1, 7));
+
+// ---- Incremental-vs-naive equivalence under random walks (fast path) ----
+
+class FastClimbEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FastClimbEquivalenceTest, ResultIsALocalMaximumWithExactStats) {
+  Rng rng(GetParam());
+  Graph g = ErdosRenyi(100, 0.08, &rng).value();
+  if (g.num_edges() == 0) GTEST_SKIP();
+  double c = ComputeCouplingConstant(g).value();
+  LocalSearchOptions opt;
+  opt.fitness.c = c;
+  NodeId seed = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+  auto result = GreedyLocalSearch(g, {seed}, opt).value();
+  // The fast path's incremental statistics must equal a from-scratch
+  // recomputation.
+  SubsetStats expected = ComputeSubsetStats(g, result.community);
+  EXPECT_EQ(result.stats.size, expected.size);
+  EXPECT_EQ(result.stats.ein, expected.ein);
+  EXPECT_EQ(result.stats.volume, expected.volume);
+  EXPECT_DOUBLE_EQ(result.fitness,
+                   DirectedLaplacianFitness(expected.size, expected.ein, c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastClimbEquivalenceTest,
+                         ::testing::Range<uint64_t>(10, 26));
+
+}  // namespace
+}  // namespace oca

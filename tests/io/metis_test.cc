@@ -1,0 +1,106 @@
+#include "io/metis.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/erdos_renyi.h"
+#include "graph/graph_checks.h"
+#include "testing/test_graphs.h"
+#include "util/random.h"
+
+namespace oca {
+namespace {
+
+TEST(MetisReadTest, ParsesTriangle) {
+  std::istringstream in(
+      "% a triangle\n"
+      "3 3\n"
+      "2 3\n"
+      "1 3\n"
+      "1 2\n");
+  Graph g = ReadMetisStream(in).value();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+}
+
+TEST(MetisReadTest, IsolatedNodesHaveEmptyLines) {
+  std::istringstream in("3 1\n2\n1\n\n");
+  Graph g = ReadMetisStream(in).value();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.Degree(2), 0u);
+}
+
+TEST(MetisReadTest, RejectsWeightedFormat) {
+  std::istringstream in("2 1 11\n2 5\n1 5\n");
+  EXPECT_TRUE(ReadMetisStream(in).status().IsUnimplemented());
+}
+
+TEST(MetisReadTest, RejectsOutOfRangeNeighbor) {
+  std::istringstream in("2 1\n5\n1\n");
+  EXPECT_TRUE(ReadMetisStream(in).status().IsIOError());
+}
+
+TEST(MetisReadTest, RejectsZeroNeighborId) {
+  std::istringstream in("2 1\n0\n1\n");  // METIS ids are 1-based
+  EXPECT_TRUE(ReadMetisStream(in).status().IsIOError());
+}
+
+TEST(MetisReadTest, RejectsTruncatedFile) {
+  std::istringstream in("3 2\n2\n");
+  EXPECT_TRUE(ReadMetisStream(in).status().IsIOError());
+}
+
+TEST(MetisReadTest, RejectsEdgeCountMismatch) {
+  std::istringstream in("3 5\n2 3\n1 3\n1 2\n");
+  auto result = ReadMetisStream(in);
+  EXPECT_TRUE(result.status().IsIOError());
+  EXPECT_NE(result.status().message().find("claims"), std::string::npos);
+}
+
+TEST(MetisReadTest, RejectsGarbageTokens) {
+  std::istringstream in("2 1\n2 x\n1\n");
+  EXPECT_TRUE(ReadMetisStream(in).status().IsIOError());
+}
+
+TEST(MetisReadTest, MissingHeaderErrors) {
+  std::istringstream in("% only comments\n");
+  EXPECT_TRUE(ReadMetisStream(in).status().IsIOError());
+}
+
+TEST(MetisRoundTripTest, KarateClub) {
+  Graph g = testing::KarateClub();
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteMetisStream(g, buffer).ok());
+  Graph reloaded = ReadMetisStream(buffer).value();
+  EXPECT_EQ(reloaded.Edges(), g.Edges());
+  EXPECT_TRUE(ValidateGraph(reloaded).ok());
+}
+
+TEST(MetisRoundTripTest, RandomGraphs) {
+  Rng rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = ErdosRenyi(120, 0.05, &rng).value();
+    std::stringstream buffer;
+    ASSERT_TRUE(WriteMetisStream(g, buffer).ok());
+    EXPECT_EQ(ReadMetisStream(buffer).value().Edges(), g.Edges());
+  }
+}
+
+TEST(MetisRoundTripTest, FileRoundTrip) {
+  Graph g = testing::TwoCliquesOverlap();
+  std::string path = ::testing::TempDir() + "/oca_metis_test.graph";
+  ASSERT_TRUE(WriteMetisFile(g, path).ok());
+  EXPECT_EQ(ReadMetisFile(path).value().Edges(), g.Edges());
+  std::remove(path.c_str());
+}
+
+TEST(MetisReadTest, MissingFileErrors) {
+  EXPECT_TRUE(ReadMetisFile("/no/such/file.graph").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace oca

@@ -1,0 +1,75 @@
+#include "metrics/cover_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace oca {
+namespace {
+
+using testing::TwoCliquesOverlap;
+
+TEST(CoverStatsTest, EmptyCover) {
+  auto stats = ComputeCoverStats(TwoCliquesOverlap(), Cover{});
+  EXPECT_EQ(stats.num_communities, 0u);
+  EXPECT_EQ(stats.covered_nodes, 0u);
+  EXPECT_DOUBLE_EQ(stats.coverage_fraction, 0.0);
+}
+
+TEST(CoverStatsTest, OverlappingGroundTruth) {
+  Graph g = TwoCliquesOverlap();
+  Cover cover;
+  cover.Add({0, 1, 2, 3, 4, 5});
+  cover.Add({4, 5, 6, 7, 8, 9});
+  auto stats = ComputeCoverStats(g, cover);
+  EXPECT_EQ(stats.num_communities, 2u);
+  EXPECT_EQ(stats.covered_nodes, 10u);
+  EXPECT_DOUBLE_EQ(stats.coverage_fraction, 1.0);
+  EXPECT_EQ(stats.overlapping_nodes, 2u);  // nodes 4, 5
+  EXPECT_EQ(stats.max_memberships, 2u);
+  EXPECT_DOUBLE_EQ(stats.average_memberships, 1.2);
+  EXPECT_DOUBLE_EQ(stats.average_community_size, 6.0);
+  EXPECT_EQ(stats.min_community_size, 6u);
+  EXPECT_EQ(stats.max_community_size, 6u);
+  // Both communities are 6-cliques: density 1.
+  EXPECT_DOUBLE_EQ(stats.average_internal_density, 1.0);
+}
+
+TEST(CoverStatsTest, PartialCoverage) {
+  Graph g = TwoCliquesOverlap();
+  Cover cover;
+  cover.Add({0, 1, 2});
+  auto stats = ComputeCoverStats(g, cover);
+  EXPECT_DOUBLE_EQ(stats.coverage_fraction, 0.3);
+  EXPECT_EQ(stats.overlapping_nodes, 0u);
+}
+
+TEST(CoverStatsTest, SparseDensity) {
+  Graph g = testing::Path5();
+  Cover cover;
+  cover.Add({0, 1, 2});  // 2 edges of 3 possible
+  auto stats = ComputeCoverStats(g, cover);
+  EXPECT_NEAR(stats.average_internal_density, 2.0 / 3.0, 1e-12);
+}
+
+TEST(CoverStatsTest, SingletonCommunitiesSkippedInDensity) {
+  Graph g = testing::Path5();
+  Cover cover;
+  cover.Add({0});
+  cover.Add({1, 2});
+  auto stats = ComputeCoverStats(g, cover);
+  // Only {1,2} counts for density: 1 edge / 1 pair.
+  EXPECT_DOUBLE_EQ(stats.average_internal_density, 1.0);
+  EXPECT_EQ(stats.min_community_size, 1u);
+}
+
+TEST(CoverStatsTest, ToStringMentionsCoverage) {
+  Graph g = TwoCliquesOverlap();
+  Cover cover;
+  cover.Add({0, 1, 2, 3, 4});
+  auto str = ComputeCoverStats(g, cover).ToString();
+  EXPECT_NE(str.find("coverage=50.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oca

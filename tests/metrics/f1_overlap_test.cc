@@ -1,0 +1,73 @@
+#include "metrics/f1_overlap.h"
+
+#include <gtest/gtest.h>
+
+namespace oca {
+namespace {
+
+Cover MakeCover(std::vector<Community> communities) {
+  Cover cover(std::move(communities));
+  cover.Canonicalize();
+  return cover;
+}
+
+TEST(CommunityF1Test, ExactMatchIsOne) {
+  EXPECT_DOUBLE_EQ(CommunityF1({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(CommunityF1({}, {}), 1.0);
+}
+
+TEST(CommunityF1Test, DisjointIsZero) {
+  EXPECT_DOUBLE_EQ(CommunityF1({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(CommunityF1({1}, {}), 0.0);
+}
+
+TEST(CommunityF1Test, PrecisionRecallHarmonicMean) {
+  // truth {1,2,3,4}, found {3,4,5}: inter 2, P=2/3, R=1/2, F1=4/7.
+  EXPECT_NEAR(CommunityF1({1, 2, 3, 4}, {3, 4, 5}), 4.0 / 7.0, 1e-12);
+}
+
+TEST(CommunityF1Test, Symmetric) {
+  EXPECT_DOUBLE_EQ(CommunityF1({1, 2, 3}, {2, 3, 4, 5}),
+                   CommunityF1({2, 3, 4, 5}, {1, 2, 3}));
+}
+
+TEST(AverageF1Test, IdenticalCoversGiveOne) {
+  Cover a = MakeCover({{0, 1, 2}, {3, 4, 5}});
+  EXPECT_DOUBLE_EQ(AverageF1(a, a).value(), 1.0);
+}
+
+TEST(AverageF1Test, EmptyCoverErrors) {
+  Cover a = MakeCover({{0, 1}});
+  EXPECT_TRUE(AverageF1(a, Cover{}).status().IsInvalidArgument());
+  EXPECT_TRUE(AverageF1(Cover{}, a).status().IsInvalidArgument());
+}
+
+TEST(AverageF1Test, ExtraNoiseReducesScore) {
+  Cover truth = MakeCover({{0, 1, 2}});
+  Cover found = MakeCover({{0, 1, 2}, {10, 11, 12}});
+  double f1 = AverageF1(truth, found).value();
+  // Forward direction perfect (1.0); backward: noise community scores 0.
+  EXPECT_DOUBLE_EQ(f1, 0.75);
+}
+
+TEST(AverageF1Test, FragmentationReducesScore) {
+  Cover truth = MakeCover({{0, 1, 2, 3}});
+  Cover found = MakeCover({{0, 1}, {2, 3}});
+  double f1 = AverageF1(truth, found).value();
+  EXPECT_GT(f1, 0.0);
+  EXPECT_LT(f1, 1.0);
+}
+
+TEST(AverageF1Test, SymmetricByConstruction) {
+  Cover a = MakeCover({{0, 1, 2}, {4, 5}});
+  Cover b = MakeCover({{0, 1}, {4, 5, 6}});
+  EXPECT_DOUBLE_EQ(AverageF1(a, b).value(), AverageF1(b, a).value());
+}
+
+TEST(AverageF1Test, OverlappingCoversSupported) {
+  Cover a = MakeCover({{0, 1, 2, 3}, {3, 4, 5, 6}});
+  EXPECT_DOUBLE_EQ(AverageF1(a, a).value(), 1.0);
+}
+
+}  // namespace
+}  // namespace oca

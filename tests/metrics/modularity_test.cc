@@ -1,0 +1,99 @@
+#include "metrics/modularity.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_graphs.h"
+
+namespace oca {
+namespace {
+
+using testing::TwoCliquesBridge;
+using testing::TwoCliquesOverlap;
+
+Cover MakeCover(std::vector<Community> communities) {
+  Cover cover(std::move(communities));
+  cover.Canonicalize();
+  return cover;
+}
+
+TEST(ModularityTest, WholeGraphAsOneCommunityIsZero) {
+  Graph g = TwoCliquesBridge();
+  Community all;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) all.push_back(v);
+  EXPECT_NEAR(Modularity(g, MakeCover({all})).value(), 0.0, 1e-12);
+}
+
+TEST(ModularityTest, GoodSplitScoresHigh) {
+  Graph g = TwoCliquesBridge();  // m = 21
+  Cover split = MakeCover({{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}});
+  // Q = 2 * [10/21 - (21/42)^2] = 20/21 - 1/2.
+  EXPECT_NEAR(Modularity(g, split).value(), 20.0 / 21.0 - 0.5, 1e-12);
+}
+
+TEST(ModularityTest, BadSplitScoresLow) {
+  Graph g = TwoCliquesBridge();
+  Cover bad = MakeCover({{0, 2, 4, 6, 8}, {1, 3, 5, 7, 9}});
+  double q_bad = Modularity(g, bad).value();
+  double q_good =
+      Modularity(g, MakeCover({{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}})).value();
+  EXPECT_LT(q_bad, q_good);
+  EXPECT_LT(q_bad, 0.0);
+}
+
+TEST(ModularityTest, RejectsOverlapAndGaps) {
+  Graph g = TwoCliquesBridge();
+  Cover overlap = MakeCover({{0, 1, 2, 3, 4, 5}, {4, 5, 6, 7, 8, 9}});
+  EXPECT_TRUE(Modularity(g, overlap).status().IsInvalidArgument());
+  Cover gap = MakeCover({{0, 1, 2, 3, 4}});  // misses the second clique
+  EXPECT_TRUE(Modularity(g, gap).status().IsInvalidArgument());
+}
+
+TEST(ModularityTest, EdgelessGraphErrors) {
+  Graph g = BuildGraph(3, {}).value();
+  EXPECT_TRUE(Modularity(g, MakeCover({{0}, {1}, {2}}))
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(OverlappingModularityTest, ReducesToQOnPartition) {
+  Graph g = TwoCliquesBridge();
+  Cover split = MakeCover({{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}});
+  EXPECT_NEAR(OverlappingModularity(g, split).value(),
+              Modularity(g, split).value(), 1e-12);
+}
+
+TEST(OverlappingModularityTest, OverlapAccepted) {
+  Graph g = TwoCliquesOverlap();
+  Cover truth = MakeCover({{0, 1, 2, 3, 4, 5}, {4, 5, 6, 7, 8, 9}});
+  double eq = OverlappingModularity(g, truth).value();
+  EXPECT_GT(eq, 0.2);  // strong community structure
+  EXPECT_LT(eq, 1.0);
+}
+
+TEST(OverlappingModularityTest, TrueOverlapBeatsArbitraryCut) {
+  Graph g = TwoCliquesOverlap();
+  Cover truth = MakeCover({{0, 1, 2, 3, 4, 5}, {4, 5, 6, 7, 8, 9}});
+  Cover shuffled = MakeCover({{0, 6, 2, 8, 4}, {1, 7, 3, 9, 5}});
+  EXPECT_GT(OverlappingModularity(g, truth).value(),
+            OverlappingModularity(g, shuffled).value());
+}
+
+TEST(OverlappingModularityTest, UncoveredNodesContributeNothing) {
+  Graph g = TwoCliquesBridge();
+  Cover partial = MakeCover({{0, 1, 2, 3, 4}});
+  double eq = OverlappingModularity(g, partial).value();
+  // Exactly the one community's Q term: 10/21 - (21/42)^2.
+  EXPECT_NEAR(eq, 10.0 / 21.0 - 0.25, 1e-12);
+}
+
+TEST(OverlappingModularityTest, DegenerateInputsError) {
+  Graph g = TwoCliquesBridge();
+  EXPECT_TRUE(OverlappingModularity(g, Cover{}).status().IsInvalidArgument());
+  Graph edgeless = BuildGraph(2, {}).value();
+  EXPECT_TRUE(OverlappingModularity(edgeless, MakeCover({{0}}))
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace oca

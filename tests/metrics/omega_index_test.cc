@@ -1,0 +1,66 @@
+#include "metrics/omega_index.h"
+
+#include <gtest/gtest.h>
+
+namespace oca {
+namespace {
+
+Cover MakeCover(std::vector<Community> communities) {
+  Cover cover(std::move(communities));
+  cover.Canonicalize();
+  return cover;
+}
+
+TEST(OmegaTest, IdenticalCoversGiveOne) {
+  Cover a = MakeCover({{0, 1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(OmegaIndex(a, a, 6).value(), 1.0);
+}
+
+TEST(OmegaTest, IdenticalOverlappingCoversGiveOne) {
+  Cover a = MakeCover({{0, 1, 2, 3}, {2, 3, 4, 5}});
+  EXPECT_DOUBLE_EQ(OmegaIndex(a, a, 6).value(), 1.0);
+}
+
+TEST(OmegaTest, CompletelyDifferentIsLow) {
+  Cover a = MakeCover({{0, 1, 2, 3, 4}});
+  Cover b = MakeCover({{5, 6, 7, 8, 9}});
+  double omega = OmegaIndex(a, b, 10).value();
+  EXPECT_LT(omega, 0.5);
+}
+
+TEST(OmegaTest, SymmetricInArguments) {
+  Cover a = MakeCover({{0, 1, 2}, {2, 3, 4}});
+  Cover b = MakeCover({{0, 1}, {2, 3, 4, 5}});
+  EXPECT_NEAR(OmegaIndex(a, b, 8).value(), OmegaIndex(b, a, 8).value(),
+              1e-12);
+}
+
+TEST(OmegaTest, PartialAgreementBetweenZeroAndOne) {
+  Cover a = MakeCover({{0, 1, 2, 3}, {4, 5, 6, 7}});
+  Cover b = MakeCover({{0, 1, 2, 4}, {3, 5, 6, 7}});
+  double omega = OmegaIndex(a, b, 8).value();
+  EXPECT_GT(omega, 0.0);
+  EXPECT_LT(omega, 1.0);
+}
+
+TEST(OmegaTest, MultiplicityMatters) {
+  // Pair (0,1) co-occurs twice in a but once in b: disagreement even
+  // though both have them together at least once.
+  Cover a = MakeCover({{0, 1, 2}, {0, 1, 3}});
+  Cover b = MakeCover({{0, 1, 2}, {4, 5, 3}});
+  double omega = OmegaIndex(a, b, 6).value();
+  EXPECT_LT(omega, 1.0);
+}
+
+TEST(OmegaTest, TooFewNodesErrors) {
+  Cover a = MakeCover({{0}});
+  EXPECT_TRUE(OmegaIndex(a, a, 1).status().IsInvalidArgument());
+}
+
+TEST(OmegaTest, EmptyCoversAgreePerfectly) {
+  // Both covers put every pair at level 0: degenerate, returns 1.
+  EXPECT_DOUBLE_EQ(OmegaIndex(Cover{}, Cover{}, 5).value(), 1.0);
+}
+
+}  // namespace
+}  // namespace oca

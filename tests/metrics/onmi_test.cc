@@ -1,0 +1,90 @@
+#include "metrics/onmi.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/lfr.h"
+
+namespace oca {
+namespace {
+
+Cover MakeCover(std::vector<Community> communities) {
+  Cover cover(std::move(communities));
+  cover.Canonicalize();
+  return cover;
+}
+
+TEST(OnmiTest, IdenticalCoversGiveOne) {
+  Cover a = MakeCover({{0, 1, 2}, {3, 4, 5}});
+  EXPECT_NEAR(Onmi(a, a, 8).value(), 1.0, 1e-12);
+}
+
+TEST(OnmiTest, IdenticalOverlappingCoversGiveOne) {
+  Cover a = MakeCover({{0, 1, 2, 3}, {2, 3, 4, 5}});
+  EXPECT_NEAR(Onmi(a, a, 8).value(), 1.0, 1e-12);
+}
+
+TEST(OnmiTest, DisjointCommunityStructuresScoreZero) {
+  // No community of b aligns with any of a: conditional entropy stays at
+  // its prior, ONMI = 0.
+  Cover a = MakeCover({{0, 1, 2}});
+  Cover b = MakeCover({{5, 6, 7}});
+  EXPECT_NEAR(Onmi(a, b, 10).value(), 0.0, 1e-9);
+}
+
+TEST(OnmiTest, PartialAgreementBetweenZeroAndOne) {
+  Cover a = MakeCover({{0, 1, 2, 3}, {4, 5, 6, 7}});
+  Cover b = MakeCover({{0, 1, 2, 4}, {3, 5, 6, 7}});
+  double onmi = Onmi(a, b, 8).value();
+  EXPECT_GT(onmi, 0.0);
+  EXPECT_LT(onmi, 1.0);
+}
+
+TEST(OnmiTest, Symmetric) {
+  Cover a = MakeCover({{0, 1, 2}, {2, 3, 4}});
+  Cover b = MakeCover({{0, 1}, {2, 3, 4, 5}});
+  EXPECT_NEAR(Onmi(a, b, 8).value(), Onmi(b, a, 8).value(), 1e-12);
+}
+
+TEST(OnmiTest, MoreSimilarScoresHigher) {
+  Cover truth = MakeCover({{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}});
+  Cover close = MakeCover({{0, 1, 2, 3}, {5, 6, 7, 8, 9}});
+  Cover far = MakeCover({{0, 5, 2, 7}, {1, 6, 3, 8}});
+  EXPECT_GT(Onmi(truth, close, 10).value(), Onmi(truth, far, 10).value());
+}
+
+TEST(OnmiTest, ErrorsOnDegenerateInputs) {
+  Cover a = MakeCover({{0, 1}});
+  EXPECT_TRUE(Onmi(a, Cover{}, 4).status().IsInvalidArgument());
+  EXPECT_TRUE(Onmi(Cover{}, a, 4).status().IsInvalidArgument());
+  EXPECT_TRUE(Onmi(a, a, 0).status().IsInvalidArgument());
+}
+
+TEST(OnmiTest, TracksLfrRecoveryQuality) {
+  // ONMI of ground truth vs itself with a few corrupted communities must
+  // fall strictly between the identity score and noise.
+  LfrOptions lfr;
+  lfr.num_nodes = 300;
+  lfr.average_degree = 12.0;
+  lfr.max_degree = 30;
+  lfr.mixing = 0.2;
+  lfr.min_community = 15;
+  lfr.max_community = 50;
+  lfr.seed = 3;
+  auto bench = GenerateLfr(lfr).value();
+  Cover corrupted = bench.ground_truth;
+  // Swap halves of the first two communities.
+  Community& c0 = corrupted[0];
+  Community& c1 = corrupted[1];
+  for (size_t i = 0; i < std::min(c0.size(), c1.size()) / 2; ++i) {
+    std::swap(c0[i], c1[i]);
+  }
+  corrupted.Canonicalize();
+  double perfect = Onmi(bench.ground_truth, bench.ground_truth, 300).value();
+  double damaged = Onmi(bench.ground_truth, corrupted, 300).value();
+  EXPECT_NEAR(perfect, 1.0, 1e-9);
+  EXPECT_LT(damaged, 0.99);
+  EXPECT_GT(damaged, 0.5);
+}
+
+}  // namespace
+}  // namespace oca

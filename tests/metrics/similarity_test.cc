@@ -1,0 +1,66 @@
+#include "metrics/similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace oca {
+namespace {
+
+TEST(IntersectionSizeTest, BasicCases) {
+  EXPECT_EQ(IntersectionSize({1, 2, 3}, {2, 3, 4}), 2u);
+  EXPECT_EQ(IntersectionSize({1, 2}, {3, 4}), 0u);
+  EXPECT_EQ(IntersectionSize({}, {1}), 0u);
+  EXPECT_EQ(IntersectionSize({1, 2, 3}, {1, 2, 3}), 3u);
+}
+
+TEST(RhoTest, IdenticalSetsGiveOne) {
+  EXPECT_DOUBLE_EQ(RhoSimilarity({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(RhoSimilarity({}, {}), 1.0);
+}
+
+TEST(RhoTest, DisjointSetsGiveZero) {
+  EXPECT_DOUBLE_EQ(RhoSimilarity({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(RhoSimilarity({}, {1, 2}), 0.0);
+}
+
+TEST(RhoTest, MatchesPaperDefinition) {
+  // rho(C,D) = 1 - (|C\D| + |D\C|) / |C u D|.
+  Community c = {1, 2, 3, 4};
+  Community d = {3, 4, 5, 6, 7};
+  // C\D = {1,2} (2), D\C = {5,6,7} (3), union = 7.
+  EXPECT_DOUBLE_EQ(RhoSimilarity(c, d), 1.0 - 5.0 / 7.0);
+  // Equivalently Jaccard: |{3,4}| / 7.
+  EXPECT_DOUBLE_EQ(RhoSimilarity(c, d), 2.0 / 7.0);
+}
+
+TEST(RhoTest, Symmetric) {
+  Community a = {1, 5, 9};
+  Community b = {1, 2, 9, 10};
+  EXPECT_DOUBLE_EQ(RhoSimilarity(a, b), RhoSimilarity(b, a));
+}
+
+TEST(RhoTest, SubsetRelation) {
+  // |A|=2 subset of |B|=6: rho = 2/6.
+  EXPECT_DOUBLE_EQ(RhoSimilarity({1, 2}, {1, 2, 3, 4, 5, 6}), 1.0 / 3.0);
+}
+
+TEST(RhoTest, RangeIsUnitInterval) {
+  // Exhaustive small-universe sweep: rho always in [0, 1].
+  for (unsigned mask_a = 0; mask_a < 32; ++mask_a) {
+    for (unsigned mask_b = 0; mask_b < 32; ++mask_b) {
+      Community a, b;
+      for (NodeId v = 0; v < 5; ++v) {
+        if (mask_a & (1u << v)) a.push_back(v);
+        if (mask_b & (1u << v)) b.push_back(v);
+      }
+      double rho = RhoSimilarity(a, b);
+      EXPECT_GE(rho, 0.0);
+      EXPECT_LE(rho, 1.0);
+      if (mask_a == mask_b) {
+        EXPECT_DOUBLE_EQ(rho, 1.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oca

@@ -1,0 +1,109 @@
+#include "metrics/theta.h"
+
+#include <gtest/gtest.h>
+
+namespace oca {
+namespace {
+
+Cover MakeCover(std::vector<Community> communities) {
+  Cover cover(std::move(communities));
+  cover.Canonicalize();
+  return cover;
+}
+
+TEST(ThetaTest, IdenticalStructuresGiveOne) {
+  Cover f = MakeCover({{0, 1, 2}, {3, 4, 5}});
+  EXPECT_DOUBLE_EQ(Theta(f, f).value(), 1.0);
+}
+
+TEST(ThetaTest, DisjointStructuresGiveZero) {
+  Cover f = MakeCover({{0, 1, 2}});
+  Cover o = MakeCover({{5, 6, 7}});
+  EXPECT_DOUBLE_EQ(Theta(f, o).value(), 0.0);
+}
+
+TEST(ThetaTest, EmptyObservedGivesZero) {
+  Cover f = MakeCover({{0, 1}});
+  EXPECT_DOUBLE_EQ(Theta(f, Cover{}).value(), 0.0);
+}
+
+TEST(ThetaTest, EmptyRealErrors) {
+  Cover o = MakeCover({{0, 1}});
+  EXPECT_TRUE(Theta(Cover{}, o).status().IsInvalidArgument());
+}
+
+TEST(ThetaTest, MissedCommunityPenalized) {
+  // Real has two communities, observed matches only one: Theta = 1/2.
+  Cover f = MakeCover({{0, 1, 2}, {3, 4, 5}});
+  Cover o = MakeCover({{0, 1, 2}});
+  EXPECT_DOUBLE_EQ(Theta(f, o).value(), 0.5);
+}
+
+TEST(ThetaTest, FragmentationPenalized) {
+  // One real community observed as two halves: each half has rho = 1/2,
+  // both attribute to the same F_1, average = 1/2.
+  Cover f = MakeCover({{0, 1, 2, 3}});
+  Cover o = MakeCover({{0, 1}, {2, 3}});
+  EXPECT_DOUBLE_EQ(Theta(f, o).value(), 0.5);
+}
+
+TEST(ThetaTest, NoiseCommunityDragsDownItsHost) {
+  // Perfect match plus a pure-noise observation (disjoint from all):
+  // the noise lands in V_0 with rho 0, halving F_0's average.
+  Cover f = MakeCover({{0, 1, 2}});
+  Cover o = MakeCover({{0, 1, 2}, {7, 8, 9}});
+  EXPECT_DOUBLE_EQ(Theta(f, o).value(), 0.5);
+}
+
+TEST(ThetaTest, AttributionGoesToBestMatch) {
+  Cover f = MakeCover({{0, 1, 2, 3}, {4, 5, 6, 7}});
+  Cover o = MakeCover({{0, 1, 2, 3}, {4, 5, 6}});
+  auto breakdown = ComputeTheta(f, o).value();
+  EXPECT_EQ(breakdown.attribution[0], 0u);
+  EXPECT_EQ(breakdown.attribution[1], 1u);
+  EXPECT_DOUBLE_EQ(breakdown.per_real_community[0], 1.0);
+  EXPECT_DOUBLE_EQ(breakdown.per_real_community[1], 0.75);
+  EXPECT_DOUBLE_EQ(breakdown.theta, 0.875);
+  EXPECT_EQ(breakdown.unmatched_real, 0u);
+}
+
+TEST(ThetaTest, OverlappingStructuresSupported) {
+  // Both sides overlapping (the paper stresses Theta handles this).
+  Cover f = MakeCover({{0, 1, 2, 3}, {3, 4, 5, 6}});
+  EXPECT_DOUBLE_EQ(Theta(f, f).value(), 1.0);
+  Cover o = MakeCover({{0, 1, 2, 3}, {3, 4, 5}});
+  double theta = Theta(f, o).value();
+  EXPECT_GT(theta, 0.8);
+  EXPECT_LT(theta, 1.0);
+}
+
+TEST(ThetaTest, UnmatchedRealCounted) {
+  Cover f = MakeCover({{0, 1}, {2, 3}, {4, 5}});
+  Cover o = MakeCover({{0, 1}});
+  auto breakdown = ComputeTheta(f, o).value();
+  EXPECT_EQ(breakdown.unmatched_real, 2u);
+  EXPECT_NEAR(breakdown.theta, 1.0 / 3.0, 1e-12);
+}
+
+TEST(ThetaTest, NotSymmetricInGeneral) {
+  Cover f = MakeCover({{0, 1, 2, 3, 4, 5}});
+  Cover o = MakeCover({{0, 1, 2}, {3, 4, 5}});
+  double forward = Theta(f, o).value();
+  double backward = Theta(o, f).value();
+  EXPECT_NE(forward, backward);
+}
+
+TEST(ThetaTest, ScaleInvariantPerfectMatch) {
+  // Larger structures still give exactly 1 on identity.
+  std::vector<Community> many;
+  for (NodeId base = 0; base < 500; base += 10) {
+    Community c;
+    for (NodeId v = base; v < base + 10; ++v) c.push_back(v);
+    many.push_back(std::move(c));
+  }
+  Cover f = MakeCover(many);
+  EXPECT_DOUBLE_EQ(Theta(f, f).value(), 1.0);
+}
+
+}  // namespace
+}  // namespace oca

@@ -1,0 +1,113 @@
+#include "spectral/power_method.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testing/test_graphs.h"
+
+namespace oca {
+namespace {
+
+using testing::Clique;
+using testing::Cycle;
+using testing::Path5;
+using testing::Star;
+using testing::Triangle;
+
+TEST(AdjacencyMatVecTest, MatchesManualComputation) {
+  Graph g = Path5();  // 0-1-2-3-4
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y;
+  AdjacencyMatVec(g, x, &y);
+  // y[i] = sum of x over neighbors.
+  EXPECT_EQ(y, (std::vector<double>{2, 4, 6, 8, 4}));
+}
+
+TEST(ShiftedMatVecTest, SubtractsShift) {
+  Graph g = Triangle();
+  std::vector<double> x = {1, 1, 1};
+  std::vector<double> y;
+  ShiftedAdjacencyMatVec(g, 2.0, x, &y);
+  // A*1 = degree = 2 for each; minus 2*1 = 0.
+  EXPECT_EQ(y, (std::vector<double>{0, 0, 0}));
+}
+
+TEST(RayleighQuotientTest, EigenvectorGivesEigenvalue) {
+  Graph g = Triangle();
+  std::vector<double> ones = {1, 1, 1};  // eigenvector of K3, lambda = 2
+  EXPECT_NEAR(RayleighQuotient(g, ones), 2.0, 1e-12);
+}
+
+TEST(DominantEigenpairTest, CliqueHasKnownSpectrum) {
+  // K_n: lambda_max = n-1.
+  for (size_t n : {3u, 5u, 8u}) {
+    auto est = DominantEigenpair(Clique(n)).value();
+    EXPECT_TRUE(est.converged);
+    EXPECT_NEAR(est.eigenvalue, static_cast<double>(n - 1), 1e-6) << "K" << n;
+  }
+}
+
+TEST(DominantEigenpairTest, StarHasSqrtLeaves) {
+  // Star with L leaves: lambda_max = sqrt(L).
+  auto est = DominantEigenpair(Star(9)).value();
+  EXPECT_NEAR(est.eigenvalue, 3.0, 1e-6);
+}
+
+TEST(DominantEigenpairTest, CycleHasLambdaTwo) {
+  auto est = DominantEigenpair(Cycle(10)).value();
+  EXPECT_NEAR(est.eigenvalue, 2.0, 1e-4);
+}
+
+TEST(DominantEigenpairTest, EigenvectorSatisfiesDefinition) {
+  Graph g = testing::KarateClub();
+  PowerMethodOptions tight;
+  tight.tolerance = 1e-10;
+  tight.max_iterations = 2000;
+  auto est = DominantEigenpair(g, tight).value();
+  ASSERT_TRUE(est.converged);
+  // Check ||A x - lambda x|| is small.
+  std::vector<double> y;
+  AdjacencyMatVec(g, est.eigenvector, &y);
+  double err = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    double r = y[i] - est.eigenvalue * est.eigenvector[i];
+    err += r * r;
+  }
+  // The Rayleigh-quotient stop rule bounds the eigenvalue error ~tol but
+  // the eigenvector residual only ~sqrt(tol-ish); 1e-3 is what the
+  // default tolerance guarantees on this graph.
+  EXPECT_LT(std::sqrt(err), 1e-3);
+}
+
+TEST(DominantEigenpairTest, PerronVectorIsPositive) {
+  // For a connected graph the dominant eigenvector has one sign.
+  auto est = DominantEigenpair(testing::KarateClub()).value();
+  double sign = est.eigenvector[0] > 0 ? 1.0 : -1.0;
+  for (double v : est.eigenvector) {
+    EXPECT_GT(sign * v, 0.0);
+  }
+}
+
+TEST(DominantEigenpairTest, EmptyGraphErrors) {
+  Graph g;
+  EXPECT_TRUE(DominantEigenpair(g).status().IsInvalidArgument());
+}
+
+TEST(DominantEigenpairTest, EdgelessGraphErrors) {
+  Graph g = BuildGraph(4, {}).value();
+  EXPECT_TRUE(DominantEigenpair(g).status().IsFailedPrecondition());
+}
+
+TEST(DominantEigenpairTest, DeterministicPerSeed) {
+  Graph g = testing::TwoCliquesBridge();
+  PowerMethodOptions opt;
+  opt.seed = 99;
+  auto a = DominantEigenpair(g, opt).value();
+  auto b = DominantEigenpair(g, opt).value();
+  EXPECT_EQ(a.eigenvalue, b.eigenvalue);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+}  // namespace
+}  // namespace oca

@@ -1,0 +1,101 @@
+// Canonical graph fixtures shared across the test suite.
+
+#ifndef OCA_TESTS_TESTING_TEST_GRAPHS_H_
+#define OCA_TESTS_TESTING_TEST_GRAPHS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+
+namespace oca::testing {
+
+/// Triangle on {0,1,2}.
+inline Graph Triangle() {
+  return BuildGraph(3, {{0, 1}, {1, 2}, {0, 2}}).value();
+}
+
+/// Path 0-1-2-3-4.
+inline Graph Path5() {
+  return BuildGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}}).value();
+}
+
+/// Complete graph on k nodes.
+inline Graph Clique(size_t k) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < k; ++u) {
+    for (NodeId v = u + 1; v < k; ++v) edges.push_back({u, v});
+  }
+  return BuildGraph(k, edges).value();
+}
+
+/// Two 5-cliques {0..4} and {5..9} joined by the single bridge 4-5.
+/// The canonical two-community graph.
+inline Graph TwoCliquesBridge() {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = u + 1; v < 5; ++v) edges.push_back({u, v});
+  }
+  for (NodeId u = 5; u < 10; ++u) {
+    for (NodeId v = u + 1; v < 10; ++v) edges.push_back({u, v});
+  }
+  edges.push_back({4, 5});
+  return BuildGraph(10, edges).value();
+}
+
+/// Two 6-cliques sharing nodes {4, 5}: ground truth OVERLAPPING
+/// communities {0..5} and {4..9}.
+inline Graph TwoCliquesOverlap() {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) edges.push_back({u, v});
+  }
+  for (NodeId u = 4; u < 10; ++u) {
+    for (NodeId v = u + 1; v < 10; ++v) edges.push_back({u, v});
+  }
+  return BuildGraph(10, edges).value();
+}
+
+/// Star with `leaves` leaves; center is node 0.
+inline Graph Star(size_t leaves) {
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v <= leaves; ++v) edges.push_back({0, v});
+  return BuildGraph(leaves + 1, edges).value();
+}
+
+/// Cycle on k nodes.
+inline Graph Cycle(size_t k) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < k; ++v) {
+    edges.push_back({v, static_cast<NodeId>((v + 1) % k)});
+  }
+  return BuildGraph(k, edges).value();
+}
+
+/// Zachary's karate club (34 nodes, 78 edges) — the classic real-world
+/// community-detection test graph.
+inline Graph KarateClub() {
+  static const std::vector<Edge> kEdges = {
+      {0, 1},   {0, 2},   {0, 3},   {0, 4},   {0, 5},   {0, 6},   {0, 7},
+      {0, 8},   {0, 10},  {0, 11},  {0, 12},  {0, 13},  {0, 17},  {0, 19},
+      {0, 21},  {0, 31},  {1, 2},   {1, 3},   {1, 7},   {1, 13},  {1, 17},
+      {1, 19},  {1, 21},  {1, 30},  {2, 3},   {2, 7},   {2, 8},   {2, 9},
+      {2, 13},  {2, 27},  {2, 28},  {2, 32},  {3, 7},   {3, 12},  {3, 13},
+      {4, 6},   {4, 10},  {5, 6},   {5, 10},  {5, 16},  {6, 16},  {8, 30},
+      {8, 32},  {8, 33},  {9, 33},  {13, 33}, {14, 32}, {14, 33}, {15, 32},
+      {15, 33}, {18, 32}, {18, 33}, {19, 33}, {20, 32}, {20, 33}, {22, 32},
+      {22, 33}, {23, 25}, {23, 27}, {23, 29}, {23, 32}, {23, 33}, {24, 25},
+      {24, 27}, {24, 31}, {25, 31}, {26, 29}, {26, 33}, {27, 33}, {28, 31},
+      {28, 33}, {29, 32}, {29, 33}, {30, 32}, {30, 33}, {31, 32}, {31, 33},
+      {32, 33}};
+  return BuildGraph(34, kEdges).value();
+}
+
+/// Disconnected graph: triangle {0,1,2} + edge {3,4} + isolated node 5.
+inline Graph ThreeComponents() {
+  return BuildGraph(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}}).value();
+}
+
+}  // namespace oca::testing
+
+#endif  // OCA_TESTS_TESTING_TEST_GRAPHS_H_

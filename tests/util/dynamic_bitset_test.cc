@@ -1,0 +1,90 @@
+#include "util/dynamic_bitset.h"
+
+#include <gtest/gtest.h>
+
+namespace oca {
+namespace {
+
+TEST(DynamicBitsetTest, SetTestReset) {
+  DynamicBitset bits(130);  // crosses word boundaries
+  EXPECT_EQ(bits.size(), 130u);
+  EXPECT_TRUE(bits.None());
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(129));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_EQ(bits.Count(), 4u);
+  bits.Reset(63);
+  EXPECT_FALSE(bits.Test(63));
+  EXPECT_EQ(bits.Count(), 3u);
+}
+
+TEST(DynamicBitsetTest, ClearZeroesEverything) {
+  DynamicBitset bits(70);
+  for (size_t i = 0; i < 70; i += 3) bits.Set(i);
+  bits.Clear();
+  EXPECT_TRUE(bits.None());
+}
+
+TEST(DynamicBitsetTest, ForEachSetVisitsAscending) {
+  DynamicBitset bits(200);
+  std::vector<size_t> expected = {3, 64, 65, 127, 128, 199};
+  for (size_t i : expected) bits.Set(i);
+  std::vector<size_t> visited;
+  bits.ForEachSet([&visited](size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, expected);
+}
+
+TEST(DynamicBitsetTest, ToVectorMatchesForEach) {
+  DynamicBitset bits(100);
+  bits.Set(10);
+  bits.Set(50);
+  bits.Set(99);
+  EXPECT_EQ(bits.ToVector(), (std::vector<uint32_t>{10, 50, 99}));
+}
+
+TEST(DynamicBitsetTest, SetOperations) {
+  DynamicBitset a(80), b(80);
+  a.Set(1);
+  a.Set(10);
+  a.Set(70);
+  b.Set(10);
+  b.Set(70);
+  b.Set(75);
+
+  DynamicBitset inter = a;
+  inter &= b;
+  EXPECT_EQ(inter.ToVector(), (std::vector<uint32_t>{10, 70}));
+
+  DynamicBitset uni = a;
+  uni |= b;
+  EXPECT_EQ(uni.ToVector(), (std::vector<uint32_t>{1, 10, 70, 75}));
+
+  DynamicBitset diff = a;
+  diff -= b;
+  EXPECT_EQ(diff.ToVector(), (std::vector<uint32_t>{1}));
+}
+
+TEST(DynamicBitsetTest, EqualityComparesContent) {
+  DynamicBitset a(64), b(64);
+  EXPECT_TRUE(a == b);
+  a.Set(5);
+  EXPECT_FALSE(a == b);
+  b.Set(5);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(DynamicBitsetTest, EmptyBitset) {
+  DynamicBitset bits;
+  EXPECT_EQ(bits.size(), 0u);
+  EXPECT_EQ(bits.Count(), 0u);
+  bits.ForEachSet([](size_t) { FAIL() << "no bits should be set"; });
+}
+
+}  // namespace
+}  // namespace oca

@@ -1,0 +1,177 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace oca {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+  }
+  // Different seeds diverge immediately with overwhelming probability.
+  Rng a2(123);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a2.Next() != c.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, (1ull << 40)}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.NextBounded(kBuckets)];
+  }
+  for (int c : counts) {
+    // Expected 10000 per bucket; 5-sigma band ~ +-470.
+    EXPECT_NEAR(c, kDraws / kBuckets, 500);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit in 1000 draws
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.NextBool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(RngTest, GeometricMeanMatches) {
+  Rng rng(19);
+  double p = 0.2;
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(rng.NextGeometric(p));
+  }
+  // E[failures before success] = (1-p)/p = 4.
+  EXPECT_NEAR(sum / kN, 4.0, 0.15);
+}
+
+TEST(RngTest, PowerLawRespectsBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = rng.NextPowerLaw(5, 50, 2.0);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 50u);
+  }
+  EXPECT_EQ(rng.NextPowerLaw(7, 7, 2.0), 7u);
+}
+
+TEST(RngTest, PowerLawIsHeavyOnSmallValues) {
+  Rng rng(29);
+  int small = 0, large = 0;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = rng.NextPowerLaw(1, 100, 2.5);
+    if (v <= 3) ++small;
+    if (v >= 50) ++large;
+  }
+  EXPECT_GT(small, 10 * large);  // strongly skewed toward the head
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(31);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(37);
+  std::vector<int> pool(50);
+  std::iota(pool.begin(), pool.end(), 0);
+  auto sample = rng.SampleWithoutReplacement(pool, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (int x : sample) {
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 50);
+  }
+}
+
+TEST(RngTest, ForkStreamsAreDecorrelated) {
+  Rng parent(41);
+  Rng c0 = parent.Fork(0);
+  Rng parent2(41);
+  Rng c1 = parent2.Fork(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c0.Next() == c1.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  uint64_t s1 = 0, s2 = 0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+  }
+}
+
+}  // namespace
+}  // namespace oca

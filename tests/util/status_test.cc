@@ -1,0 +1,105 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace oca {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, NamedConstructorsCarryCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "invalid_argument: bad thing");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument), "invalid_argument");
+  EXPECT_EQ(StatusCodeName(StatusCode::kIOError), "io_error");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "internal");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chained(int x) {
+  OCA_RETURN_IF_ERROR(FailsWhenNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chained(1).ok());
+  EXPECT_TRUE(Chained(-1).IsInvalidArgument());
+}
+
+TEST(ResultTest, ValueRoundTrip) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, ErrorCarriesStatus) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> HalfIfEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterIfDivisible(int x) {
+  OCA_ASSIGN_OR_RETURN(int half, HalfIfEven(x));
+  OCA_ASSIGN_OR_RETURN(int quarter, HalfIfEven(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  auto ok = QuarterIfDivisible(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+
+  auto bad = QuarterIfDivisible(6);  // 6/2=3, 3 is odd
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+}  // namespace
+}  // namespace oca

@@ -1,0 +1,91 @@
+#include "util/stopwatch_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace oca {
+namespace {
+
+TEST(StreamingStatsTest, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(StreamingStatsTest, KnownSmallSample) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  // Population variance is 4; sample variance is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(StreamingStatsTest, SingleSampleHasZeroVariance) {
+  StreamingStats s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(StreamingStatsTest, MergeEqualsCombinedStream) {
+  Rng rng(3);
+  StreamingStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextGaussian() * 2.0 + 1.0;
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStatsTest, MergeWithEmptySides) {
+  StreamingStats a, b, c;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);  // empty rhs: unchanged
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  c.Merge(a);  // empty lhs: copies
+  EXPECT_EQ(c.count(), 2);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  // Busy-wait a tiny amount; elapsed must be non-negative and monotone.
+  double first = t.ElapsedSeconds();
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  double second = t.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(second, first);
+  t.Restart();
+  EXPECT_LT(t.ElapsedSeconds(), second + 1.0);
+}
+
+TEST(FormatDurationTest, PicksSensibleUnits) {
+  EXPECT_EQ(FormatDuration(0.000001), "1us");
+  EXPECT_EQ(FormatDuration(0.00052), "520us");
+  EXPECT_EQ(FormatDuration(0.0052), "5.2ms");
+  EXPECT_EQ(FormatDuration(0.25), "250.0ms");
+  EXPECT_EQ(FormatDuration(3.21), "3.21s");
+  EXPECT_EQ(FormatDuration(125.0), "2m05s");
+}
+
+}  // namespace
+}  // namespace oca

@@ -1,0 +1,72 @@
+#include "util/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace oca {
+namespace {
+
+TEST(UnionFindTest, InitiallyAllSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SetSize(i), 1u);
+  }
+}
+
+TEST(UnionFindTest, UnionMergesAndReportsNovelty) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));  // already merged
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_EQ(uf.SetSize(0), 2u);
+}
+
+TEST(UnionFindTest, TransitiveConnectivity) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Connected(0, 3));
+  EXPECT_EQ(uf.SetSize(3), 4u);
+  EXPECT_EQ(uf.num_sets(), 3u);  // {0,1,2,3}, {4}, {5}
+}
+
+TEST(UnionFindTest, GroupsAreSortedAndComplete) {
+  UnionFind uf(6);
+  uf.Union(4, 2);
+  uf.Union(5, 0);
+  auto groups = uf.Groups();
+  ASSERT_EQ(groups.size(), 4u);
+  // Ordered by smallest member: {0,5}, {1}, {2,4}, {3}.
+  EXPECT_EQ(groups[0], (std::vector<uint32_t>{0, 5}));
+  EXPECT_EQ(groups[1], (std::vector<uint32_t>{1}));
+  EXPECT_EQ(groups[2], (std::vector<uint32_t>{2, 4}));
+  EXPECT_EQ(groups[3], (std::vector<uint32_t>{3}));
+}
+
+TEST(UnionFindTest, RandomizedInvariants) {
+  constexpr size_t kN = 2000;
+  UnionFind uf(kN);
+  Rng rng(7);
+  size_t expected_sets = kN;
+  for (int i = 0; i < 5000; ++i) {
+    uint32_t a = static_cast<uint32_t>(rng.NextBounded(kN));
+    uint32_t b = static_cast<uint32_t>(rng.NextBounded(kN));
+    bool merged = uf.Union(a, b);
+    if (merged) --expected_sets;
+    EXPECT_TRUE(uf.Connected(a, b));
+    EXPECT_EQ(uf.num_sets(), expected_sets);
+  }
+  // Sum of group sizes must be kN.
+  size_t total = 0;
+  for (const auto& g : uf.Groups()) total += g.size();
+  EXPECT_EQ(total, kN);
+}
+
+}  // namespace
+}  // namespace oca
