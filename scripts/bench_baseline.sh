@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_baseline.json from bench_micro_kernels. Run after a
+# perf-relevant change to refresh the trajectory later PRs are measured
+# against; commit the result together with the change that moved it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Dedicated build dir with sanitizers pinned off, so a cached
+# OCA_SANITIZE from an earlier verify.sh run can't skew the timings.
+BUILD_DIR="${BUILD_DIR:-build-bench}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DOCA_SANITIZE= >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_micro_kernels
+"$BUILD_DIR"/bench/bench_micro_kernels \
+  --benchmark_format=json \
+  --benchmark_out=BENCH_baseline.json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true
+echo "Wrote BENCH_baseline.json"

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification entrypoint — the exact command from ROADMAP.md.
+# CI and humans both run this; keep it in sync with the ROADMAP line.
+#
+# Usage:
+#   scripts/verify.sh                 # Release build into ./build
+#   BUILD_TYPE=Debug scripts/verify.sh
+#   CMAKE_ARGS="-DOCA_SANITIZE=address" scripts/verify.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_TYPE="${BUILD_TYPE:-Release}"
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE" ${CMAKE_ARGS:-} &&
+  cmake --build "$BUILD_DIR" -j"$(nproc)" &&
+  cd "$BUILD_DIR" &&
+  ctest --output-on-failure -j"$(nproc)"

@@ -1,0 +1,53 @@
+// Smoke test: the canonical two-clique graph is the smallest input with
+// unambiguous community structure. OCA must recover exactly the two
+// cliques, and must do so bit-identically for a fixed seed regardless of
+// the thread count — the determinism contract RunOca documents.
+
+#include <gtest/gtest.h>
+
+#include "core/oca.h"
+#include "testing/test_graphs.h"
+
+namespace oca {
+namespace {
+
+OcaOptions SmokeOptions(size_t num_threads) {
+  OcaOptions opt;
+  opt.seed = 7;
+  opt.num_threads = num_threads;
+  return opt;
+}
+
+TEST(SmokeTest, TwoCliquesBridgeRecoversBothCliques) {
+  Graph g = testing::TwoCliquesBridge();
+  auto result = RunOca(g, SmokeOptions(1)).value();
+
+  ASSERT_EQ(result.cover.size(), 2u);
+  Community left = {0, 1, 2, 3, 4};
+  Community right = {5, 6, 7, 8, 9};
+  // Canonical order is lexicographic, so the left clique comes first. The
+  // bridge endpoints may be absorbed by the opposite community (overlap is
+  // legal), but each clique must be fully contained in its community.
+  EXPECT_TRUE(std::includes(result.cover[0].begin(), result.cover[0].end(),
+                            left.begin(), left.end()));
+  EXPECT_TRUE(std::includes(result.cover[1].begin(), result.cover[1].end(),
+                            right.begin(), right.end()));
+}
+
+TEST(SmokeTest, FixedSeedIsDeterministicAcrossRuns) {
+  Graph g = testing::TwoCliquesBridge();
+  auto first = RunOca(g, SmokeOptions(1)).value();
+  auto second = RunOca(g, SmokeOptions(1)).value();
+  EXPECT_EQ(first.cover, second.cover);
+}
+
+TEST(SmokeTest, FixedSeedIsDeterministicAcrossThreadCounts) {
+  Graph g = testing::TwoCliquesBridge();
+  auto serial = RunOca(g, SmokeOptions(1)).value();
+  auto parallel = RunOca(g, SmokeOptions(4)).value();
+  EXPECT_EQ(serial.cover, parallel.cover);
+  EXPECT_EQ(serial.cover.size(), 2u);
+}
+
+}  // namespace
+}  // namespace oca
