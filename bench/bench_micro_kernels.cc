@@ -15,6 +15,7 @@
 #include "gen/erdos_renyi.h"
 #include "gen/lfr.h"
 #include "spectral/extreme_eigen.h"
+#include "spectral/spectral_engine.h"
 #include "util/random.h"
 
 namespace {
@@ -54,6 +55,30 @@ void BM_CouplingConstant(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CouplingConstant);
+
+// Same resolution through a persistent engine: after the first call the
+// per-graph cache answers (the hierarchy / repeated-run path).
+void BM_CouplingConstantCached(benchmark::State& state) {
+  const oca::Graph& g = LfrGraph();
+  oca::SpectralEngine engine;
+  benchmark::DoNotOptimize(engine.CouplingConstant(g));
+  for (auto _ : state) {
+    auto c = engine.CouplingConstant(g);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_CouplingConstantCached);
+
+// Both extremes at the tight value tolerance (1e-7) — the path spectral
+// analyses use; slower than the coupling-targeted stop by design.
+void BM_ExtremeEigenvalues(benchmark::State& state) {
+  const oca::Graph& g = LfrGraph();
+  for (auto _ : state) {
+    auto eig = oca::ComputeExtremeEigenvalues(g);
+    benchmark::DoNotOptimize(eig);
+  }
+}
+BENCHMARK(BM_ExtremeEigenvalues);
 
 // The headline kernel: scoring one candidate move. Incremental delta
 // evaluation is O(1); the naive alternative re-scans the subset.

@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_baseline.json from bench_micro_kernels. Run after a
-# perf-relevant change to refresh the trajectory later PRs are measured
-# against; commit the result together with the change that moved it.
+# Regenerates a BENCH_*.json snapshot from bench_micro_kernels. Run after
+# a perf-relevant change and commit the result together with the change
+# that moved it.
+#
+# Usage:
+#   scripts/bench_baseline.sh              # overwrites BENCH_baseline.json
+#   scripts/bench_baseline.sh BENCH_pr3.json   # per-PR snapshot, baseline kept
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_baseline.json}"
 
 # Dedicated build dir with sanitizers pinned off, so a cached
 # OCA_SANITIZE from an earlier verify.sh run can't skew the timings.
@@ -14,7 +20,7 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DOCA_SANITIZE= >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_micro_kernels
 "$BUILD_DIR"/bench/bench_micro_kernels \
   --benchmark_format=json \
-  --benchmark_out=BENCH_baseline.json \
+  --benchmark_out="$OUT" \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true
-echo "Wrote BENCH_baseline.json"
+echo "Wrote $OUT"

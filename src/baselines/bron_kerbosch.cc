@@ -1,6 +1,7 @@
 #include "baselines/bron_kerbosch.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "graph/k_core.h"
 
@@ -8,26 +9,23 @@ namespace oca {
 
 namespace {
 
-// Sorted-vector set intersection: out = a  n  N(v).
-std::vector<NodeId> IntersectWithNeighbors(const Graph& graph,
-                                           const std::vector<NodeId>& a,
-                                           NodeId v) {
-  std::vector<NodeId> out;
+// Sorted-vector set intersection into a reused buffer: *out = a n N(v).
+void IntersectWithNeighbors(const Graph& graph, const std::vector<NodeId>& a,
+                            NodeId v, std::vector<NodeId>* out) {
+  out->clear();
   auto nbrs = graph.Neighbors(v);
-  out.reserve(std::min(a.size(), nbrs.size()));
   std::set_intersection(a.begin(), a.end(), nbrs.begin(), nbrs.end(),
-                        std::back_inserter(out));
-  return out;
+                        std::back_inserter(*out));
 }
-
-// Exception-free early-exit signaling via return value.
-struct Aborted {};
 
 class BkRunner {
  public:
   BkRunner(const Graph& graph, const CliqueEnumerationOptions& options,
            const std::function<void(const std::vector<NodeId>&)>& sink)
-      : graph_(graph), options_(options), sink_(sink) {}
+      : graph_(graph),
+        options_(options),
+        sink_(sink),
+        in_p_epoch_(graph.num_nodes(), 0) {}
 
   CliqueEnumerationStats Run() {
     // Degeneracy-order outer loop: for each v, branch on
@@ -35,6 +33,11 @@ class BkRunner {
     std::vector<NodeId> order = DegeneracyOrder(graph_);
     std::vector<uint32_t> rank(graph_.num_nodes());
     for (uint32_t i = 0; i < order.size(); ++i) rank[order[i]] = i;
+
+    // Pre-size the per-depth scratch pool: recursion depth is bounded by
+    // the largest clique, hence by max degree + 1. Sizing up-front keeps
+    // every DepthScratch reference stable across recursive calls.
+    scratch_.resize(graph_.MaxDegree() + 2);
 
     std::vector<NodeId> r, p, x;
     for (NodeId v : order) {
@@ -47,17 +50,26 @@ class BkRunner {
       std::sort(p.begin(), p.end());
       std::sort(x.begin(), x.end());
       r = {v};
-      Recurse(&r, p, x);
+      Recurse(&r, &p, &x, 0);
     }
     return stats_;
   }
 
  private:
-  void Recurse(std::vector<NodeId>* r, std::vector<NodeId> p,
-               std::vector<NodeId> x) {
+  /// Per-depth scratch for the child P/X sets and the branch candidates,
+  /// reused across all siblings at that depth so the recursion performs
+  /// no allocation once the pools are warm.
+  struct DepthScratch {
+    std::vector<NodeId> child_p;
+    std::vector<NodeId> child_x;
+    std::vector<NodeId> candidates;
+  };
+
+  void Recurse(std::vector<NodeId>* r, std::vector<NodeId>* p,
+               std::vector<NodeId>* x, size_t depth) {
     ++stats_.recursive_calls;
     if (stats_.truncated) return;
-    if (p.empty() && x.empty()) {
+    if (p->empty() && x->empty()) {
       if (r->size() >= options_.min_size) {
         std::vector<NodeId> clique = *r;
         std::sort(clique.begin(), clique.end());
@@ -71,35 +83,49 @@ class BkRunner {
       return;
     }
 
-    // Pivot: the vertex of P u X with the most neighbors in P.
+    // Tomita pivot: the vertex of P u X covering the most of P (maximum
+    // |N(u) n P|), so the branch set P \ N(pivot) is smallest. Counting
+    // runs over an epoch-marked membership array in O(deg(u)) per
+    // candidate — no allocation, no per-neighbor binary search — which
+    // is what keeps the pivot scan from dominating on dense subproblems.
+    const uint64_t epoch = ++epoch_;
+    for (NodeId v : *p) in_p_epoch_[v] = epoch;
     NodeId pivot = 0;
-    size_t best = SIZE_MAX;
-    for (const auto* set : {&p, &x}) {
+    size_t best_cover = 0;
+    bool have_pivot = false;
+    for (const auto* set : {p, x}) {
       for (NodeId u : *set) {
-        size_t non_nbrs = p.size() - IntersectWithNeighbors(graph_, p, u).size();
-        if (non_nbrs < best) {
-          best = non_nbrs;
+        size_t cover = 0;
+        for (NodeId nb : graph_.Neighbors(u)) {
+          if (in_p_epoch_[nb] == epoch) ++cover;
+        }
+        if (!have_pivot || cover > best_cover) {
+          have_pivot = true;
+          best_cover = cover;
           pivot = u;
         }
       }
     }
 
     // Branch on P \ N(pivot).
-    std::vector<NodeId> candidates;
+    assert(depth < scratch_.size() && "recursion deeper than max clique");
+    DepthScratch& scratch = scratch_[depth];
+    scratch.candidates.clear();
     {
       auto nbrs = graph_.Neighbors(pivot);
-      std::set_difference(p.begin(), p.end(), nbrs.begin(), nbrs.end(),
-                          std::back_inserter(candidates));
+      std::set_difference(p->begin(), p->end(), nbrs.begin(), nbrs.end(),
+                          std::back_inserter(scratch.candidates));
     }
-    for (NodeId v : candidates) {
+    for (NodeId v : scratch.candidates) {
       if (stats_.truncated) return;
+      IntersectWithNeighbors(graph_, *p, v, &scratch.child_p);
+      IntersectWithNeighbors(graph_, *x, v, &scratch.child_x);
       r->push_back(v);
-      Recurse(r, IntersectWithNeighbors(graph_, p, v),
-              IntersectWithNeighbors(graph_, x, v));
+      Recurse(r, &scratch.child_p, &scratch.child_x, depth + 1);
       r->pop_back();
       // Move v from P to X.
-      p.erase(std::lower_bound(p.begin(), p.end(), v));
-      x.insert(std::lower_bound(x.begin(), x.end(), v), v);
+      p->erase(std::lower_bound(p->begin(), p->end(), v));
+      x->insert(std::lower_bound(x->begin(), x->end(), v), v);
     }
   }
 
@@ -107,6 +133,12 @@ class BkRunner {
   const CliqueEnumerationOptions& options_;
   const std::function<void(const std::vector<NodeId>&)>& sink_;
   CliqueEnumerationStats stats_;
+  // Pivot-scan scratch: in_p_epoch_[v] == epoch_ iff v is in the current
+  // call's P. Reused across the whole recursion (64-bit epochs cannot
+  // wrap in practice).
+  std::vector<uint64_t> in_p_epoch_;
+  uint64_t epoch_ = 0;
+  std::vector<DepthScratch> scratch_;
 };
 
 }  // namespace

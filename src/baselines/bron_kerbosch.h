@@ -1,4 +1,6 @@
-// Maximal clique enumeration: Bron–Kerbosch with pivoting over a
+// Maximal clique enumeration: Bron–Kerbosch with Tomita max-cover
+// pivoting (pivot = vertex of P u X with the most neighbors in P,
+// counted over an epoch-marked scratch in O(deg) per candidate) inside a
 // degeneracy-ordered outer loop (Eppstein, Löffler & Strash 2010), the
 // standard approach for sparse real-world graphs.
 

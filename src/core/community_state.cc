@@ -83,16 +83,27 @@ void CommunityState::Clear() {
 }
 
 SubsetStats ComputeSubsetStats(const Graph& graph, const Community& nodes) {
-  Community sorted = nodes;
-  std::sort(sorted.begin(), sorted.end());
+  // Epoch-marked membership scratch: exactly O(sum deg), no sort and no
+  // per-neighbor binary search. thread_local (mirroring FastClimb's
+  // scratch) so metric sweeps over many communities reuse one
+  // allocation. `nodes` must be duplicate-free (Community contract).
+  thread_local std::vector<uint32_t> mark;
+  thread_local uint32_t epoch = 0;
+  if (mark.size() < graph.num_nodes()) mark.resize(graph.num_nodes(), 0);
+  if (++epoch == 0) {  // wrapped: invalidate stale marks
+    std::fill(mark.begin(), mark.end(), 0);
+    epoch = 1;
+  }
+  for (NodeId v : nodes) {
+    assert(v < graph.num_nodes() && "subset node out of range");
+    mark[v] = epoch;
+  }
   SubsetStats stats;
-  stats.size = sorted.size();
-  for (NodeId v : sorted) {
+  stats.size = nodes.size();
+  for (NodeId v : nodes) {
     stats.volume += graph.Degree(v);
     for (NodeId u : graph.Neighbors(v)) {
-      if (u > v && std::binary_search(sorted.begin(), sorted.end(), u)) {
-        ++stats.ein;
-      }
+      if (u > v && mark[u] == epoch) ++stats.ein;
     }
   }
   return stats;

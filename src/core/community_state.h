@@ -71,7 +71,12 @@ class CommunityState {
 };
 
 /// Reference implementation: recomputes SubsetStats from scratch by
-/// scanning adjacency lists. O(sum deg). Used by tests and assertions.
+/// scanning adjacency lists with an epoch-marked membership scratch.
+/// Exactly O(sum deg) — no hashing, no sorting. `nodes` must be
+/// duplicate-free and in range. Used by the metrics layer (per-community
+/// one-shot evaluation), tests, and assertions; per-MOVE scoring must go
+/// through CommunityState / FitnessGain* instead (~1000x cheaper, see
+/// BM_DeltaEval* in bench_micro_kernels).
 SubsetStats ComputeSubsetStats(const Graph& graph, const Community& nodes);
 
 }  // namespace oca

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "metrics/similarity.h"
-#include "spectral/extreme_eigen.h"
+#include "spectral/spectral_engine.h"
 
 namespace oca {
 
@@ -25,18 +25,31 @@ Result<Hierarchy> BuildHierarchy(const Graph& graph,
     prev = f;
   }
 
-  // Resolve the admissible maximum once; levels scale it.
-  PowerMethodOptions pm = options.base.power_method;
-  pm.seed ^= options.base.seed;
-  OCA_ASSIGN_OR_RETURN(double c_max, ComputeCouplingConstant(graph, pm));
+  // One engine for the whole build: the admissible maximum c is resolved
+  // by a single minimum-end Lanczos sweep and cached per graph, so every
+  // level (and any nested RunOca that resolves spectra) reuses it
+  // instead of recomputing from a cold random vector.
+  SpectralEngineOptions engine_options =
+      ValueSolveOptionsFrom(options.base.power_method);
+  engine_options.seed ^= options.base.seed;
+  engine_options.num_threads = options.base.num_threads;
+  SpectralEngine engine(engine_options);
+  OCA_ASSIGN_OR_RETURN(CouplingResult coupling,
+                       engine.CouplingConstant(graph));
+  const double c_max = coupling.c;
 
   Hierarchy hierarchy;
   for (double fraction : options.resolution_fractions) {
     OcaOptions level_options = options.base;
     level_options.coupling_constant = std::min(c_max * fraction, 1.0 - 1e-9);
-    OCA_ASSIGN_OR_RETURN(OcaResult run, RunOca(graph, level_options));
-    hierarchy.levels.push_back(
-        {level_options.coupling_constant, std::move(run.cover)});
+    OCA_ASSIGN_OR_RETURN(OcaResult run,
+                         RunOca(graph, level_options, &engine));
+    // The level ran with an explicit c, so surface the cached spectral
+    // context in its stats (no extra solve).
+    run.stats.lambda_min = coupling.lambda_min;
+    hierarchy.levels.push_back({level_options.coupling_constant,
+                                std::move(run.cover),
+                                std::move(run.stats)});
   }
 
   // Containment links between consecutive levels, discovered through the

@@ -21,10 +21,12 @@
 
 namespace oca {
 
-/// One resolution level: the coupling value and the cover found at it.
+/// One resolution level: the coupling value, the cover found at it, and
+/// the run statistics of that level's OCA pass.
 struct HierarchyLevel {
   double c = 0.0;
   Cover cover;
+  OcaRunStats stats;
 };
 
 /// Link from a community to its best-containing community one level
@@ -58,6 +60,15 @@ struct HierarchyOptions {
 /// Runs OCA once per resolution level and links fine communities to
 /// coarse ones by containment. Errors propagate from RunOca and on
 /// malformed resolution lists.
+///
+/// Spectral work is shared across the whole build through one
+/// SpectralEngine: the admissible maximum c = -1/lambda_min is resolved
+/// once (a single minimum-end Lanczos sweep) and every level reuses the
+/// engine's per-graph cache instead of recomputing from a cold random
+/// vector; each level's stats record lambda_min for free. When levels
+/// run on evolving graphs (future work: per-community subgraphs), the
+/// engine's warm-start hook seeds each level from the parent level's
+/// eigenvector.
 Result<Hierarchy> BuildHierarchy(const Graph& graph,
                                  const HierarchyOptions& options);
 

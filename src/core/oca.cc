@@ -1,10 +1,11 @@
 #include "core/oca.h"
 
+#include <algorithm>
 #include <memory>
 #include <unordered_set>
 
 #include "core/parallel_driver.h"
-#include "spectral/extreme_eigen.h"
+#include "spectral/spectral_engine.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -45,6 +46,11 @@ Status ValidateOptions(const OcaOptions& options) {
 }  // namespace
 
 Result<OcaResult> RunOca(const Graph& graph, const OcaOptions& options) {
+  return RunOca(graph, options, /*engine=*/nullptr);
+}
+
+Result<OcaResult> RunOca(const Graph& graph, const OcaOptions& options,
+                         SpectralEngine* engine) {
   if (graph.num_nodes() == 0) {
     return Status::InvalidArgument("OCA on an empty graph");
   }
@@ -57,16 +63,23 @@ Result<OcaResult> RunOca(const Graph& graph, const OcaOptions& options) {
   OcaResult result;
   Timer timer;
 
-  // --- 1. Coupling constant. ---
+  // --- 1. Coupling constant (engine-resolved unless supplied). ---
   double c = options.coupling_constant;
   if (c <= 0.0) {
-    PowerMethodOptions pm = options.power_method;
-    pm.seed ^= options.seed;
-    OCA_ASSIGN_OR_RETURN(ExtremeEigenvalues eig,
-                         ComputeExtremeEigenvalues(graph, pm));
-    result.stats.lambda_min = eig.lambda_min;
-    c = -1.0 / eig.lambda_min;
-    if (c >= 1.0) c = 1.0 - 1e-9;
+    std::unique_ptr<SpectralEngine> owned;
+    if (engine == nullptr) {
+      SpectralEngineOptions engine_options =
+          ValueSolveOptionsFrom(options.power_method);
+      engine_options.seed ^= options.seed;
+      engine_options.num_threads = options.num_threads;
+      owned = std::make_unique<SpectralEngine>(engine_options);
+      engine = owned.get();
+    }
+    OCA_ASSIGN_OR_RETURN(CouplingResult coupling,
+                         engine->CouplingConstant(graph));
+    result.stats.lambda_min = coupling.lambda_min;
+    result.stats.spectral_iterations = coupling.iterations;
+    c = coupling.c;
     if (c <= 0.0) {
       return Status::Internal("computed coupling constant non-positive");
     }

@@ -24,10 +24,14 @@
 
 namespace oca {
 
+class SpectralEngine;
+
 /// Everything OCA reports back besides the cover itself.
 struct OcaRunStats {
   double coupling_constant = 0.0;   // resolved c
   double lambda_min = 0.0;          // 0 when c was supplied by the caller
+  size_t spectral_iterations = 0;   // Lanczos steps spent resolving c
+                                    // (0: supplied or engine cache hit)
   size_t seeds_expanded = 0;
   size_t raw_communities = 0;       // distinct local maxima before merging
   size_t discarded_small = 0;       // below min_community_size
@@ -55,6 +59,14 @@ struct OcaResult {
 /// or edgeless graph (no community structure to search) and on invalid
 /// options.
 Result<OcaResult> RunOca(const Graph& graph, const OcaOptions& options = {});
+
+/// Same, sharing a caller-held SpectralEngine (may be null). The engine's
+/// per-graph cache means repeated runs over the same graph — hierarchy
+/// levels, parameter sweeps — resolve the coupling constant once; its
+/// warm-start hook lets callers seed the solve from a related graph's
+/// eigenvector. The engine must outlive the call.
+Result<OcaResult> RunOca(const Graph& graph, const OcaOptions& options,
+                         SpectralEngine* engine);
 
 }  // namespace oca
 

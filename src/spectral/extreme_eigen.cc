@@ -1,93 +1,26 @@
 #include "spectral/extreme_eigen.h"
 
-#include <cmath>
-
-#include "util/random.h"
+#include "spectral/spectral_engine.h"
 
 namespace oca {
 
-namespace {
-
-double Norm2(const std::vector<double>& x) {
-  double s = 0.0;
-  for (double v : x) s += v * v;
-  return std::sqrt(s);
-}
-
-}  // namespace
+// Both free functions are API-compatible wrappers over SpectralEngine;
+// construct a fresh engine per call (workspace reuse and caching belong
+// to callers that hold an engine across calls, e.g. RunOca /
+// BuildHierarchy).
 
 Result<ExtremeEigenvalues> ComputeExtremeEigenvalues(
     const Graph& graph, const PowerMethodOptions& options) {
-  OCA_ASSIGN_OR_RETURN(EigenEstimate dominant, DominantEigenpair(graph, options));
-
-  ExtremeEigenvalues out;
-  out.lambda_max = dominant.eigenvalue;
-  out.iterations_max = dominant.iterations;
-
-  // Power iteration on B = A - sI with s slightly above the lambda_max
-  // estimate: every eigenvalue of B is <= 0 and the most negative one,
-  // lambda_min - s, strictly dominates in magnitude (s >= lambda_max >=
-  // lambda_i > lambda_min gives s - lambda_i < s - lambda_min), so the
-  // iteration converges to the lambda_min eigenvector regardless of
-  // bipartiteness — and with a near-optimal ratio, unlike a crude
-  // max-degree shift.
-  const double shift = dominant.eigenvalue * (1.0 + 1e-6) + 1e-9;
-  const size_t n = graph.num_nodes();
-
-  Rng rng(options.seed ^ 0xB16B00B5ull);
-  std::vector<double> x(n);
-  for (double& v : x) v = rng.NextGaussian();
-  double norm = Norm2(x);
-  for (double& v : x) v /= norm;
-
-  std::vector<double> y;
-  double prev_mu = 0.0;
-  bool converged = false;
-  size_t iterations = 0;
-  for (size_t iter = 1; iter <= options.max_iterations; ++iter) {
-    ShiftedAdjacencyMatVec(graph, shift, x, &y);
-    norm = Norm2(y);
-    if (norm == 0.0) {
-      for (double& v : x) v = rng.NextGaussian();
-      norm = Norm2(x);
-      for (double& v : x) v /= norm;
-      continue;
-    }
-    for (size_t i = 0; i < n; ++i) x[i] = y[i] / norm;
-    // Rayleigh quotient of x under A (not B) estimates lambda_min.
-    double mu = RayleighQuotient(graph, x);
-    iterations = iter;
-    double denom = std::max(1.0, std::fabs(mu));
-    if (iter > 1 && std::fabs(mu - prev_mu) / denom < options.tolerance) {
-      converged = true;
-      prev_mu = mu;
-      break;
-    }
-    prev_mu = mu;
-  }
-  out.lambda_min = prev_mu;
-  out.iterations_min = iterations;
-  out.converged = converged;
-  return out;
+  SpectralEngine engine(ValueSolveOptionsFrom(options));
+  return engine.Extremes(graph);
 }
 
 Result<double> ComputeCouplingConstant(const Graph& graph,
                                        const PowerMethodOptions& options) {
-  OCA_ASSIGN_OR_RETURN(ExtremeEigenvalues eig,
-                       ComputeExtremeEigenvalues(graph, options));
-  if (eig.lambda_min >= 0.0) {
-    return Status::Internal(
-        "lambda_min must be negative for a graph with edges");
-  }
-  double c = -1.0 / eig.lambda_min;
-  // Definition 1 requires 0 <= c < 1; a graph with an edge has
-  // lambda_min <= -1, so c <= 1. Numerical error can push it epsilon over;
-  // clamp into the valid open interval.
-  if (c >= 1.0) c = 1.0 - 1e-9;
-  if (c <= 0.0) {
-    return Status::Internal("coupling constant must be positive");
-  }
-  return c;
+  SpectralEngine engine(ValueSolveOptionsFrom(options));
+  OCA_ASSIGN_OR_RETURN(CouplingResult result,
+                       engine.CouplingConstant(graph));
+  return result.c;
 }
 
 }  // namespace oca

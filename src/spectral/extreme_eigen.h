@@ -1,10 +1,13 @@
 // Extreme adjacency eigenvalues and the OCA coupling constant
 // c = -1 / lambda_min (paper Section II).
 //
-// lambda_min is obtained by a shifted power iteration: B = A - lambda_max I
-// has spectrum {lambda_i - lambda_max} <= 0, whose largest-magnitude
-// element is lambda_min - lambda_max, so power iteration on B converges to
-// the eigenvector of lambda_min.
+// Both functions are thin wrappers over spectral/spectral_engine.h: a
+// single Lanczos sweep resolves lambda_max and lambda_min together
+// (no shifted second phase), and ComputeCouplingConstant runs a
+// minimum-end-only sweep with the adaptive stop targeting relative error
+// in c itself (PowerMethodOptions::coupling_tolerance). Callers that
+// resolve spectra repeatedly should hold a SpectralEngine instead to get
+// workspace reuse, per-graph caching, and warm starts.
 
 #ifndef OCA_SPECTRAL_EXTREME_EIGEN_H_
 #define OCA_SPECTRAL_EXTREME_EIGEN_H_

@@ -2,46 +2,25 @@
 
 #include <cmath>
 
-#include "util/random.h"
+#include "spectral/spectral_engine.h"
 
 namespace oca {
 
-namespace {
-
-double Norm2(const std::vector<double>& x) {
-  double s = 0.0;
-  for (double v : x) s += v * v;
-  return std::sqrt(s);
-}
-
-void Normalize(std::vector<double>* x) {
-  double norm = Norm2(*x);
-  if (norm > 0.0) {
-    for (double& v : *x) v /= norm;
+void AdjacencyMatVecRows(const Graph& graph, size_t begin, size_t end,
+                         const double* x, double* y) {
+  const uint64_t* offs = graph.offsets().data();
+  const NodeId* nbr = graph.neighbor_array().data();
+  for (size_t u = begin; u < end; ++u) {
+    double sum = 0.0;
+    for (uint64_t e = offs[u]; e < offs[u + 1]; ++e) sum += x[nbr[e]];
+    y[u] = sum;
   }
 }
-
-std::vector<double> RandomUnitVector(size_t n, uint64_t seed) {
-  Rng rng(seed);
-  std::vector<double> x(n);
-  for (double& v : x) v = rng.NextGaussian();
-  Normalize(&x);
-  return x;
-}
-
-}  // namespace
 
 void AdjacencyMatVec(const Graph& graph, const std::vector<double>& x,
                      std::vector<double>* y) {
-  const size_t n = graph.num_nodes();
-  y->assign(n, 0.0);
-  for (NodeId u = 0; u < n; ++u) {
-    double sum = 0.0;
-    for (NodeId v : graph.Neighbors(u)) {
-      sum += x[v];
-    }
-    (*y)[u] = sum;
-  }
+  y->resize(graph.num_nodes());
+  AdjacencyMatVecRows(graph, 0, graph.num_nodes(), x.data(), y->data());
 }
 
 void ShiftedAdjacencyMatVec(const Graph& graph, double shift,
@@ -67,50 +46,9 @@ double RayleighQuotient(const Graph& graph, const std::vector<double>& x) {
 
 Result<EigenEstimate> DominantEigenpair(const Graph& graph,
                                         const PowerMethodOptions& options) {
-  const size_t n = graph.num_nodes();
-  if (n == 0) {
-    return Status::InvalidArgument("power method on empty graph");
-  }
-  if (graph.num_edges() == 0) {
-    return Status::FailedPrecondition(
-        "power method on edgeless graph: adjacency matrix is zero");
-  }
-
-  // Iterate on A + sI: lambda_max + s strictly dominates |lambda_i + s|
-  // for every other eigenvalue as soon as s > 0 (|lambda_min| <= lambda_max
-  // by Perron-Frobenius, with equality exactly for bipartite graphs,
-  // where the tie would stall plain power iteration). A small shift keeps
-  // the convergence ratio (lambda_2 + s)/(lambda_max + s) low.
-  const double shift = 1.0;
-
-  EigenEstimate est;
-  std::vector<double> x = RandomUnitVector(n, options.seed);
-  std::vector<double> y;
-  double prev = 0.0;
-  for (size_t iter = 1; iter <= options.max_iterations; ++iter) {
-    ShiftedAdjacencyMatVec(graph, -shift, x, &y);  // y = (A + sI) x
-    double norm = Norm2(y);
-    if (norm == 0.0) {
-      // x landed exactly in the null space; restart from a new vector.
-      x = RandomUnitVector(n, options.seed + iter);
-      continue;
-    }
-    for (size_t i = 0; i < n; ++i) x[i] = y[i] / norm;
-    double lambda = RayleighQuotient(graph, x);
-    est.iterations = iter;
-    double denom = std::max(1.0, std::fabs(lambda));
-    if (iter > 1 && std::fabs(lambda - prev) / denom < options.tolerance) {
-      est.eigenvalue = lambda;
-      est.eigenvector = x;
-      est.converged = true;
-      return est;
-    }
-    prev = lambda;
-  }
-  est.eigenvalue = prev;
-  est.eigenvector = x;
-  est.converged = false;
-  return est;
+  // Eigenpair entry point: pm.max_iterations caps Lanczos steps as-is.
+  SpectralEngine engine(EngineOptionsFrom(options, options.max_iterations));
+  return engine.Dominant(graph, options);
 }
 
 }  // namespace oca

@@ -1,7 +1,13 @@
-// Power iteration on the adjacency matrix of a Graph.
+// Spectral iteration primitives on the adjacency matrix of a Graph, and
+// the options/result types shared by every spectral entry point.
 //
 // The adjacency matrix is never materialized: the mat-vec y = A x walks
 // CSR neighbor lists, so one iteration costs O(n + m).
+//
+// DominantEigenpair is an API-compatible thin wrapper over
+// spectral/spectral_engine.h, which replaced the original shifted power
+// iteration with a Krylov (Lanczos) solver: same contract, far fewer
+// mat-vecs near a small spectral gap.
 
 #ifndef OCA_SPECTRAL_POWER_METHOD_H_
 #define OCA_SPECTRAL_POWER_METHOD_H_
@@ -14,19 +20,28 @@
 
 namespace oca {
 
-/// Convergence controls for power iterations.
+/// Convergence controls for spectral iterations.
 struct PowerMethodOptions {
-  /// Iteration cap. The coupling constant c = -1/lambda_min only needs a
-  /// few significant digits, so the default favors speed; raise it (and
-  /// lower `tolerance`) for spectral analyses that need tight eigenpairs.
+  /// Iteration (mat-vec) cap. The coupling constant c = -1/lambda_min
+  /// only needs a few significant digits, so the default favors speed;
+  /// raise it (and lower `tolerance`) for spectral analyses that need
+  /// tight eigenpairs.
   size_t max_iterations = 300;
-  /// Stop when successive Rayleigh-quotient estimates differ by less than
-  /// this (relative to magnitude).
+  /// Eigenpair tolerance: stop when the eigenvalue estimate is stable at
+  /// this relative level (the Ritz residual is additionally bounded by
+  /// sqrt(tolerance) so the returned eigenvector is consistent).
   double tolerance = 1e-7;
+  /// Target relative error of the coupling constant for
+  /// ComputeCouplingConstant and the engine's coupling path. c feeds the
+  /// fitness as a multiplicative weight, so ~4-5 significant digits
+  /// (default) are plenty; this is deliberately much looser than
+  /// `tolerance`, which is what made the seed's fixed-tolerance loop the
+  /// pipeline's hottest path.
+  double coupling_tolerance = 2e-5;
   uint64_t seed = 0x5EED5EEDull;  // random start vector
 };
 
-/// Outcome of a power iteration.
+/// Outcome of an eigenpair solve.
 struct EigenEstimate {
   double eigenvalue = 0.0;
   std::vector<double> eigenvector;  // unit 2-norm
@@ -34,7 +49,14 @@ struct EigenEstimate {
   bool converged = false;
 };
 
-/// y = A x for the graph's adjacency matrix (y must have size n).
+/// y[u] = sum_{v in N(u)} x[v] for u in [begin, end): the single CSR
+/// traversal every adjacency mat-vec variant shares (serial, and one
+/// block of the engine's parallel mat-vec). x and y must hold
+/// graph.num_nodes() entries and must not alias.
+void AdjacencyMatVecRows(const Graph& graph, size_t begin, size_t end,
+                         const double* x, double* y);
+
+/// y = A x for the graph's adjacency matrix (y is resized to n).
 void AdjacencyMatVec(const Graph& graph, const std::vector<double>& x,
                      std::vector<double>* y);
 
@@ -46,9 +68,8 @@ void ShiftedAdjacencyMatVec(const Graph& graph, double shift,
 /// Rayleigh quotient x'Ax / x'x for the adjacency matrix.
 double RayleighQuotient(const Graph& graph, const std::vector<double>& x);
 
-/// Dominant eigenpair of A (largest |lambda|; for adjacency matrices this
-/// is the spectral radius lambda_max >= |lambda_min|). Errors on an empty
-/// or edgeless graph.
+/// Dominant (largest algebraic, = spectral radius) eigenpair of A.
+/// Errors on an empty or edgeless graph.
 Result<EigenEstimate> DominantEigenpair(const Graph& graph,
                                         const PowerMethodOptions& options = {});
 

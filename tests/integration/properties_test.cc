@@ -130,9 +130,14 @@ TEST_P(LfrSweepTest, GeneratedGraphValidAndMixingTracks) {
 }
 
 TEST_P(LfrSweepTest, QualityDegradesMonotonicallyInExpectation) {
-  // Not a strict per-seed guarantee; assert the loose envelope the paper
-  // relies on: near-perfect recovery at mu<=0.2, nonzero always.
-  if (GetParam() > 3) GTEST_SKIP() << "envelope asserted at low mu only";
+  // Not a strict per-seed guarantee; assert a monotone-in-expectation
+  // ENVELOPE over the whole sweep: per-mu floors (recovery never
+  // collapses below the band seen across OCA seeds) that decrease with
+  // mu, and per-mu ceilings at high mu (recovery genuinely degrades —
+  // near-perfect theta at mu >= 0.5 would mean the generator stopped
+  // mixing). Bands were measured across OCA seeds {1,2,3,5,7,11} on this
+  // fixed LFR instance: mu=0.4 -> [0.82, 0.92], mu=0.5 -> [0.46, 0.64],
+  // mu=0.6 -> [0.20, 0.27]; floors/ceilings leave ~2x margin.
   LfrOptions lfr;
   lfr.num_nodes = 400;
   lfr.average_degree = 14.0;
@@ -148,11 +153,23 @@ TEST_P(LfrSweepTest, QualityDegradesMonotonicallyInExpectation) {
   opt.halting.target_coverage = 0.99;
   auto run = RunOca(bench.graph, opt).value();
   double theta = Theta(bench.ground_truth, run.cover).value();
-  if (GetParam() <= 2) {
-    EXPECT_GT(theta, 0.7) << "mu=" << Mu();
-  } else {
-    EXPECT_GT(theta, 0.4) << "mu=" << Mu();
-  }
+  struct Band {
+    double floor;
+    double ceiling;
+  };
+  // Index = GetParam() (mu * 10); params 1..3 assert floors only.
+  static constexpr Band kEnvelope[] = {
+      {0.0, 1.0},   // unused (param 0)
+      {0.7, 1.0},   // mu=0.1
+      {0.7, 1.0},   // mu=0.2
+      {0.4, 1.0},   // mu=0.3
+      {0.55, 1.0},  // mu=0.4
+      {0.3, 0.85},  // mu=0.5
+      {0.08, 0.5},  // mu=0.6
+  };
+  const Band& band = kEnvelope[GetParam()];
+  EXPECT_GT(theta, band.floor) << "mu=" << Mu();
+  EXPECT_LT(theta, band.ceiling + 1e-12) << "mu=" << Mu();
 }
 
 INSTANTIATE_TEST_SUITE_P(MixingSweep, LfrSweepTest, ::testing::Range(1, 7));

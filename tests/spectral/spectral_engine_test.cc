@@ -1,0 +1,266 @@
+#include "spectral/spectral_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/erdos_renyi.h"
+#include "gen/lfr.h"
+#include "testing/test_graphs.h"
+#include "util/random.h"
+
+namespace oca {
+namespace {
+
+using testing::Clique;
+using testing::Cycle;
+using testing::KarateClub;
+using testing::Path5;
+using testing::Star;
+
+// Tightly-converged reference via the public wrapper (itself
+// engine-backed, but at a far stricter tolerance and step budget — the
+// role the seed power method played when it was run to convergence).
+ExtremeEigenvalues TightReference(const Graph& g) {
+  PowerMethodOptions tight;
+  tight.tolerance = 1e-12;
+  tight.max_iterations = 20000;
+  return ComputeExtremeEigenvalues(g, tight).value();
+}
+
+double RelDiff(double a, double b) {
+  return std::fabs(a - b) / std::max(1e-300, std::fabs(b));
+}
+
+TEST(SpectralEngineTest, GoldenSpectraOnFixtures) {
+  SpectralEngine engine;
+  // K_n: lambda_max = n-1, lambda_min = -1.
+  for (size_t n : {3u, 5u, 8u}) {
+    Graph g = Clique(n);
+    auto eig = engine.Extremes(g).value();
+    EXPECT_NEAR(eig.lambda_max, static_cast<double>(n - 1), 1e-6) << "K" << n;
+    EXPECT_NEAR(eig.lambda_min, -1.0, 1e-6) << "K" << n;
+  }
+  // Star: bipartite, +-sqrt(leaves).
+  Graph star = Star(16);
+  auto eig = engine.Extremes(star).value();
+  EXPECT_NEAR(eig.lambda_max, 4.0, 1e-6);
+  EXPECT_NEAR(eig.lambda_min, -4.0, 1e-6);
+  // Odd cycle: lambda_min = 2cos(4pi/5).
+  Graph c5 = Cycle(5);
+  auto eig5 = engine.Extremes(c5).value();
+  EXPECT_NEAR(eig5.lambda_min, 2.0 * std::cos(4.0 * M_PI / 5.0), 1e-6);
+  // Path: lambda_max = sqrt(3).
+  Graph p5 = Path5();
+  auto eigp = engine.Extremes(p5).value();
+  EXPECT_NEAR(eigp.lambda_max, std::sqrt(3.0), 1e-6);
+}
+
+TEST(SpectralEngineTest, CouplingMatchesTightReferenceTo4Digits) {
+  // The adaptive stop targets a few significant digits of c; assert >= 4
+  // against the tightly-converged reference on graphs with a hard
+  // (small-gap) bottom edge — the regime the seed's fixed-tolerance
+  // power loop could not reach within its iteration cap.
+  Rng rng(77);
+  std::vector<Graph> graphs;
+  graphs.push_back(KarateClub());
+  graphs.push_back(ErdosRenyi(300, 0.04, &rng).value());
+  LfrOptions lfr;
+  lfr.num_nodes = 800;
+  lfr.average_degree = 16.0;
+  lfr.max_degree = 40;
+  lfr.mixing = 0.25;
+  lfr.min_community = 20;
+  lfr.max_community = 60;
+  lfr.seed = 5;
+  graphs.push_back(GenerateLfr(lfr).value().graph);
+
+  for (const Graph& g : graphs) {
+    ASSERT_GT(g.num_edges(), 0u);
+    ExtremeEigenvalues ref = TightReference(g);
+    SpectralEngine engine;
+    auto coupling = engine.CouplingConstant(g).value();
+    double c_ref = std::min(-1.0 / ref.lambda_min, 1.0 - 1e-9);
+    EXPECT_LT(RelDiff(coupling.c, c_ref), 5e-5)
+        << "n=" << g.num_nodes() << " lambda_min=" << ref.lambda_min;
+    EXPECT_LT(RelDiff(coupling.lambda_min, ref.lambda_min), 5e-5);
+    // Admissibility: the reported c must not exceed the true maximum.
+    EXPECT_LE(coupling.c, c_ref * (1.0 + 1e-9));
+    EXPECT_TRUE(coupling.converged);
+  }
+}
+
+TEST(SpectralEngineTest, ExtremesMatchTightReference) {
+  Rng rng(12);
+  Graph g = ErdosRenyi(250, 0.05, &rng).value();
+  ExtremeEigenvalues ref = TightReference(g);
+  SpectralEngine engine;
+  auto eig = engine.Extremes(g).value();
+  EXPECT_LT(RelDiff(eig.lambda_max, ref.lambda_max), 1e-6);
+  EXPECT_LT(RelDiff(eig.lambda_min, ref.lambda_min), 1e-5);
+}
+
+TEST(SpectralEngineTest, WarmStartEqualsColdStartAccuracy) {
+  Rng rng(31);
+  Graph g = ErdosRenyi(200, 0.06, &rng).value();
+  ASSERT_GT(g.num_edges(), 0u);
+
+  SpectralEngine cold;
+  auto cold_result = cold.CouplingConstant(g).value();
+
+  // Obtain the min-end eigenvector, then warm-start a fresh engine with
+  // it. The warm solve must agree with the cold one to the same
+  // tolerance (and typically converge in fewer steps).
+  SpectralEngine vec_engine;
+  PowerMethodOptions pm;
+  pm.max_iterations = 2000;
+  pm.tolerance = 1e-10;
+  auto pair = vec_engine.MinEigenpair(g, pm).value();
+  ASSERT_TRUE(pair.converged);
+
+  SpectralEngine warm;
+  warm.SetWarmStart(pair.eigenvector);
+  auto warm_result = warm.CouplingConstant(g).value();
+
+  EXPECT_LT(RelDiff(warm_result.c, cold_result.c), 1e-4);
+  EXPECT_LT(RelDiff(warm_result.lambda_min, cold_result.lambda_min), 1e-4);
+  EXPECT_TRUE(warm_result.converged);
+}
+
+TEST(SpectralEngineTest, MinEigenpairSatisfiesDefinition) {
+  Graph g = KarateClub();
+  SpectralEngine engine;
+  PowerMethodOptions pm;
+  pm.tolerance = 1e-10;
+  pm.max_iterations = 2000;
+  auto est = engine.MinEigenpair(g, pm).value();
+  ASSERT_TRUE(est.converged);
+  ExtremeEigenvalues ref = TightReference(g);
+  EXPECT_NEAR(est.eigenvalue, ref.lambda_min, 1e-6);
+  // ||A x - lambda x|| small.
+  std::vector<double> y(g.num_nodes());
+  engine.MatVec(g, est.eigenvector.data(), y.data());
+  double err = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    double r = y[i] - est.eigenvalue * est.eigenvector[i];
+    err += r * r;
+  }
+  EXPECT_LT(std::sqrt(err), 1e-3);
+  // The eigenvector is cached as the graph's warm-start vector.
+  std::vector<double> cached;
+  EXPECT_TRUE(engine.GetCachedMinEigenvector(g, &cached));
+  EXPECT_EQ(cached.size(), g.num_nodes());
+}
+
+TEST(SpectralEngineTest, DeterministicAcrossThreadCounts) {
+  LfrOptions lfr;
+  lfr.num_nodes = 1500;
+  lfr.average_degree = 18.0;
+  lfr.max_degree = 45;
+  lfr.mixing = 0.3;
+  lfr.min_community = 20;
+  lfr.max_community = 60;
+  lfr.seed = 17;
+  Graph g = GenerateLfr(lfr).value().graph;
+
+  SpectralEngineOptions serial_opts;
+  serial_opts.num_threads = 1;
+  SpectralEngineOptions parallel_opts;
+  parallel_opts.num_threads = 4;
+  parallel_opts.parallel_min_edges = 1;  // force the parallel mat-vec path
+
+  SpectralEngine serial(serial_opts);
+  SpectralEngine parallel(parallel_opts);
+
+  auto a = serial.Extremes(g).value();
+  auto b = parallel.Extremes(g).value();
+  // Fixed-block reductions: bit-identical, not merely close.
+  EXPECT_EQ(a.lambda_max, b.lambda_max);
+  EXPECT_EQ(a.lambda_min, b.lambda_min);
+  EXPECT_EQ(a.iterations_max, b.iterations_max);
+  EXPECT_EQ(a.iterations_min, b.iterations_min);
+
+  auto ca = serial.CouplingConstant(g).value();
+  auto cb = parallel.CouplingConstant(g).value();
+  EXPECT_EQ(ca.c, cb.c);
+}
+
+TEST(SpectralEngineTest, DeterministicPerSeed) {
+  Rng rng(3);
+  Graph g = ErdosRenyi(120, 0.07, &rng).value();
+  SpectralEngine e1, e2;
+  auto a = e1.CouplingConstant(g).value();
+  auto b = e2.CouplingConstant(g).value();
+  EXPECT_EQ(a.c, b.c);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(SpectralEngineTest, EmptyAndEdgelessErrorPaths) {
+  SpectralEngine engine;
+  Graph empty;
+  EXPECT_TRUE(engine.Extremes(empty).status().IsInvalidArgument());
+  EXPECT_TRUE(engine.CouplingConstant(empty).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      engine.Dominant(empty, {}).status().IsInvalidArgument());
+
+  Graph edgeless = BuildGraph(5, {}).value();
+  EXPECT_TRUE(engine.Extremes(edgeless).status().IsFailedPrecondition());
+  EXPECT_TRUE(
+      engine.CouplingConstant(edgeless).status().IsFailedPrecondition());
+  EXPECT_TRUE(
+      engine.MinEigenpair(edgeless, {}).status().IsFailedPrecondition());
+}
+
+TEST(SpectralEngineTest, CachesPerGraphAndForgetDropsEntries) {
+  Rng rng(9);
+  Graph g = ErdosRenyi(150, 0.06, &rng).value();
+  SpectralEngine engine;
+  auto first = engine.CouplingConstant(g).value();
+  EXPECT_GT(first.iterations, 0u);
+  size_t matvecs_after_first = engine.total_matvecs();
+
+  auto second = engine.CouplingConstant(g).value();
+  EXPECT_EQ(second.c, first.c);
+  EXPECT_EQ(second.iterations, 0u);  // answered from cache
+  EXPECT_EQ(engine.total_matvecs(), matvecs_after_first);
+  EXPECT_EQ(engine.cache_hits(), 1u);
+
+  // Extremes() on a cached-coupling graph still solves (tighter
+  // tolerance), then seeds the coupling cache for OTHER graphs fresh.
+  engine.Forget(g);
+  auto third = engine.CouplingConstant(g).value();
+  EXPECT_GT(third.iterations, 0u);
+  EXPECT_EQ(third.c, first.c);  // same seed, same graph: bit-identical
+}
+
+TEST(SpectralEngineTest, ExtremesSeedsCouplingCache) {
+  Rng rng(21);
+  Graph g = ErdosRenyi(100, 0.08, &rng).value();
+  SpectralEngine engine;
+  auto eig = engine.Extremes(g).value();
+  ASSERT_LT(eig.lambda_min, 0.0);
+  size_t matvecs = engine.total_matvecs();
+  auto coupling = engine.CouplingConstant(g).value();
+  EXPECT_EQ(engine.total_matvecs(), matvecs);  // no extra solve
+  EXPECT_EQ(coupling.iterations, 0u);
+  EXPECT_NEAR(coupling.c, std::min(-1.0 / eig.lambda_min, 1.0 - 1e-9),
+              1e-6);
+}
+
+TEST(SpectralEngineTest, MatVecMatchesFreeFunction) {
+  Rng rng(5);
+  Graph g = ErdosRenyi(200, 0.05, &rng).value();
+  std::vector<double> x(g.num_nodes());
+  for (double& v : x) v = rng.NextGaussian();
+  std::vector<double> expected;
+  AdjacencyMatVec(g, x, &expected);
+  SpectralEngine engine;
+  std::vector<double> got(g.num_nodes());
+  engine.MatVec(g, x.data(), got.data());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i], expected[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace oca
