@@ -1,47 +1,47 @@
-// Hierarchy explorer: the paper's future-work direction, runnable.
+// Hierarchy explorer: the paper's future-work direction, runnable in
+// both flavors.
 //
-// Sweeps the coupling constant from a fraction of its admissible maximum
-// up to the maximum, runs OCA at each resolution, and prints the
-// containment tree: which fine communities sit inside which coarse ones.
+//   1. FLAT c-sweep (BuildHierarchy): sweep the coupling constant over
+//      ONE graph and link levels by containment. An empirical note this
+//      tool surfaces: c is a WEAK resolution knob for the
+//      directed-Laplacian fitness, so on graphs with one dominant scale
+//      every level finds the same communities — full containment across
+//      the admissible range of c is then a stability certificate.
+//   2. RECURSIVE per-community descent (BuildRecursiveHierarchy): run
+//      OCA, extract each community's induced subgraph, re-resolve its
+//      own admissible c = -1/lambda_min and recurse. Nested scales the
+//      flat sweep cannot separate fall out as tree levels, and every
+//      subgraph eigensolve is warm-started from its parent graph's
+//      lambda_min eigenvector (the cross-graph warm-start chain).
 //
-// An empirical note this tool surfaces: c is a WEAK resolution knob for
-// the directed-Laplacian fitness (the monotone base term is tiny against
-// the edge term), so on graphs with one dominant scale every level finds
-// the same communities — the containment tree then acts as a stability
-// certificate: 100% containment across the full admissible range of c
-// means the structure is robust, not an artifact of the spectral choice.
+//   $ ./build/examples/hierarchy_explorer [--seed=7] [--supers=4]
+//         [--subs=3] [--sub_size=20] [--cold] [--node=0]
 //
-//   $ ./build/examples/hierarchy_explorer [--seed=7]
+// --cold disables the warm-start chain (compare "spectral iters" to see
+// what the chain saves); --node prints that node's membership paths.
 
 #include <cstdio>
 
 #include "core/hierarchy.h"
-#include "graph/graph_builder.h"
+#include "core/recursive_hierarchy.h"
+#include "gen/nested_partition.h"
 #include "util/flags.h"
-#include "util/random.h"
 
 namespace {
 
-// A genuinely two-level workload: `supers` super-communities, each made
-// of `subs_per` dense sub-modules. Sub-module pairs inside a super are
-// moderately linked, supers barely. Low c should resolve the sub-modules
-// (dense cores), high c the full supers.
-oca::Graph NestedModules(size_t supers, size_t subs_per, size_t sub_size,
-                         uint64_t seed) {
-  oca::Rng rng(seed);
-  size_t n = supers * subs_per * sub_size;
-  oca::GraphBuilder builder(n);
-  for (oca::NodeId u = 0; u < n; ++u) {
-    for (oca::NodeId v = u + 1; v < n; ++v) {
-      size_t sub_u = u / sub_size, sub_v = v / sub_size;
-      size_t super_u = sub_u / subs_per, super_v = sub_v / subs_per;
-      double p = 0.002;                     // across supers
-      if (super_u == super_v) p = 0.10;     // within super, across subs
-      if (sub_u == sub_v) p = 0.85;         // within sub-module
-      if (rng.NextBool(p)) builder.AddEdge(u, v);
-    }
+void PrintSubtree(const oca::RecursiveHierarchy& tree, uint32_t index,
+                  int indent) {
+  const auto& node = tree.nodes[index];
+  std::printf("%*scommunity %u: %zu nodes, depth %u, stop=%s", indent, "",
+              index, node.community.size(), node.depth,
+              node.stop_reason.c_str());
+  if (node.SubgraphSolved()) {
+    std::printf("  [subgraph c=%.4f, lambda_min=%.4f, %zu spectral iters%s]",
+                node.subgraph_c, node.subgraph_lambda_min,
+                node.spectral_iterations, node.warm_started ? ", warm" : "");
   }
-  return builder.Build().value();
+  std::printf("\n");
+  for (uint32_t child : node.children) PrintSubtree(tree, child, indent + 2);
 }
 
 }  // namespace
@@ -54,57 +54,105 @@ int main(int argc, char** argv) {
   }
 
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7).value_or(7));
-  const size_t supers = 4, subs_per = 3, sub_size = 20;
-  oca::Graph graph = NestedModules(supers, subs_per, sub_size, seed);
-  std::printf("nested-module graph: %zu nodes, %zu edges; planted "
-              "structure: %zu supers x %zu sub-modules of %zu nodes\n\n",
-              graph.num_nodes(), graph.num_edges(), supers, subs_per,
-              sub_size);
+  oca::NestedPartitionOptions gen;
+  gen.num_supers =
+      static_cast<size_t>(flags.GetInt("supers", 4).value_or(4));
+  gen.subs_per_super =
+      static_cast<size_t>(flags.GetInt("subs", 3).value_or(3));
+  gen.nodes_per_sub =
+      static_cast<size_t>(flags.GetInt("sub_size", 20).value_or(20));
+  // The interesting regime: strong blocks, moderate super glue, and
+  // enough cross-super noise that the top-level run mixes scales — the
+  // recursive descent then refines the coarse communities into their
+  // planted blocks, which no single flat c can do.
+  gen.p_sub = 0.85;
+  gen.p_super = 0.15;
+  gen.p_out = 0.08;
+  gen.seed = seed;
 
-  oca::HierarchyOptions opt;
-  opt.resolution_fractions = {0.2, 0.5, 1.0};
-  opt.base.seed = seed;
-  opt.base.halting.max_seeds = graph.num_nodes() * 3;
-  opt.base.halting.target_coverage = 0.98;
-  opt.base.halting.stagnation_window = 150;
-
-  auto hierarchy_result = oca::BuildHierarchy(graph, opt);
-  if (!hierarchy_result.ok()) {
-    std::fprintf(stderr, "hierarchy failed: %s\n",
-                 hierarchy_result.status().ToString().c_str());
+  auto bench = oca::GenerateNestedPartition(gen);
+  if (!bench.ok()) {
+    std::fprintf(stderr, "generator failed: %s\n",
+                 bench.status().ToString().c_str());
     return 1;
   }
-  const auto& h = hierarchy_result.value();
+  const oca::Graph& graph = bench.value().graph;
+  std::printf("nested planted partition: %zu nodes, %zu edges; planted "
+              "structure: %zu supers x %zu sub-blocks of %zu nodes\n\n",
+              graph.num_nodes(), graph.num_edges(), gen.num_supers,
+              gen.subs_per_super, gen.nodes_per_sub);
 
+  // --- 1. Flat c-sweep. ---
+  oca::HierarchyOptions flat;
+  flat.resolution_fractions = {0.2, 0.5, 1.0};
+  flat.base.seed = seed;
+  flat.base.halting.max_seeds = graph.num_nodes() * 3;
+  flat.base.halting.target_coverage = 0.98;
+  flat.base.halting.stagnation_window = 150;
+
+  auto flat_result = oca::BuildHierarchy(graph, flat);
+  if (!flat_result.ok()) {
+    std::fprintf(stderr, "flat hierarchy failed: %s\n",
+                 flat_result.status().ToString().c_str());
+    return 1;
+  }
+  const auto& h = flat_result.value();
+  std::printf("flat c-sweep (one graph, c as resolution knob):\n");
   for (size_t j = 0; j < h.levels.size(); ++j) {
-    std::printf("level %zu (c = %.4f): %zu communities, sizes [%zu, %zu]\n",
+    std::printf("  level %zu (c = %.4f): %zu communities, sizes [%zu, %zu]\n",
                 j, h.levels[j].c, h.levels[j].cover.size(),
                 h.levels[j].cover.MinCommunitySize(),
                 h.levels[j].cover.MaxCommunitySize());
   }
-
-  std::printf("\ncontainment links (fine -> coarse):\n");
   for (size_t j = 0; j < h.links.size(); ++j) {
-    size_t fully_contained = 0;
-    for (size_t i = 0; i < h.links[j].size(); ++i) {
-      if (h.links[j][i].containment >= 0.99) ++fully_contained;
+    size_t fully = 0;
+    for (const auto& link : h.links[j]) {
+      if (link.containment >= 0.99) ++fully;
     }
-    std::printf("  level %zu -> %zu: %zu/%zu communities >=99%% contained "
-                "in a parent\n",
-                j, j + 1, fully_contained, h.links[j].size());
-    // Show a few example links.
-    for (size_t i = 0; i < h.links[j].size() && i < 5; ++i) {
-      const auto& link = h.links[j][i];
-      if (link.parent_index == oca::Hierarchy::kNoParent) continue;
-      std::printf("    community %zu (size %zu) -> parent %u (size %zu), "
-                  "containment %.2f\n",
-                  i, h.levels[j].cover[i].size(), link.parent_index,
-                  h.levels[j + 1].cover[link.parent_index].size(),
-                  link.containment);
+    std::printf("  links %zu -> %zu: %zu/%zu communities >=99%% contained\n",
+                j, j + 1, fully, h.links[j].size());
+  }
+
+  // --- 2. Recursive per-community descent. ---
+  oca::RecursiveHierarchyOptions rec;
+  rec.base = flat.base;
+  rec.warm_start = !flags.GetBool("cold", false);
+
+  auto rec_result = oca::BuildRecursiveHierarchy(graph, rec);
+  if (!rec_result.ok()) {
+    std::fprintf(stderr, "recursive hierarchy failed: %s\n",
+                 rec_result.status().ToString().c_str());
+    return 1;
+  }
+  const auto& tree = rec_result.value();
+  std::printf("\nrecursive descent (per-community subgraphs, %s starts):\n",
+              rec.warm_start ? "warm" : "cold");
+  for (uint32_t root : tree.roots) PrintSubtree(tree, root, 2);
+  std::printf("  chain: %zu subgraph solves (%zu warm), %zu total spectral "
+              "iterations; max depth %zu\n",
+              tree.chain.subgraph_solves, tree.chain.warm_started_solves,
+              tree.chain.total_iterations, tree.max_depth_reached);
+  for (const auto& level : tree.LevelSummaries()) {
+    std::printf("  depth %zu: %zu communities (%zu split), %zu solves "
+                "(%zu warm, %zu iters)\n",
+                level.depth, level.communities, level.split,
+                level.subgraph_solves, level.warm_started,
+                level.spectral_iterations);
+  }
+
+  long node_flag = flags.GetInt("node", -1).value_or(-1);
+  if (node_flag >= 0 &&
+      static_cast<size_t>(node_flag) < graph.num_nodes()) {
+    auto v = static_cast<oca::NodeId>(node_flag);
+    std::printf("\nmembership paths of node %u:\n", v);
+    for (const auto& path : tree.MembershipPaths(v)) {
+      std::printf("  ");
+      for (size_t i = 0; i < path.size(); ++i) {
+        std::printf("%s%u(%zu nodes)", i ? " -> " : "", path[i],
+                    tree.nodes[path[i]].community.size());
+      }
+      std::printf("\n");
     }
   }
-  std::printf("\nall levels agreeing at full containment = the found "
-              "communities are stable across the whole admissible range "
-              "of c (see header comment)\n");
   return 0;
 }

@@ -6,6 +6,11 @@
 #   scripts/verify.sh                 # Release build into ./build
 #   BUILD_TYPE=Debug scripts/verify.sh
 #   CMAKE_ARGS="-DOCA_SANITIZE=address" scripts/verify.sh
+#   OCA_RUN_LARGE=1 scripts/verify.sh # also run label:large tests
+#
+# Tests labeled "large" (bigger integration runs, tests/large/) are
+# excluded from the tier-1 lane to keep it fast; CI runs them in a
+# dedicated step (`ctest -L large`), or set OCA_RUN_LARGE=1 here.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,4 +21,7 @@ BUILD_DIR="${BUILD_DIR:-build}"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE" ${CMAKE_ARGS:-} &&
   cmake --build "$BUILD_DIR" -j"$(nproc)" &&
   cd "$BUILD_DIR" &&
-  ctest --output-on-failure -j"$(nproc)"
+  ctest --output-on-failure -j"$(nproc)" -LE large &&
+  if [ "${OCA_RUN_LARGE:-0}" = "1" ]; then
+    ctest --output-on-failure -j"$(nproc)" -L large
+  fi

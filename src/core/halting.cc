@@ -25,6 +25,9 @@ const char* HaltingTracker::Reason() const {
       consecutive_stale_ >= options_.stagnation_window) {
     return "stagnation";
   }
+  if (seeds_exhausted_) {
+    return "seeds_exhausted";
+  }
   return "";
 }
 

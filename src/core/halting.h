@@ -35,11 +35,17 @@ class HaltingTracker {
   /// `coverage` — fraction of nodes covered after this expansion.
   void RecordSeed(bool novel, double coverage);
 
+  /// Records that the seeder ran out of fresh seed nodes (every node
+  /// covered or already spent). This halts the loop with its own reason
+  /// instead of letting it burn duplicate seeds until a stagnation
+  /// window fires.
+  void NoteSeedsExhausted() { seeds_exhausted_ = true; }
+
   /// True when any criterion has fired.
   bool ShouldStop() const;
 
   /// Which criterion fired (for logs): "", "max_seeds", "coverage",
-  /// or "stagnation".
+  /// "stagnation", or "seeds_exhausted".
   const char* Reason() const;
 
   size_t seeds_run() const { return seeds_run_; }
@@ -50,6 +56,7 @@ class HaltingTracker {
   size_t seeds_run_ = 0;
   size_t consecutive_stale_ = 0;
   double coverage_ = 0.0;
+  bool seeds_exhausted_ = false;
 };
 
 }  // namespace oca

@@ -1,11 +1,40 @@
 #include "core/hierarchy.h"
 
-#include <algorithm>
-
 #include "metrics/similarity.h"
 #include "spectral/spectral_engine.h"
 
 namespace oca {
+
+std::vector<HierarchyLink> LinkByContainment(const Cover& fine,
+                                             const Cover& coarse,
+                                             size_t num_nodes) {
+  // Candidate parents are discovered through the coarse level's node
+  // index, so only overlapping pairs are scored — and every scored pair
+  // has containment > 0 (they share at least the node that surfaced it).
+  auto index = coarse.BuildNodeIndex(num_nodes);
+  std::vector<HierarchyLink> links(fine.size(), {Hierarchy::kNoParent, 0.0});
+  std::vector<uint32_t> mark(coarse.size(), UINT32_MAX);
+  for (uint32_t i = 0; i < fine.size(); ++i) {
+    for (NodeId v : fine[i]) {
+      for (uint32_t p : index[v]) {
+        if (mark[p] == i) continue;
+        mark[p] = i;
+        double containment =
+            static_cast<double>(IntersectionSize(fine[i], coarse[p])) /
+            static_cast<double>(fine[i].size());
+        // Ties on containment resolve to the smallest parent index;
+        // kNoParent is UINT32_MAX, so the first scored parent always
+        // replaces it.
+        if (containment > links[i].containment ||
+            (containment == links[i].containment &&
+             p < links[i].parent_index)) {
+          links[i] = {p, containment};
+        }
+      }
+    }
+  }
+  return links;
+}
 
 Result<Hierarchy> BuildHierarchy(const Graph& graph,
                                  const HierarchyOptions& options) {
@@ -41,7 +70,10 @@ Result<Hierarchy> BuildHierarchy(const Graph& graph,
   Hierarchy hierarchy;
   for (double fraction : options.resolution_fractions) {
     OcaOptions level_options = options.base;
-    level_options.coupling_constant = std::min(c_max * fraction, 1.0 - 1e-9);
+    // Shared admissible bound (not an ad-hoc epsilon); the recorded
+    // level c below is the clamped value the level actually ran with.
+    level_options.coupling_constant =
+        ClampCouplingToAdmissible(c_max * fraction);
     OCA_ASSIGN_OR_RETURN(OcaResult run,
                          RunOca(graph, level_options, &engine));
     // The level ran with an explicit c, so surface the cached spectral
@@ -52,35 +84,11 @@ Result<Hierarchy> BuildHierarchy(const Graph& graph,
                                 std::move(run.stats)});
   }
 
-  // Containment links between consecutive levels, discovered through the
-  // coarse level's node index (only overlapping pairs are scored).
+  // Containment links between consecutive levels.
   for (size_t j = 0; j + 1 < hierarchy.levels.size(); ++j) {
-    const Cover& fine = hierarchy.levels[j].cover;
-    const Cover& coarse = hierarchy.levels[j + 1].cover;
-    auto index = coarse.BuildNodeIndex(graph.num_nodes());
-
-    std::vector<HierarchyLink> links(
-        fine.size(), {Hierarchy::kNoParent, 0.0});
-    std::vector<uint32_t> mark(coarse.size(), UINT32_MAX);
-    for (uint32_t i = 0; i < fine.size(); ++i) {
-      for (NodeId v : fine[i]) {
-        for (uint32_t p : index[v]) {
-          if (mark[p] == i) continue;
-          mark[p] = i;
-          double containment =
-              fine[i].empty()
-                  ? 0.0
-                  : static_cast<double>(IntersectionSize(fine[i], coarse[p])) /
-                        static_cast<double>(fine[i].size());
-          if (containment > links[i].containment ||
-              (containment == links[i].containment &&
-               links[i].parent_index == Hierarchy::kNoParent)) {
-            links[i] = {p, containment};
-          }
-        }
-      }
-    }
-    hierarchy.links.push_back(std::move(links));
+    hierarchy.links.push_back(LinkByContainment(hierarchy.levels[j].cover,
+                                                hierarchy.levels[j + 1].cover,
+                                                graph.num_nodes()));
   }
   return hierarchy;
 }

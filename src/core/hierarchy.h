@@ -48,6 +48,17 @@ struct Hierarchy {
   std::vector<std::vector<HierarchyLink>> links;
 };
 
+/// Links every community of `fine` to the community of `coarse` that
+/// best contains it: highest containment |fine ∩ coarse| / |fine| wins,
+/// and equal-containment ties resolve to the SMALLEST coarse index (a
+/// deterministic rule independent of node-iteration order; two coarse
+/// parents fully containing the same fine community always yield the
+/// first). Communities overlapping nothing get kNoParent. Both covers
+/// must be over node ids < num_nodes.
+std::vector<HierarchyLink> LinkByContainment(const Cover& fine,
+                                             const Cover& coarse,
+                                             size_t num_nodes);
+
 struct HierarchyOptions {
   /// Resolution fractions of the admissible maximum c = -1/lambda_min,
   /// ascending; each produces one level. Values must be in (0, 1].

@@ -27,8 +27,12 @@ uint64_t HashCommunity(const Community& c) {
 }
 
 Status ValidateOptions(const OcaOptions& options) {
-  if (options.coupling_constant >= 1.0) {
-    return Status::InvalidArgument("coupling constant must be < 1");
+  // Same admissible bound the spectral path clamps to: a supplied c and
+  // a computed c face one rule (kMaxCouplingConstant), so a caller
+  // can always feed a previous run's reported c back in verbatim.
+  if (options.coupling_constant > kMaxCouplingConstant) {
+    return Status::InvalidArgument(
+        "coupling constant exceeds the admissible bound (must be < 1)");
   }
   if (options.seeding.neighbor_keep_probability < 0.0 ||
       options.seeding.neighbor_keep_probability > 1.0) {
@@ -79,7 +83,11 @@ Result<OcaResult> RunOca(const Graph& graph, const OcaOptions& options,
                          engine->CouplingConstant(graph));
     result.stats.lambda_min = coupling.lambda_min;
     result.stats.spectral_iterations = coupling.iterations;
-    c = coupling.c;
+    // The computed path obeys the same admissible bound as a supplied c
+    // (the engine clamps too — e.g. a triangle's lambda_min = -1 yields
+    // exactly 1.0); the clamp is explicit here so the recorded
+    // stats.coupling_constant is always the value the fitness ran with.
+    c = ClampCouplingToAdmissible(coupling.c);
     if (c <= 0.0) {
       return Status::Internal("computed coupling constant non-positive");
     }
@@ -122,11 +130,26 @@ Result<OcaResult> RunOca(const Graph& graph, const OcaOptions& options,
             : std::min(batch,
                        options.halting.max_seeds - halting.seeds_run());
     for (size_t i = 0; i < remaining_budget; ++i) {
+      // Once every node is covered or already spent, further draws can
+      // only repeat exhausted nodes. A repeat draw would build a fresh
+      // random neighborhood, but the spent-seed policy deliberately
+      // treats a node's first expansion as its one shot (see
+      // MarkSeedSpent): re-draws overwhelmingly rediscover known
+      // structure, and before this check they just burned seeds until
+      // the stagnation window fired. Stop drawing; the batch in hand is
+      // still expanded below.
+      if (seeder.Exhausted()) break;
       NodeId seed_node = seeder.NextSeedNode();
       seeder.MarkSeedSpent(seed_node);
       seed_sets.push_back(seeder.BuildSeedSet(seed_node));
     }
-    if (seed_sets.empty()) break;
+    if (seed_sets.empty()) {
+      // Nothing left to draw at the top of a batch: halt now with an
+      // honest reason instead of burning duplicate seeds until the
+      // stagnation window fires.
+      if (seeder.Exhausted()) halting.NoteSeedsExhausted();
+      break;
+    }
 
     auto expansions = ExpandSeedBatch(graph, seed_sets, search, pool.get());
 

@@ -1,0 +1,265 @@
+#include "core/recursive_hierarchy.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "graph/subgraph.h"
+#include "metrics/similarity.h"
+#include "spectral/spectral_engine.h"
+
+namespace oca {
+
+namespace {
+
+Status ValidateOptions(const RecursiveHierarchyOptions& options) {
+  if (options.base.coupling_constant > 0.0) {
+    return Status::InvalidArgument(
+        "recursive hierarchy re-resolves c per subgraph; leave "
+        "base.coupling_constant unset (<= 0)");
+  }
+  if (options.min_split_size < 2) {
+    return Status::InvalidArgument("min_split_size must be at least 2");
+  }
+  if (options.max_split_density <= 0.0 || options.max_split_density > 1.0) {
+    return Status::InvalidArgument("max_split_density must be in (0, 1]");
+  }
+  if (options.stable_similarity <= 0.0 || options.stable_similarity > 1.0) {
+    return Status::InvalidArgument("stable_similarity must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+/// Work-queue entry: an arena node awaiting its split attempt, plus the
+/// eigenvector of the graph its community was found in. `parent_ids` is
+/// that graph's local->original map (null = the original graph itself).
+struct Pending {
+  uint32_t node = 0;
+  std::shared_ptr<const std::vector<double>> parent_vec;
+  std::shared_ptr<const std::vector<NodeId>> parent_ids;
+};
+
+/// Maps each of the subgraph's original ids to its local index in the
+/// parent graph's id list (identity when parent_ids is null). Children
+/// are subsets of their parent by construction, so every id is found.
+std::vector<NodeId> ToParentLocal(
+    const std::vector<NodeId>& to_original,
+    const std::shared_ptr<const std::vector<NodeId>>& parent_ids) {
+  if (parent_ids == nullptr) return to_original;
+  std::vector<NodeId> to_parent;
+  to_parent.reserve(to_original.size());
+  for (NodeId original : to_original) {
+    auto it = std::lower_bound(parent_ids->begin(), parent_ids->end(),
+                               original);
+    to_parent.push_back(static_cast<NodeId>(it - parent_ids->begin()));
+  }
+  return to_parent;
+}
+
+}  // namespace
+
+Result<RecursiveHierarchy> BuildRecursiveHierarchy(
+    const Graph& graph, const RecursiveHierarchyOptions& options) {
+  OCA_RETURN_IF_ERROR(ValidateOptions(options));
+
+  // One engine for the whole build, exactly like BuildHierarchy — but
+  // here every recursion level solves a DIFFERENT graph, so instead of
+  // cache hits the levels chain through warm starts: each coupling
+  // solve also yields its lambda_min eigenvector, and each child solve
+  // is seeded with the parent vector's restriction onto its node set.
+  SpectralEngineOptions engine_options =
+      ValueSolveOptionsFrom(options.base.power_method);
+  engine_options.seed ^= options.base.seed;
+  engine_options.num_threads = options.base.num_threads;
+  SpectralEngine engine(engine_options);
+
+  auto root_vec = std::make_shared<std::vector<double>>();
+  OCA_ASSIGN_OR_RETURN(CouplingResult root_coupling,
+                       engine.CouplingConstantWithVector(graph,
+                                                         root_vec.get()));
+  (void)root_coupling;  // cached; the top-level run reports it in stats
+
+  RecursiveHierarchy tree;
+  OcaOptions run_options = options.base;
+  run_options.coupling_constant = 0.0;  // engine cache answers the root
+  OCA_ASSIGN_OR_RETURN(OcaResult root_run,
+                       RunOca(graph, run_options, &engine));
+  tree.root_stats = root_run.stats;
+
+  std::deque<Pending> queue;
+  for (const Community& community : root_run.cover) {
+    RecursiveCommunity node;
+    node.community = community;
+    node.depth = 0;
+    uint32_t index = static_cast<uint32_t>(tree.nodes.size());
+    tree.nodes.push_back(std::move(node));
+    tree.roots.push_back(index);
+    queue.push_back({index, root_vec, nullptr});
+  }
+
+  while (!queue.empty()) {
+    Pending pending = std::move(queue.front());
+    queue.pop_front();
+    RecursiveCommunity& node = tree.nodes[pending.node];
+    tree.max_depth_reached = std::max<size_t>(tree.max_depth_reached,
+                                              node.depth);
+
+    const size_t s = node.community.size();
+    if (s < options.min_split_size) {
+      node.stop_reason = "min_size";
+      continue;
+    }
+    if (node.depth >= options.max_depth) {
+      node.stop_reason = "max_depth";
+      continue;
+    }
+
+    OCA_ASSIGN_OR_RETURN(Subgraph sub,
+                         InducedSubgraph(graph, node.community));
+    if (sub.graph.num_edges() == 0) {
+      node.stop_reason = "edgeless";
+      continue;
+    }
+    double density = 2.0 * static_cast<double>(sub.graph.num_edges()) /
+                     (static_cast<double>(s) * static_cast<double>(s - 1));
+    if (density >= options.max_split_density) {
+      node.stop_reason = "density";
+      continue;
+    }
+
+    // --- The cross-graph warm-start chain. ---
+    bool warm = false;
+    if (options.warm_start && pending.parent_vec != nullptr) {
+      warm = engine.WarmStartFromParent(
+          *pending.parent_vec,
+          ToParentLocal(sub.to_original, pending.parent_ids));
+    }
+    auto sub_vec = std::make_shared<std::vector<double>>();
+    auto coupling_result =
+        engine.CouplingConstantWithVector(sub.graph, sub_vec.get());
+    if (!coupling_result.ok()) {
+      engine.Forget(sub.graph);
+      return coupling_result.status();
+    }
+    const CouplingResult& coupling = coupling_result.value();
+    node.subgraph_c = coupling.c;
+    node.subgraph_lambda_min = coupling.lambda_min;
+    node.spectral_iterations = coupling.iterations;
+    node.warm_started = warm;
+    ++tree.chain.subgraph_solves;
+    if (warm) ++tree.chain.warm_started_solves;
+    tree.chain.total_iterations += coupling.iterations;
+
+    auto run_result = RunOca(sub.graph, run_options, &engine);
+    // The subgraph dies with this iteration; its cache entry must not
+    // survive to alias a future subgraph at the same heap address.
+    engine.Forget(sub.graph);
+    if (!run_result.ok()) return run_result.status();
+    OcaResult run = std::move(run_result).value();
+    node.split_stats = run.stats;
+
+    if (run.cover.empty()) {
+      node.stop_reason = "no_communities";
+      continue;
+    }
+
+    // Map children back to original ids (to_original is ascending, so
+    // sorted local communities stay sorted) and apply the stability
+    // rule: a child that rho-matches its parent is the parent re-found
+    // at the subgraph's own resolution, not a split — drop it. What
+    // remains are genuine sub-structures; if nothing remains, the node
+    // is a stable leaf. Children are subsets of the parent, so every
+    // surviving child has rho = |child| / |parent| < stable_similarity,
+    // i.e. is strictly smaller — the recursion terminates even without
+    // the depth cap.
+    std::vector<Community> children;
+    children.reserve(run.cover.size());
+    for (const Community& local : run.cover) {
+      Community original;
+      original.reserve(local.size());
+      for (NodeId v : local) original.push_back(sub.to_original[v]);
+      if (RhoSimilarity(original, node.community) <
+          options.stable_similarity) {
+        children.push_back(std::move(original));
+      }
+    }
+    if (children.empty()) {
+      node.stop_reason = "stable";
+      continue;
+    }
+
+    node.stop_reason = "split";
+    auto ids = std::make_shared<std::vector<NodeId>>(
+        std::move(sub.to_original));
+    for (Community& child : children) {
+      RecursiveCommunity child_node;
+      child_node.community = std::move(child);
+      child_node.parent = pending.node;
+      child_node.depth = tree.nodes[pending.node].depth + 1;
+      uint32_t index = static_cast<uint32_t>(tree.nodes.size());
+      // NOTE: push_back may reallocate the arena; `node` is not used
+      // past this point.
+      tree.nodes.push_back(std::move(child_node));
+      tree.nodes[pending.node].children.push_back(index);
+      queue.push_back({index, sub_vec, ids});
+    }
+  }
+
+  return tree;
+}
+
+std::vector<std::vector<uint32_t>> RecursiveHierarchy::MembershipPaths(
+    NodeId v) const {
+  std::vector<std::vector<uint32_t>> paths;
+  std::vector<uint32_t> path;
+  auto contains = [&](uint32_t index) {
+    const Community& c = nodes[index].community;
+    return std::binary_search(c.begin(), c.end(), v);
+  };
+  // Depth-first descent; recursion depth is bounded by max_depth.
+  auto descend = [&](auto&& self, uint32_t index) -> void {
+    path.push_back(index);
+    bool any_child = false;
+    for (uint32_t child : nodes[index].children) {
+      if (contains(child)) {
+        any_child = true;
+        self(self, child);
+      }
+    }
+    if (!any_child) paths.push_back(path);
+    path.pop_back();
+  };
+  for (uint32_t root : roots) {
+    if (contains(root)) descend(descend, root);
+  }
+  return paths;
+}
+
+std::vector<RecursiveLevelSummary> RecursiveHierarchy::LevelSummaries()
+    const {
+  std::vector<RecursiveLevelSummary> levels(
+      nodes.empty() ? 0 : max_depth_reached + 1);
+  for (size_t d = 0; d < levels.size(); ++d) levels[d].depth = d;
+  for (const RecursiveCommunity& node : nodes) {
+    RecursiveLevelSummary& level = levels[node.depth];
+    ++level.communities;
+    if (!node.children.empty()) ++level.split;
+    if (node.SubgraphSolved()) {
+      ++level.subgraph_solves;
+      if (node.warm_started) ++level.warm_started;
+      level.spectral_iterations += node.spectral_iterations;
+    }
+  }
+  return levels;
+}
+
+Cover RecursiveHierarchy::LeafCover() const {
+  Cover leaves;
+  for (const RecursiveCommunity& node : nodes) {
+    if (node.children.empty()) leaves.Add(node.community);
+  }
+  leaves.Canonicalize();
+  return leaves;
+}
+
+}  // namespace oca

@@ -1,0 +1,156 @@
+// Recursive per-community hierarchy (the paper's stated future work:
+// "now that the communities are identified, we will explore the
+// hierarchies and relations among them").
+//
+// Where core/hierarchy.h sweeps the coupling constant over ONE graph
+// (c as a resolution knob), this module recurses into the communities
+// themselves: run OCA at the top level, extract each sufficiently large
+// and sufficiently sparse community's induced subgraph, re-resolve the
+// subgraph's own admissible coupling c = -1/lambda_min, run OCA inside
+// it, and repeat until communities stop splitting. The result is a tree
+// of nested communities in original node ids.
+//
+// The spectral piece that makes the recursion cheap is a cross-graph
+// warm-start chain: every subgraph solve is seeded with the parent
+// graph's converged lambda_min eigenvector restricted (through
+// Subgraph::to_original) onto the subgraph's node set, so nested solves
+// start from a physically informed vector instead of cold random. The
+// per-node stats record what each solve cost and whether it was warm,
+// so warm-vs-cold savings are measurable (bench_recursive_hierarchy).
+
+#ifndef OCA_CORE_RECURSIVE_HIERARCHY_H_
+#define OCA_CORE_RECURSIVE_HIERARCHY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/oca.h"
+
+namespace oca {
+
+struct RecursiveHierarchyOptions {
+  /// Base OCA configuration (seed, halting, postprocessing), applied to
+  /// the top-level run and to every subgraph run. The coupling constant
+  /// is re-resolved per graph and must be left at "compute" (<= 0).
+  OcaOptions base;
+
+  /// Communities smaller than this are leaves (stop reason "min_size").
+  size_t min_split_size = 10;
+
+  /// Communities whose internal edge density (2m / s(s-1)) is at least
+  /// this are leaves (stop reason "density"): a near-clique has no inner
+  /// structure for OCA to find.
+  double max_split_density = 0.95;
+
+  /// Maximum tree depth; top-level communities have depth 0, so at most
+  /// max_depth + 1 community layers exist (stop reason "max_depth").
+  size_t max_depth = 6;
+
+  /// A found sub-community whose rho-similarity (Jaccard) to its parent
+  /// is >= this is the parent re-found at the subgraph's own resolution,
+  /// not a split, and is dropped; a node where nothing else was found is
+  /// a leaf (stop reason "stable"). Children are always subsets of the
+  /// parent, so every surviving child has rho = |child|/|parent| below
+  /// this bound — strictly smaller than its parent — and the recursion
+  /// terminates even without the depth cap.
+  double stable_similarity = 0.9;
+
+  /// Feed each subgraph solve the parent eigenvector restriction
+  /// (SpectralEngine::WarmStartFromParent). Off = every subgraph solve
+  /// starts cold; exists so benchmarks and tests can measure the chain.
+  bool warm_start = true;
+};
+
+/// One node of the recursion tree. `community` is in ORIGINAL graph ids
+/// (mapped back through Subgraph::to_original), sorted ascending.
+struct RecursiveCommunity {
+  Community community;
+  uint32_t parent = UINT32_MAX;    // arena index; kNoParent for roots
+  std::vector<uint32_t> children;  // arena indices
+  uint32_t depth = 0;              // 0 = found by the top-level run
+
+  /// Why the recursion stopped here: "split" (has children), or a leaf
+  /// reason: "min_size", "density", "max_depth", "stable",
+  /// "no_communities" (subgraph run found nothing above the size floor),
+  /// "edgeless" (induced subgraph has no internal edges).
+  std::string stop_reason;
+
+  /// Spectral record of THIS node's subgraph solve (set whenever the
+  /// subgraph was solved, i.e. stop_reason is "split", "stable" or
+  /// "no_communities"; zero otherwise). `subgraph_c` is the admissible
+  /// coupling re-resolved on the induced subgraph and is what the inner
+  /// OCA ran with.
+  double subgraph_c = 0.0;
+  double subgraph_lambda_min = 0.0;
+  size_t spectral_iterations = 0;  // Lanczos steps of the coupling solve
+  bool warm_started = false;       // parent-eigenvector restriction used
+
+  /// Full OcaRunStats of this node's subgraph run (same condition as
+  /// above). For roots the run is the top-level one, recorded once in
+  /// RecursiveHierarchy::root_stats instead.
+  OcaRunStats split_stats;
+
+  /// True when this node's induced subgraph was spectrally solved and
+  /// searched (stop_reason "split", "stable" or "no_communities") — the
+  /// condition under which the spectral record above is populated.
+  bool SubgraphSolved() const { return subgraph_c > 0.0; }
+};
+
+/// Aggregate accounting of the warm-start chain across the whole build.
+struct SpectralChainStats {
+  size_t subgraph_solves = 0;        // coupling solves below the root
+  size_t warm_started_solves = 0;    // of which seeded from a parent
+  size_t total_iterations = 0;       // Lanczos steps summed over them
+};
+
+/// Per-depth rollup (communities found at that depth and what producing
+/// their NEXT level cost).
+struct RecursiveLevelSummary {
+  size_t depth = 0;
+  size_t communities = 0;       // tree nodes at this depth
+  size_t split = 0;             // of which have children
+  size_t subgraph_solves = 0;   // coupling solves run on their subgraphs
+  size_t warm_started = 0;
+  size_t spectral_iterations = 0;
+};
+
+struct RecursiveHierarchy {
+  static constexpr uint32_t kNoParent = UINT32_MAX;
+
+  /// Tree arena in BFS order: roots first, then depth 1, etc. Children
+  /// of any node are contiguous in `children` order.
+  std::vector<RecursiveCommunity> nodes;
+  std::vector<uint32_t> roots;  // arena indices of the top-level cover
+
+  /// Stats of the top-level whole-graph run (its lambda_min/c are the
+  /// flat pipeline's).
+  OcaRunStats root_stats;
+  SpectralChainStats chain;
+  size_t max_depth_reached = 0;  // deepest populated depth
+
+  /// All root-to-deepest membership chains of original node v: each path
+  /// is a list of arena indices, starting at a root containing v and
+  /// following children containing v to a node where no child does.
+  /// Overlapping covers can give several paths; a node in no root
+  /// community gets none.
+  std::vector<std::vector<uint32_t>> MembershipPaths(NodeId v) const;
+
+  /// Per-depth rollup of the tree, index == depth.
+  std::vector<RecursiveLevelSummary> LevelSummaries() const;
+
+  /// The tree's finest resolution as a flat canonical cover: one
+  /// community per leaf (nodes without children). This is what
+  /// downstream metrics compare against a planted fine scale.
+  Cover LeafCover() const;
+};
+
+/// Runs the recursive build. Errors propagate from RunOca and on invalid
+/// options (base.coupling_constant > 0, min_split_size < 2, stable or
+/// density thresholds outside (0, 1]).
+Result<RecursiveHierarchy> BuildRecursiveHierarchy(
+    const Graph& graph, const RecursiveHierarchyOptions& options);
+
+}  // namespace oca
+
+#endif  // OCA_CORE_RECURSIVE_HIERARCHY_H_

@@ -45,7 +45,9 @@ class Seeder {
  public:
   Seeder(const Graph& graph, const SeedingOptions& options, Rng rng);
 
-  /// Draws a seed node according to the selection policy.
+  /// Draws a seed node according to the selection policy. Once
+  /// Exhausted() is true every remaining draw is an arbitrary
+  /// already-exhausted node; callers should check Exhausted() first.
   NodeId NextSeedNode();
 
   /// Builds the initial subset around `seed` according to the mode.
@@ -64,6 +66,13 @@ class Seeder {
 
   /// Fraction of nodes covered so far.
   double CoverageFraction() const;
+
+  /// True once every node is covered or spent as a seed. From this point
+  /// NextSeedNode can only return already-exhausted nodes (it falls back
+  /// to a uniform draw), so the driver checks this before each draw and
+  /// halts with reason "seeds_exhausted" instead of burning seeds until
+  /// a stagnation window fires.
+  bool Exhausted() const { return exhausted_count_ >= exhausted_.size(); }
 
   size_t covered_count() const { return covered_count_; }
 

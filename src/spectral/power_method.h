@@ -12,6 +12,7 @@
 #ifndef OCA_SPECTRAL_POWER_METHOD_H_
 #define OCA_SPECTRAL_POWER_METHOD_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -19,6 +20,25 @@
 #include "util/result.h"
 
 namespace oca {
+
+/// Largest coupling constant the pipeline accepts. The admissible range
+/// is 0 < c <= -1/lambda_min, and lambda_min <= -1 for any graph with an
+/// edge, so c < 1 always holds EXCEPT at the boundary: a triangle (or
+/// any graph whose adjacency lambda_min is exactly -1) yields
+/// -1/lambda_min = 1.0. The fitness treats c = 1 as degenerate, so every
+/// path that produces or accepts a coupling constant — supplied options,
+/// the engine's spectral resolution, and hierarchy resolution sweeps —
+/// clamps/validates against this one bound instead of hand-rolling its
+/// own epsilon.
+inline constexpr double kMaxCouplingConstant = 1.0 - 1e-9;
+
+/// Clamps a coupling value to the shared admissible bound. Use wherever
+/// a computed c could touch 1.0 (e.g. lambda_min == -1 exactly); the
+/// clamped value is what must be recorded/reported, so the clamp is
+/// explicit in results rather than hidden in a solver.
+inline double ClampCouplingToAdmissible(double c) {
+  return std::min(c, kMaxCouplingConstant);
+}
 
 /// Convergence controls for spectral iterations.
 struct PowerMethodOptions {

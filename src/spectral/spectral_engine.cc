@@ -484,10 +484,20 @@ SpectralEngine::CacheEntry* SpectralEngine::TouchEntry(const Graph& graph) {
   return &cache_.back();
 }
 
+void SpectralEngine::ConsumeWarmStartOnCacheHit(size_t n) {
+  // A cache hit IS the "first subsequent solve" of the warm-start
+  // contract: a size-matching pending vector is consumed (it has nothing
+  // to seed), so it cannot leak into a later unrelated solve that
+  // merely shares the node count. A size-mismatched vector stays
+  // pending, exactly as in PrepareStartVector.
+  if (warm_pending_ && warm_.size() == n) warm_pending_ = false;
+}
+
 Result<ExtremeEigenvalues> SpectralEngine::Extremes(const Graph& graph) {
   if (Status s = ValidateGraph(graph); !s.ok()) return s;
   if (CacheEntry* entry = FindEntry(graph); entry && entry->has_extremes) {
     ++cache_hits_;
+    ConsumeWarmStartOnCacheHit(graph.num_nodes());
     return entry->extremes;
   }
 
@@ -516,7 +526,7 @@ Result<ExtremeEigenvalues> SpectralEngine::Extremes(const Graph& graph) {
   if (!entry->has_coupling && out.lambda_min < 0.0 &&
       sweep.min_end.converged) {
     double safe_min = out.lambda_min - sweep.min_end.error_estimate;
-    double c = std::min(-1.0 / safe_min, 1.0 - 1e-9);
+    double c = ClampCouplingToAdmissible(-1.0 / safe_min);
     if (c > 0.0) {
       entry->coupling = {c, out.lambda_min, sweep.steps, out.converged};
       entry->has_coupling = true;
@@ -526,11 +536,20 @@ Result<ExtremeEigenvalues> SpectralEngine::Extremes(const Graph& graph) {
 }
 
 Result<CouplingResult> SpectralEngine::CouplingConstant(const Graph& graph) {
+  return CouplingConstantWithVector(graph, nullptr);
+}
+
+Result<CouplingResult> SpectralEngine::CouplingConstantWithVector(
+    const Graph& graph, std::vector<double>* eigenvector) {
   if (Status s = ValidateGraph(graph); !s.ok()) return s;
-  if (CacheEntry* entry = FindEntry(graph); entry && entry->has_coupling) {
+  const bool want_vector = eigenvector != nullptr;
+  if (CacheEntry* entry = FindEntry(graph); entry && entry->has_coupling &&
+      (!want_vector || !entry->min_eigenvector.empty())) {
     ++cache_hits_;
+    ConsumeWarmStartOnCacheHit(graph.num_nodes());
     CouplingResult hit = entry->coupling;
     hit.iterations = 0;  // answered from cache
+    if (want_vector) *eigenvector = entry->min_eigenvector;
     return hit;
   }
 
@@ -552,16 +571,32 @@ Result<CouplingResult> SpectralEngine::CouplingConstant(const Graph& graph) {
   // lambda_min OVERSHOT c.) If the sweep hit its step cap the bias is
   // only best-effort — converged == false signals that to callers.
   double safe_min = lambda_min - sweep.min_end.error_estimate;
-  double c = -1.0 / safe_min;
-  if (c >= 1.0) c = 1.0 - 1e-9;
+  double c = ClampCouplingToAdmissible(-1.0 / safe_min);
   if (c <= 0.0) {
     return Status::Internal("coupling constant must be positive");
   }
 
   CouplingResult result{c, lambda_min, sweep.steps, sweep.min_end.converged};
+  std::vector<double> vec;
+  if (want_vector) {
+    // Raw Ritz value: the reconstruction must match the basis that was
+    // actually built, not the extrapolated refinement.
+    vec = ReconstructRitzVector(graph, sweep.min_end.theta);
+  }
   CacheEntry* entry = TouchEntry(graph);
-  entry->has_coupling = true;
-  entry->coupling = result;
+  if (entry->has_coupling) {
+    // A vector-less cache hit forced a re-sweep; keep the cached coupling
+    // values so repeated calls agree exactly, and only adopt the vector.
+    result = entry->coupling;
+    result.iterations = sweep.steps;
+  } else {
+    entry->has_coupling = true;
+    entry->coupling = result;
+  }
+  if (want_vector) {
+    entry->min_eigenvector = vec;
+    *eigenvector = std::move(vec);
+  }
   return result;
 }
 
@@ -581,11 +616,17 @@ Result<EigenEstimate> SpectralEngine::EigenpairImpl(
   est.eigenvalue = end.theta;  // raw Ritz value, consistent with the vector
   est.iterations = sweep.steps;
   est.converged = end.converged;
+  est.eigenvector = ReconstructRitzVector(graph, end.theta);
+  return est;
+}
 
-  // Reconstruct the Ritz vector with a replay pass: y = sum_j s_j v_j.
+std::vector<double> SpectralEngine::ReconstructRitzVector(const Graph& graph,
+                                                          double theta) {
+  // Replay pass: y = sum_j s_j v_j over the basis of the sweep that just
+  // ran (same start vector, same restart stream, bit-identical vectors).
   const size_t k = alpha_.size();
   std::vector<double> weights;
-  TridiagEigenvector(k, end.theta, &weights);
+  TridiagEigenvector(k, theta, &weights);
   std::vector<double> vec;
   LanczosSweep(graph, false, false, 0.0, 0.0, 0, 0.0, &weights, k, &vec);
   double norm = Norm2(vec);
@@ -600,8 +641,7 @@ Result<EigenEstimate> SpectralEngine::EigenpairImpl(
   if (!vec.empty() && vec[arg] < 0.0) {
     for (double& x : vec) x = -x;
   }
-  est.eigenvector = std::move(vec);
-  return est;
+  return vec;
 }
 
 Result<EigenEstimate> SpectralEngine::Dominant(const Graph& graph,
@@ -621,6 +661,27 @@ Result<EigenEstimate> SpectralEngine::MinEigenpair(
 void SpectralEngine::SetWarmStart(std::span<const double> eigenvector) {
   warm_.assign(eigenvector.begin(), eigenvector.end());
   warm_pending_ = !warm_.empty();
+}
+
+bool SpectralEngine::WarmStartFromParent(
+    std::span<const double> parent_eigenvector,
+    std::span<const NodeId> to_parent) {
+  if (to_parent.empty()) return false;
+  std::vector<double> restricted(to_parent.size());
+  for (size_t i = 0; i < to_parent.size(); ++i) {
+    if (to_parent[i] >= parent_eigenvector.size()) return false;
+    restricted[i] = parent_eigenvector[to_parent[i]];
+  }
+  double norm = Norm2(restricted);
+  // The useful-signal threshold: if the parent eigenvector carries less
+  // than ~1e-6 of its unit mass on this subgraph, the restriction is
+  // numerically indistinguishable from noise and a random start is the
+  // better seed. (PrepareStartVector renormalizes and blends in its own
+  // random component, so any norm above the floor is safe to use.)
+  if (!(norm > 1e-6) || !std::isfinite(norm)) return false;
+  for (double& x : restricted) x /= norm;
+  SetWarmStart(restricted);
+  return true;
 }
 
 bool SpectralEngine::GetCachedMinEigenvector(const Graph& graph,

@@ -130,6 +130,22 @@ class SpectralEngine {
   /// phase). Cached per graph. Errors on empty/edgeless graphs.
   Result<CouplingResult> CouplingConstant(const Graph& graph);
 
+  /// CouplingConstant plus the lambda_min Ritz vector of the same sweep,
+  /// reconstructed by a replay pass and cached as the graph's
+  /// min-eigenvector (retrievable via GetCachedMinEigenvector, usable
+  /// through WarmStartFromParent). This is the entry point for
+  /// warm-start chains across evolving graphs: each solve both consumes
+  /// a pending warm start and produces the eigenvector the next
+  /// (sub)graph's solve is seeded from. `eigenvector` may be null when
+  /// only the caching side effect is wanted. The eigenvector is resolved
+  /// at `coupling_tolerance`, loose by eigenpair standards — good enough
+  /// to seed a Krylov space, not for spectral analyses (use MinEigenpair
+  /// for those). A cache hit with a stored vector costs nothing; a cache
+  /// hit without one replays a fresh sweep for the vector but keeps the
+  /// cached coupling values, so repeated calls agree exactly.
+  Result<CouplingResult> CouplingConstantWithVector(
+      const Graph& graph, std::vector<double>* eigenvector);
+
   /// Dominant (largest algebraic) eigenpair, honoring the caller's
   /// PowerMethodOptions: `tolerance` bounds the eigenvalue stop and the
   /// Ritz residual, `max_iterations` caps Lanczos steps. The eigenvector
@@ -144,10 +160,23 @@ class SpectralEngine {
                                      const PowerMethodOptions& pm);
 
   /// Seeds the next cold solve's start vector (copied). Applies once, to
-  /// the first subsequent solve whose graph has the same node count;
-  /// ignored otherwise. Intended for warm-starting a level's eigenvector
-  /// from the parent level when a graph evolves between solves.
+  /// the first subsequent solve whose graph has the same node count (a
+  /// cache hit counts as that solve and consumes the vector); ignored
+  /// otherwise. Intended for warm-starting a level's eigenvector from
+  /// the parent level when a graph evolves between solves.
   void SetWarmStart(std::span<const double> eigenvector);
+
+  /// Cross-graph warm-start restriction: registers (via SetWarmStart)
+  /// the renormalized restriction of a parent graph's eigenvector onto a
+  /// subgraph's node set. `to_parent[i]` is the parent-side index of the
+  /// subgraph's local node i — for a subgraph induced from the parent
+  /// graph itself this is exactly `Subgraph::to_original`. Returns false
+  /// and registers nothing when the restriction is unusable: empty map,
+  /// an index out of range, or a restricted norm too small to carry
+  /// spectral information (the parent eigenvector has essentially no
+  /// mass on this subgraph, so a random start is the better seed).
+  bool WarmStartFromParent(std::span<const double> parent_eigenvector,
+                           std::span<const NodeId> to_parent);
 
   /// Copies the cached min-eigenvector for `graph` into `out` if one is
   /// known (populated by MinEigenpair). Returns false otherwise.
@@ -188,6 +217,10 @@ class SpectralEngine {
   Status ValidateGraph(const Graph& graph) const;
   void EnsureWorkspace(size_t n);
   void PrepareStartVector(const Graph& graph);
+  /// A cache hit counts as the warm-start contract's "first subsequent
+  /// solve": consumes a size-matching pending vector so it cannot leak
+  /// into a later unrelated solve.
+  void ConsumeWarmStartOnCacheHit(size_t n);
   size_t ResolvedThreads() const;
   bool UseParallel(const Graph& graph) const;
 
@@ -219,6 +252,11 @@ class SpectralEngine {
   Result<EigenEstimate> EigenpairImpl(const Graph& graph,
                                       const PowerMethodOptions& pm,
                                       bool smallest);
+
+  /// Replays the sweep that just ran (pass 2 over the same start vector
+  /// and restart stream) to reconstruct the unit Ritz vector for `theta`,
+  /// sign-fixed so the largest-magnitude entry is positive.
+  std::vector<double> ReconstructRitzVector(const Graph& graph, double theta);
 
   SpectralEngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;

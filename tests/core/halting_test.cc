@@ -88,5 +88,27 @@ TEST(HaltingTest, ZeroCoverageTargetStopsImmediately) {
   EXPECT_TRUE(tracker.ShouldStop());
 }
 
+TEST(HaltingTest, SeedsExhaustedIsItsOwnReason) {
+  HaltingOptions opt;
+  opt.max_seeds = 100;
+  opt.target_coverage = 2.0;  // disabled
+  opt.stagnation_window = 0;  // disabled
+  HaltingTracker tracker(opt);
+  tracker.RecordSeed(true, 0.5);
+  EXPECT_FALSE(tracker.ShouldStop());
+  tracker.NoteSeedsExhausted();
+  EXPECT_TRUE(tracker.ShouldStop());
+  EXPECT_EQ(std::string(tracker.Reason()), "seeds_exhausted");
+}
+
+TEST(HaltingTest, OtherCriteriaTakePriorityOverExhaustion) {
+  HaltingOptions opt;
+  opt.max_seeds = 1;
+  HaltingTracker tracker(opt);
+  tracker.RecordSeed(true, 0.0);
+  tracker.NoteSeedsExhausted();
+  EXPECT_EQ(std::string(tracker.Reason()), "max_seeds");
+}
+
 }  // namespace
 }  // namespace oca

@@ -106,6 +106,71 @@ TEST(HierarchyTest, FinerLevelsHaveSmallerOrEqualCommunities) {
       << "low c should not produce coarser communities";
 }
 
+TEST(LinkByContainmentTest, TiesResolveToSmallestParentIndex) {
+  // Two coarse parents both FULLY contain the fine community: equal
+  // containment 1.0 must deterministically pick the smaller index.
+  Cover fine(std::vector<Community>{{0, 1, 2}});
+  Cover coarse(std::vector<Community>{{0, 1, 2, 3, 4, 5}, {0, 1, 2, 3}});
+  auto links = LinkByContainment(fine, coarse, 6);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].parent_index, 0u);
+  EXPECT_DOUBLE_EQ(links[0].containment, 1.0);
+}
+
+TEST(LinkByContainmentTest, TieBreakIsIndependentOfDiscoveryOrder) {
+  // Node 0 only surfaces parent 1, node 1 only surfaces parent 0, so the
+  // HIGHER-indexed parent is scored first; both ties at containment 1/2.
+  // The old linker kept whichever was scored first (parent 1); the rule
+  // is smallest index.
+  Cover fine(std::vector<Community>{{0, 1}});
+  Cover coarse(std::vector<Community>{{1, 2}, {0, 3}});
+  auto links = LinkByContainment(fine, coarse, 4);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_DOUBLE_EQ(links[0].containment, 0.5);
+  EXPECT_EQ(links[0].parent_index, 0u);
+}
+
+TEST(LinkByContainmentTest, NoOverlapMeansNoParent) {
+  Cover fine(std::vector<Community>{{0, 1}, {4, 5}});
+  Cover coarse(std::vector<Community>{{4, 5, 6}});
+  auto links = LinkByContainment(fine, coarse, 7);
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(links[0].parent_index, Hierarchy::kNoParent);
+  EXPECT_DOUBLE_EQ(links[0].containment, 0.0);
+  EXPECT_EQ(links[1].parent_index, 0u);
+  EXPECT_DOUBLE_EQ(links[1].containment, 1.0);
+}
+
+TEST(HierarchyTest, LevelsRecordBackfilledLambdaMinAndClampedC) {
+  Graph g = TwoCliquesBridge();
+  HierarchyOptions opt = SmallOptions();
+  opt.resolution_fractions = {0.5, 1.0};
+  auto h = BuildHierarchy(g, opt).value();
+  for (const auto& level : h.levels) {
+    // Levels run with an explicit per-level c, but the builder resolves
+    // it through a shared engine — so the lambda_min contract says the
+    // spectral context is backfilled, never left at the "supplied c"
+    // sentinel 0.
+    EXPECT_LT(level.stats.lambda_min, 0.0);
+    EXPECT_DOUBLE_EQ(level.stats.coupling_constant, level.c);
+    EXPECT_LE(level.c, kMaxCouplingConstant);
+    EXPECT_DOUBLE_EQ(level.stats.lambda_min, h.levels[0].stats.lambda_min);
+  }
+}
+
+TEST(HierarchyTest, TriangleBoundaryLevelsStayAdmissible) {
+  // K3: c_max = -1/lambda_min = 1.0 exactly; the full-resolution level
+  // must record the explicitly clamped value, not 1.0.
+  Graph g = testing::Triangle();
+  HierarchyOptions opt = SmallOptions();
+  opt.resolution_fractions = {0.5, 1.0};
+  auto h = BuildHierarchy(g, opt).value();
+  ASSERT_EQ(h.levels.size(), 2u);
+  EXPECT_GT(h.levels[1].c, 0.9);
+  EXPECT_LE(h.levels[1].c, kMaxCouplingConstant);
+  EXPECT_LT(h.levels[0].c, h.levels[1].c);
+}
+
 TEST(HierarchyTest, DeterministicPerSeed) {
   Graph g = TwoCliquesBridge();
   HierarchyOptions opt = SmallOptions();

@@ -110,6 +110,51 @@ TEST(OcaTest, InvalidCouplingConstantErrors) {
   EXPECT_TRUE(RunOca(g, opt).status().IsInvalidArgument());
 }
 
+TEST(OcaTest, CouplingBoundIsSharedBetweenSuppliedAndComputed) {
+  Graph g = TwoCliquesBridge();
+  // Exactly 1.0 is inadmissible on the supplied path...
+  OcaOptions opt = SmallGraphOptions();
+  opt.coupling_constant = 1.0;
+  EXPECT_TRUE(RunOca(g, opt).status().IsInvalidArgument());
+  // ...while the largest admissible value is accepted — so a computed c
+  // (clamped to the same bound) can always be fed back in verbatim.
+  opt.coupling_constant = kMaxCouplingConstant;
+  auto supplied = RunOca(g, opt).value();
+  EXPECT_DOUBLE_EQ(supplied.stats.coupling_constant, kMaxCouplingConstant);
+}
+
+TEST(OcaTest, TriangleBoundaryCouplingStaysAdmissible) {
+  // K3's adjacency lambda_min is exactly -1, putting the computed
+  // c = -1/lambda_min right at the inadmissible boundary 1.0; the
+  // computed path must clamp/bias it below the bound, not error and not
+  // run with c = 1.
+  Graph g = testing::Triangle();
+  OcaOptions opt = SmallGraphOptions();
+  auto result = RunOca(g, opt).value();
+  EXPECT_GT(result.stats.coupling_constant, 0.9);
+  EXPECT_LE(result.stats.coupling_constant, kMaxCouplingConstant);
+  EXPECT_NEAR(result.stats.lambda_min, -1.0, 1e-6);
+  ASSERT_EQ(result.cover.size(), 1u);
+  EXPECT_EQ(result.cover[0], (Community{0, 1, 2}));
+}
+
+TEST(OcaTest, SeedExhaustionHaltsImmediatelyWithItsOwnReason) {
+  Graph g = TwoCliquesBridge();
+  OcaOptions opt;
+  opt.seed = 42;
+  // Only exhaustion can stop this run: a huge seed budget, coverage
+  // disabled, stagnation disabled.
+  opt.halting.max_seeds = 10000;
+  opt.halting.target_coverage = 2.0;
+  opt.halting.stagnation_window = 0;
+  auto result = RunOca(g, opt).value();
+  EXPECT_EQ(result.stats.halting_reason, "seeds_exhausted");
+  // Every expansion spends at least its seed node, so the loop cannot
+  // have burned more seeds than there are nodes.
+  EXPECT_LE(result.stats.seeds_expanded, g.num_nodes());
+  EXPECT_EQ(result.cover.size(), 2u);
+}
+
 TEST(OcaTest, OrphanAssignmentCoversEverything) {
   Graph g = KarateClub();
   OcaOptions opt = SmallGraphOptions();

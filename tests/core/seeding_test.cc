@@ -10,6 +10,7 @@ namespace oca {
 namespace {
 
 using testing::KarateClub;
+using testing::Path5;
 using testing::Star;
 
 TEST(SeederTest, NodeOnlyMode) {
@@ -112,6 +113,23 @@ TEST(SeederTest, DeterministicPerRng) {
     EXPECT_EQ(sa, sb);
     EXPECT_EQ(a.BuildSeedSet(sa), b.BuildSeedSet(sb));
   }
+}
+
+TEST(SeederTest, ExhaustedOnceEveryNodeIsSpentOrCovered) {
+  Graph g = Path5();
+  SeedingOptions opt;
+  Seeder seeder(g, opt, Rng(3));
+  EXPECT_FALSE(seeder.Exhausted());
+  seeder.MarkCovered({0, 1, 2});
+  EXPECT_FALSE(seeder.Exhausted());
+  seeder.MarkSeedSpent(3);
+  EXPECT_FALSE(seeder.Exhausted());
+  seeder.MarkSeedSpent(4);
+  EXPECT_TRUE(seeder.Exhausted());
+  // Re-marking does not confuse the count.
+  seeder.MarkSeedSpent(4);
+  seeder.MarkCovered({3});
+  EXPECT_TRUE(seeder.Exhausted());
 }
 
 TEST(SeedModeNameTest, AllNamed) {

@@ -1,0 +1,124 @@
+// Larger-scale recursive-hierarchy integration tests (CTest label
+// "large": excluded from the tier-1 lane, run in a dedicated CI step).
+//
+// These pin the acceptance criteria of the recursive hierarchy on
+// multi-hundred-node nested planted partitions: valid trees, quality
+// against the planted fine scale, and the cross-graph warm-start chain
+// reporting strictly fewer Lanczos iterations than cold solves at
+// identical converged coupling constants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/recursive_hierarchy.h"
+#include "gen/nested_partition.h"
+#include "metrics/omega_index.h"
+#include "metrics/onmi.h"
+
+namespace oca {
+namespace {
+
+NestedBenchmarkGraph LargeNested(uint64_t seed) {
+  NestedPartitionOptions gen;
+  gen.num_supers = 5;
+  gen.subs_per_super = 3;
+  gen.nodes_per_sub = 40;  // 600 nodes
+  gen.p_sub = 0.6;
+  gen.p_super = 0.12;
+  gen.p_out = 0.05;
+  gen.seed = seed;
+  return GenerateNestedPartition(gen).value();
+}
+
+RecursiveHierarchyOptions LargeOptions(uint64_t seed, bool warm) {
+  RecursiveHierarchyOptions opt;
+  opt.base.seed = seed;
+  opt.base.halting.max_seeds = 1800;
+  opt.base.halting.target_coverage = 0.98;
+  opt.base.halting.stagnation_window = 150;
+  opt.warm_start = warm;
+  return opt;
+}
+
+TEST(LargeRecursiveHierarchyTest, TreeIsValidAndLeavesMatchFineScale) {
+  for (uint64_t seed : {3u, 7u, 11u}) {
+    auto bench = LargeNested(seed);
+    auto tree =
+        BuildRecursiveHierarchy(bench.graph, LargeOptions(seed, true))
+            .value();
+    ASSERT_FALSE(tree.roots.empty()) << "seed " << seed;
+    for (const RecursiveCommunity& node : tree.nodes) {
+      if (node.parent == RecursiveHierarchy::kNoParent) continue;
+      const Community& parent = tree.nodes[node.parent].community;
+      EXPECT_TRUE(std::includes(parent.begin(), parent.end(),
+                                node.community.begin(),
+                                node.community.end()))
+          << "seed " << seed;
+    }
+    Cover leaves = tree.LeafCover();
+    double onmi = Onmi(leaves, bench.sub_truth,
+                       bench.graph.num_nodes()).value();
+    double omega = OmegaIndex(leaves, bench.sub_truth,
+                              bench.graph.num_nodes()).value();
+    EXPECT_GT(onmi, 0.9) << "seed " << seed << ": " << leaves.Summary();
+    EXPECT_GT(omega, 0.8) << "seed " << seed;
+  }
+}
+
+TEST(LargeRecursiveHierarchyTest, WarmChainBeatsColdAtIdenticalCoupling) {
+  size_t warm_total = 0;
+  size_t cold_total = 0;
+  for (uint64_t seed : {3u, 7u, 11u}) {
+    auto bench = LargeNested(seed);
+    auto warm =
+        BuildRecursiveHierarchy(bench.graph, LargeOptions(seed, true))
+            .value();
+    auto cold =
+        BuildRecursiveHierarchy(bench.graph, LargeOptions(seed, false))
+            .value();
+
+    ASSERT_GT(warm.chain.subgraph_solves, 0u) << "seed " << seed;
+    EXPECT_EQ(warm.chain.warm_started_solves, warm.chain.subgraph_solves);
+
+    // Identical converged c, node for node, within coupling tolerance.
+    ASSERT_EQ(warm.nodes.size(), cold.nodes.size()) << "seed " << seed;
+    const double tol =
+        LargeOptions(seed, true).base.power_method.coupling_tolerance;
+    for (size_t i = 0; i < warm.nodes.size(); ++i) {
+      EXPECT_EQ(warm.nodes[i].community, cold.nodes[i].community);
+      if (warm.nodes[i].subgraph_c > 0.0) {
+        EXPECT_NEAR(warm.nodes[i].subgraph_c, cold.nodes[i].subgraph_c,
+                    2.0 * tol * warm.nodes[i].subgraph_c)
+            << "seed " << seed << " node " << i;
+      }
+    }
+    EXPECT_LE(warm.chain.total_iterations, cold.chain.total_iterations)
+        << "seed " << seed;
+    warm_total += warm.chain.total_iterations;
+    cold_total += cold.chain.total_iterations;
+  }
+  // The acceptance bar: the physically informed start must be strictly
+  // cheaper in aggregate, not merely no worse.
+  EXPECT_LT(warm_total, cold_total);
+}
+
+TEST(LargeRecursiveHierarchyTest, MembershipPathsCoverEveryCoveredNode) {
+  auto bench = LargeNested(3);
+  auto tree = BuildRecursiveHierarchy(bench.graph, LargeOptions(3, true))
+                  .value();
+  auto covered = [&](NodeId v) {
+    for (uint32_t root : tree.roots) {
+      const Community& c = tree.nodes[root].community;
+      if (std::binary_search(c.begin(), c.end(), v)) return true;
+    }
+    return false;
+  };
+  for (NodeId v = 0; v < bench.graph.num_nodes(); ++v) {
+    auto paths = tree.MembershipPaths(v);
+    EXPECT_EQ(!paths.empty(), covered(v)) << "node " << v;
+  }
+}
+
+}  // namespace
+}  // namespace oca

@@ -247,6 +247,122 @@ TEST(SpectralEngineTest, ExtremesSeedsCouplingCache) {
               1e-6);
 }
 
+TEST(SpectralEngineTest, CouplingWithVectorReturnsUsableEigenvector) {
+  Rng rng(33);
+  Graph g = ErdosRenyi(120, 0.07, &rng).value();
+  SpectralEngine engine;
+  std::vector<double> vec;
+  auto coupling = engine.CouplingConstantWithVector(g, &vec).value();
+  ASSERT_EQ(vec.size(), g.num_nodes());
+  EXPECT_GT(coupling.iterations, 0u);
+
+  // Unit norm, and its Rayleigh quotient sits near lambda_min (the
+  // vector is resolved at the loose coupling tolerance, so only ask for
+  // a few percent).
+  double norm_sq = 0.0;
+  for (double x : vec) norm_sq += x * x;
+  EXPECT_NEAR(norm_sq, 1.0, 1e-9);
+  double rq = RayleighQuotient(g, vec);
+  EXPECT_LT(RelDiff(rq, coupling.lambda_min), 0.05);
+
+  // The vector is cached for warm-start chaining...
+  std::vector<double> cached;
+  EXPECT_TRUE(engine.GetCachedMinEigenvector(g, &cached));
+  EXPECT_EQ(cached, vec);
+  // ...and a repeat call is a pure cache hit returning the same pair.
+  size_t matvecs = engine.total_matvecs();
+  std::vector<double> again;
+  auto hit = engine.CouplingConstantWithVector(g, &again).value();
+  EXPECT_EQ(engine.total_matvecs(), matvecs);
+  EXPECT_EQ(hit.iterations, 0u);
+  EXPECT_DOUBLE_EQ(hit.c, coupling.c);
+  EXPECT_EQ(again, vec);
+}
+
+TEST(SpectralEngineTest, CouplingWithVectorAfterVectorlessHitKeepsC) {
+  Rng rng(34);
+  Graph g = ErdosRenyi(120, 0.07, &rng).value();
+  SpectralEngine engine;
+  auto plain = engine.CouplingConstant(g).value();
+  // The coupling value is cached but no vector exists yet: the call must
+  // re-sweep for the vector while returning the cached c unchanged.
+  std::vector<double> vec;
+  auto with_vec = engine.CouplingConstantWithVector(g, &vec).value();
+  EXPECT_DOUBLE_EQ(with_vec.c, plain.c);
+  EXPECT_DOUBLE_EQ(with_vec.lambda_min, plain.lambda_min);
+  EXPECT_GT(with_vec.iterations, 0u);
+  EXPECT_EQ(vec.size(), g.num_nodes());
+}
+
+TEST(SpectralEngineTest, WarmStartFromParentRestrictsAndRegisters) {
+  // Parent: two overlapping cliques; subgraph: one clique. The parent's
+  // lambda_min eigenvector restricted onto the clique is a legitimate
+  // start vector, and the warm-started solve must converge to the same
+  // c as a cold solve within the coupling tolerance.
+  Graph parent = testing::TwoCliquesOverlap();
+  SpectralEngine engine;
+  std::vector<double> parent_vec;
+  ASSERT_TRUE(engine.CouplingConstantWithVector(parent, &parent_vec).ok());
+
+  std::vector<NodeId> to_parent = {0, 1, 2, 3, 4, 5};
+  Graph sub = Clique(6);
+  EXPECT_TRUE(engine.WarmStartFromParent(parent_vec, to_parent));
+  auto warm = engine.CouplingConstant(sub).value();
+
+  SpectralEngine cold_engine;
+  auto cold = cold_engine.CouplingConstant(sub).value();
+  EXPECT_LT(RelDiff(warm.c, cold.c),
+            2.0 * engine.options().coupling_tolerance);
+  EXPECT_NEAR(warm.lambda_min, -1.0, 1e-5);  // K6
+}
+
+TEST(SpectralEngineTest, CacheHitConsumesSizeMatchingWarmStart) {
+  // A pending warm start whose target solve is answered from the cache
+  // must be consumed there, not leak into a later unrelated solve of
+  // the same node count.
+  Rng rng(35);
+  Graph a = ErdosRenyi(80, 0.1, &rng).value();
+  Graph b = ErdosRenyi(80, 0.1, &rng).value();
+  SpectralEngine engine;
+  std::vector<double> vec;
+  // Populate a's cache including the eigenvector, so the next call is a
+  // pure hit (no sweep at all).
+  ASSERT_TRUE(engine.CouplingConstantWithVector(a, &vec).ok());
+
+  std::vector<double> junk(80, 1.0);
+  engine.SetWarmStart(junk);
+  size_t matvecs = engine.total_matvecs();
+  auto hit = engine.CouplingConstantWithVector(a, &vec);
+  ASSERT_TRUE(hit.ok());
+  ASSERT_EQ(engine.total_matvecs(), matvecs);  // pure cache hit
+  // b's solve must now be a genuinely cold start: identical to a fresh
+  // engine that never saw the warm vector.
+  auto after_hit = engine.CouplingConstant(b).value();
+  SpectralEngine fresh;
+  auto cold = fresh.CouplingConstant(b).value();
+  EXPECT_EQ(after_hit.iterations, cold.iterations);
+  EXPECT_DOUBLE_EQ(after_hit.c, cold.c);
+}
+
+TEST(SpectralEngineTest, WarmStartFromParentRejectsDegenerateInput) {
+  SpectralEngine engine;
+  std::vector<double> parent_vec(10, 0.1);
+
+  // Empty map.
+  EXPECT_FALSE(engine.WarmStartFromParent(parent_vec, {}));
+  // Out-of-range index.
+  std::vector<NodeId> bad = {0, 12};
+  EXPECT_FALSE(engine.WarmStartFromParent(parent_vec, bad));
+  // Restriction with (near-)zero mass.
+  std::vector<double> lopsided(10, 0.0);
+  lopsided[9] = 1.0;
+  std::vector<NodeId> zero_mass = {0, 1, 2};
+  EXPECT_FALSE(engine.WarmStartFromParent(lopsided, zero_mass));
+  // A usable restriction registers.
+  std::vector<NodeId> good = {8, 9};
+  EXPECT_TRUE(engine.WarmStartFromParent(lopsided, good));
+}
+
 TEST(SpectralEngineTest, MatVecMatchesFreeFunction) {
   Rng rng(5);
   Graph g = ErdosRenyi(200, 0.05, &rng).value();
