@@ -47,6 +47,28 @@ void BM_PowerMethodMatVec(benchmark::State& state) {
 }
 BENCHMARK(BM_PowerMethodMatVec);
 
+// Parallel mat-vec scaling: the engine's fixed-block pooled kernel at
+// 1/2/4 workers over the same graph. Results are bit-identical across
+// thread counts (fixed-block reductions), so this measures speed only.
+// The bench container is often 1-core; the CI thread-matrix job on a
+// multi-core runner is where the speedup is actually recorded.
+void BM_EngineMatVecThreads(benchmark::State& state) {
+  const oca::Graph& g = LfrGraph();
+  oca::SpectralEngineOptions opt;
+  opt.num_threads = static_cast<size_t>(state.range(0));
+  opt.parallel_min_edges = 0;  // force the pooled path even at this size
+  oca::SpectralEngine engine(opt);
+  std::vector<double> x(g.num_nodes(), 1.0);
+  std::vector<double> y(g.num_nodes(), 0.0);
+  for (auto _ : state) {
+    engine.MatVec(g, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_edges() * 2));
+}
+BENCHMARK(BM_EngineMatVecThreads)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_CouplingConstant(benchmark::State& state) {
   const oca::Graph& g = LfrGraph();
   for (auto _ : state) {

@@ -1,6 +1,6 @@
 // Recursive vs flat hierarchy on nested planted partitions.
 //
-// Two questions, one workload:
+// Three questions, one workload:
 //   1. QUALITY — can the recursive per-community descent recover the
 //      planted FINE scale that a flat c-sweep (one graph, c as a weak
 //      resolution knob) mixes with the coarse scale? Scored by ONMI and
@@ -11,10 +11,22 @@
 //      lambda_min eigenvector restricted onto the subgraph; we compare
 //      total Lanczos iterations warm vs cold and check the converged c
 //      agrees to within the coupling tolerance.
+//   3. PARALLEL SPEEDUP — sibling subtrees expand concurrently on the
+//      thread pool (one engine per worker); we time the serial
+//      reference against an N-worker build, and pin that both produce
+//      the SAME tree (Digest()). N comes from OCA_THREADS (unset/0 =
+//      hardware concurrency). On a 1-core box expect speedup ~<= 1 —
+//      the CI thread-matrix job is the multi-core testbed.
+//
+// Set OCA_BENCH_JSON=path to also write the per-config metrics as JSON
+// (uploaded as a CI artifact so baselines compare without a local
+// rerun).
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -23,6 +35,7 @@
 #include "gen/nested_partition.h"
 #include "metrics/omega_index.h"
 #include "metrics/onmi.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -30,6 +43,54 @@ struct Config {
   size_t supers, subs, sub_size;
   double p_sub, p_super, p_out;
 };
+
+struct Row {
+  std::string name;
+  size_t nodes = 0;
+  double flat_onmi = 0.0, flat_omega = 0.0;
+  double rec_onmi = 0.0, rec_omega = 0.0;
+  size_t warm_iters = 0, cold_iters = 0;
+  double serial_seconds = 0.0, parallel_seconds = 0.0;
+  size_t threads = 0;
+  bool digest_match = false;
+  unsigned long long digest = 0;
+};
+
+double Seconds(std::chrono::steady_clock::time_point from,
+               std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+void WriteJson(const char* path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "OCA_BENCH_JSON: cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"bench_recursive_hierarchy\",\n");
+  std::fprintf(f, "  \"configs\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"nodes\": %zu, \"flat_onmi\": %.4f, "
+        "\"flat_omega\": %.4f, \"rec_onmi\": %.4f, \"rec_omega\": %.4f, "
+        "\"warm_iters\": %zu, \"cold_iters\": %zu, "
+        "\"serial_seconds\": %.4f, \"parallel_seconds\": %.4f, "
+        "\"threads\": %zu, \"speedup\": %.3f, \"digest_match\": %s, "
+        "\"digest\": \"%016llx\"}%s\n",
+        r.name.c_str(), r.nodes, r.flat_onmi, r.flat_omega, r.rec_onmi,
+        r.rec_omega, r.warm_iters, r.cold_iters, r.serial_seconds,
+        r.parallel_seconds, r.threads,
+        r.parallel_seconds > 0.0 ? r.serial_seconds / r.parallel_seconds
+                                 : 0.0,
+        r.digest_match ? "true" : "false", r.digest,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
 
 }  // namespace
 
@@ -55,6 +116,11 @@ int main() {
                  {8, 4, 60, 0.50, 0.10, 0.04}};
       break;
   }
+
+  const size_t threads =
+      oca::ThreadCountFromEnv("OCA_THREADS", oca::DefaultThreadCount());
+  std::vector<Row> rows;
+  bool failed = false;
 
   std::printf("%-16s %6s | %-21s | %-21s | %-26s\n", "", "",
               "flat finest level", "recursive leaves",
@@ -92,12 +158,20 @@ int main() {
     double flat_omega =
         oca::OmegaIndex(h.levels[0].cover, bench.sub_truth, n).value();
 
-    // Recursive descent, warm and cold.
+    // Recursive descent: serial reference (timed), cold, and parallel
+    // (timed, digest-pinned against serial).
     oca::RecursiveHierarchyOptions rec;
     rec.base = base;
+    auto t0 = std::chrono::steady_clock::now();
     auto warm = oca::BuildRecursiveHierarchy(bench.graph, rec).value();
+    auto t1 = std::chrono::steady_clock::now();
     rec.warm_start = false;
     auto cold = oca::BuildRecursiveHierarchy(bench.graph, rec).value();
+    rec.warm_start = true;
+    rec.num_threads = threads;
+    auto t2 = std::chrono::steady_clock::now();
+    auto parallel = oca::BuildRecursiveHierarchy(bench.graph, rec).value();
+    auto t3 = std::chrono::steady_clock::now();
 
     oca::Cover leaves = warm.LeafCover();
     double rec_onmi = oca::Onmi(leaves, bench.sub_truth, n).value();
@@ -115,6 +189,7 @@ int main() {
     } else {
       mismatches = SIZE_MAX;
     }
+    const bool digest_match = warm.Digest() == parallel.Digest();
 
     char name[64];
     std::snprintf(name, sizeof(name), "%zux%zux%zu", config.supers,
@@ -131,6 +206,37 @@ int main() {
                 warm.nodes.size(), warm.max_depth_reached,
                 warm.chain.warm_started_solves,
                 warm.chain.subgraph_solves);
+    double serial_s = Seconds(t0, t1);
+    double parallel_s = Seconds(t2, t3);
+    std::printf("%-16s %6s | parallel: %zu workers, serial %.3fs vs "
+                "pooled %.3fs, speedup %.2fx, peak %zu concurrent, "
+                "digest %s\n", "", "", threads, serial_s, parallel_s,
+                parallel_s > 0.0 ? serial_s / parallel_s : 0.0,
+                parallel.scheduling.max_concurrent,
+                digest_match ? "match" : "MISMATCH!");
+
+    Row row;
+    row.name = name;
+    row.nodes = n;
+    row.flat_onmi = flat_onmi;
+    row.flat_omega = flat_omega;
+    row.rec_onmi = rec_onmi;
+    row.rec_omega = rec_omega;
+    row.warm_iters = warm.chain.total_iterations;
+    row.cold_iters = cold.chain.total_iterations;
+    row.serial_seconds = serial_s;
+    row.parallel_seconds = parallel_s;
+    row.threads = threads;
+    row.digest_match = digest_match;
+    row.digest = static_cast<unsigned long long>(warm.Digest());
+    rows.push_back(std::move(row));
+    // Hard-fail AFTER the loop and the JSON write: the per-config
+    // timings and digests are exactly the evidence a mismatch needs.
+    if (!digest_match || mismatches != 0) failed = true;
   }
-  return 0;
+
+  if (const char* json = std::getenv("OCA_BENCH_JSON")) {
+    WriteJson(json, rows);
+  }
+  return failed ? 1 : 0;
 }

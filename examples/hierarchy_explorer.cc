@@ -15,10 +15,13 @@
 //      lambda_min eigenvector (the cross-graph warm-start chain).
 //
 //   $ ./build/examples/hierarchy_explorer [--seed=7] [--supers=4]
-//         [--subs=3] [--sub_size=20] [--cold] [--node=0]
+//         [--subs=3] [--sub_size=20] [--cold] [--node=0] [--threads=N]
 //
 // --cold disables the warm-start chain (compare "spectral iters" to see
-// what the chain saves); --node prints that node's membership paths.
+// what the chain saves); --node prints that node's membership paths;
+// --threads expands sibling subtrees on N pool workers (0 = the serial
+// reference path). The printed tree digest is identical for every
+// --threads value — CI's thread matrix pins exactly that.
 
 #include <cstdio>
 
@@ -117,6 +120,9 @@ int main(int argc, char** argv) {
   oca::RecursiveHierarchyOptions rec;
   rec.base = flat.base;
   rec.warm_start = !flags.GetBool("cold", false);
+  long threads_flag = flags.GetInt("threads", 0).value_or(0);
+  rec.num_threads =
+      threads_flag > 0 ? static_cast<size_t>(threads_flag) : 0;
 
   auto rec_result = oca::BuildRecursiveHierarchy(graph, rec);
   if (!rec_result.ok()) {
@@ -125,13 +131,21 @@ int main(int argc, char** argv) {
     return 1;
   }
   const auto& tree = rec_result.value();
-  std::printf("\nrecursive descent (per-community subgraphs, %s starts):\n",
-              rec.warm_start ? "warm" : "cold");
+  std::printf("\nrecursive descent (per-community subgraphs, %s starts, "
+              "%zu workers):\n",
+              rec.warm_start ? "warm" : "cold", rec.num_threads);
   for (uint32_t root : tree.roots) PrintSubtree(tree, root, 2);
   std::printf("  chain: %zu subgraph solves (%zu warm), %zu total spectral "
               "iterations; max depth %zu\n",
               tree.chain.subgraph_solves, tree.chain.warm_started_solves,
               tree.chain.total_iterations, tree.max_depth_reached);
+  std::printf("  scheduling: %zu workers, %zu tasks, peak %zu concurrent, "
+              "warm-start hit rate %.2f\n",
+              tree.scheduling.num_workers, tree.scheduling.tasks_run,
+              tree.scheduling.max_concurrent,
+              tree.scheduling.warm_start_hit_rate);
+  std::printf("  tree digest: %016llx\n",
+              static_cast<unsigned long long>(tree.Digest()));
   for (const auto& level : tree.LevelSummaries()) {
     std::printf("  depth %zu: %zu communities (%zu split), %zu solves "
                 "(%zu warm, %zu iters)\n",

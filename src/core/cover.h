@@ -37,7 +37,9 @@ class Cover {
   auto end() const { return communities_.end(); }
 
   /// Appends a community (takes ownership). No canonicalization performed.
-  void Add(Community community) { communities_.push_back(std::move(community)); }
+  void Add(Community community) {
+    communities_.push_back(std::move(community));
+  }
 
   /// Sorts members within communities, drops duplicate members, drops
   /// empty communities, sorts the community list, and drops exact

@@ -70,7 +70,12 @@ Result<OcaResult> RunOca(const Graph& graph, const OcaOptions& options = {});
 /// per-graph cache means repeated runs over the same graph — hierarchy
 /// levels, parameter sweeps — resolve the coupling constant once; its
 /// warm-start hook lets callers seed the solve from a related graph's
-/// eigenvector. The engine must outlive the call.
+/// eigenvector. The engine must outlive the call and is NOT thread-safe:
+/// callers that run several RunOca calls concurrently (e.g. the parallel
+/// recursive hierarchy expanding sibling subtrees) must hold one engine
+/// per worker (SpectralEngineSet) rather than share one. Results do not
+/// depend on which engine ran the solve — start vectors derive from the
+/// engine's configured seed, not its history.
 Result<OcaResult> RunOca(const Graph& graph, const OcaOptions& options,
                          SpectralEngine* engine);
 

@@ -1,12 +1,16 @@
 #include "core/recursive_hierarchy.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstring>
 #include <deque>
 #include <memory>
+#include <utility>
 
 #include "graph/subgraph.h"
 #include "metrics/similarity.h"
 #include "spectral/spectral_engine.h"
+#include "util/thread_pool.h"
 
 namespace oca {
 
@@ -30,31 +34,403 @@ Status ValidateOptions(const RecursiveHierarchyOptions& options) {
   return Status::OK();
 }
 
-/// Work-queue entry: an arena node awaiting its split attempt, plus the
-/// eigenvector of the graph its community was found in. `parent_ids` is
-/// that graph's local->original map (null = the original graph itself).
-struct Pending {
-  uint32_t node = 0;
-  std::shared_ptr<const std::vector<double>> parent_vec;
-  std::shared_ptr<const std::vector<NodeId>> parent_ids;
-};
-
 /// Maps each of the subgraph's original ids to its local index in the
 /// parent graph's id list (identity when parent_ids is null). Children
 /// are subsets of their parent by construction, so every id is found.
-std::vector<NodeId> ToParentLocal(
-    const std::vector<NodeId>& to_original,
-    const std::shared_ptr<const std::vector<NodeId>>& parent_ids) {
+std::vector<NodeId> ToParentLocal(const std::vector<NodeId>& to_original,
+                                  const std::vector<NodeId>* parent_ids) {
   if (parent_ids == nullptr) return to_original;
   std::vector<NodeId> to_parent;
   to_parent.reserve(to_original.size());
   for (NodeId original : to_original) {
-    auto it = std::lower_bound(parent_ids->begin(), parent_ids->end(),
-                               original);
+    auto it =
+        std::lower_bound(parent_ids->begin(), parent_ids->end(), original);
     to_parent.push_back(static_cast<NodeId>(it - parent_ids->begin()));
   }
   return to_parent;
 }
+
+/// Everything one node's expansion attempt produces. An expansion is a
+/// pure function of (community, depth, parent eigenvector, options) —
+/// engine history does not leak in (start vectors derive from the
+/// configured seed, the subgraph's cache entry is dropped before
+/// returning) — which is what makes the serial and pooled schedulers
+/// byte-identical by construction.
+struct ExpandOutcome {
+  Status status = Status::OK();
+  std::string stop_reason;
+  double subgraph_c = 0.0;
+  double subgraph_lambda_min = 0.0;
+  size_t spectral_iterations = 0;
+  bool warm_started = false;
+  OcaRunStats split_stats;
+  /// Surviving children in canonical (cover) order, original ids. The
+  /// index into this vector is the child's stable identity: together
+  /// with (depth, parent) it fixes the child's arena id at merge time.
+  std::vector<Community> children;
+  /// Published with a "split" so the children's solves can warm-start
+  /// from this node's eigenvector — the chain crosses engines by value.
+  std::shared_ptr<const std::vector<double>> sub_vec;
+  std::shared_ptr<const std::vector<NodeId>> sub_ids;
+};
+
+/// Attempts to split one community: leaf gates, induced subgraph, the
+/// warm-started coupling solve, the inner OCA run, and the stability
+/// filter. Runs on whichever engine the caller owns (the single serial
+/// engine or a worker-local one).
+ExpandOutcome ExpandNode(const Graph& graph,
+                         const RecursiveHierarchyOptions& options,
+                         const OcaOptions& run_options, SpectralEngine& engine,
+                         const Community& community, uint32_t depth,
+                         const std::vector<double>* parent_vec,
+                         const std::vector<NodeId>* parent_ids) {
+  ExpandOutcome out;
+  const size_t s = community.size();
+  if (s < options.min_split_size) {
+    out.stop_reason = "min_size";
+    return out;
+  }
+  if (depth >= options.max_depth) {
+    out.stop_reason = "max_depth";
+    return out;
+  }
+
+  auto sub_result = InducedSubgraph(graph, community);
+  if (!sub_result.ok()) {
+    out.status = sub_result.status();
+    return out;
+  }
+  Subgraph sub = std::move(sub_result).value();
+  if (sub.graph.num_edges() == 0) {
+    out.stop_reason = "edgeless";
+    return out;
+  }
+  double density = 2.0 * static_cast<double>(sub.graph.num_edges()) /
+                   (static_cast<double>(s) * static_cast<double>(s - 1));
+  if (density >= options.max_split_density) {
+    out.stop_reason = "density";
+    return out;
+  }
+
+  if (options.solve_fault_for_testing) {
+    if (Status fault = options.solve_fault_for_testing(community, depth);
+        !fault.ok()) {
+      out.status = std::move(fault);
+      return out;
+    }
+  }
+
+  // --- The cross-graph warm-start chain. ---
+  bool warm = false;
+  if (options.warm_start && parent_vec != nullptr) {
+    warm = engine.WarmStartFromParent(
+        *parent_vec, ToParentLocal(sub.to_original, parent_ids));
+  }
+  auto vec = std::make_shared<std::vector<double>>();
+  auto coupling_result = engine.CouplingConstantWithVector(sub.graph,
+                                                           vec.get());
+  if (!coupling_result.ok()) {
+    engine.Forget(sub.graph);
+    out.status = coupling_result.status();
+    return out;
+  }
+  const CouplingResult& coupling = coupling_result.value();
+  out.subgraph_c = coupling.c;
+  out.subgraph_lambda_min = coupling.lambda_min;
+  out.spectral_iterations = coupling.iterations;
+  out.warm_started = warm;
+
+  auto run_result = RunOca(sub.graph, run_options, &engine);
+  // The subgraph dies with this expansion; its cache entry must not
+  // survive to alias a future subgraph at the same heap address.
+  engine.Forget(sub.graph);
+  if (!run_result.ok()) {
+    out.status = run_result.status();
+    return out;
+  }
+  OcaResult run = std::move(run_result).value();
+  out.split_stats = run.stats;
+
+  if (run.cover.empty()) {
+    out.stop_reason = "no_communities";
+    return out;
+  }
+
+  // Map children back to original ids (to_original is ascending, so
+  // sorted local communities stay sorted) and apply the stability
+  // rule: a child that rho-matches its parent is the parent re-found
+  // at the subgraph's own resolution, not a split — drop it. What
+  // remains are genuine sub-structures; if nothing remains, the node
+  // is a stable leaf. Children are subsets of the parent, so every
+  // surviving child has rho = |child| / |parent| < stable_similarity,
+  // i.e. is strictly smaller — the recursion terminates even without
+  // the depth cap.
+  std::vector<Community> children;
+  children.reserve(run.cover.size());
+  for (const Community& local : run.cover) {
+    Community original;
+    original.reserve(local.size());
+    for (NodeId v : local) original.push_back(sub.to_original[v]);
+    if (RhoSimilarity(original, community) < options.stable_similarity) {
+      children.push_back(std::move(original));
+    }
+  }
+  if (children.empty()) {
+    out.stop_reason = "stable";
+    return out;
+  }
+
+  out.stop_reason = "split";
+  out.children = std::move(children);
+  out.sub_vec = std::move(vec);
+  out.sub_ids = std::make_shared<const std::vector<NodeId>>(
+      std::move(sub.to_original));
+  return out;
+}
+
+/// Copies an expansion's per-node record into its arena node (children
+/// are linked separately by whichever scheduler ran the expansion).
+void ApplyOutcome(const ExpandOutcome& out, RecursiveCommunity* node) {
+  node->stop_reason = out.stop_reason;
+  node->subgraph_c = out.subgraph_c;
+  node->subgraph_lambda_min = out.subgraph_lambda_min;
+  node->spectral_iterations = out.spectral_iterations;
+  node->warm_started = out.warm_started;
+  node->split_stats = out.split_stats;
+}
+
+/// The serial reference scheduler: a plain FIFO over arena indices, one
+/// engine for the whole build. This is the path the pooled scheduler is
+/// pinned against — keep it boring.
+Status ExpandSerial(const Graph& graph,
+                    const RecursiveHierarchyOptions& options,
+                    const OcaOptions& run_options, SpectralEngine* engine,
+                    const Cover& root_cover,
+                    std::shared_ptr<const std::vector<double>> root_vec,
+                    RecursiveHierarchy* tree) {
+  /// Work-queue entry: an arena node awaiting its split attempt, plus
+  /// the eigenvector of the graph its community was found in.
+  /// `parent_ids` is that graph's local->original map (null = the
+  /// original graph itself).
+  struct Pending {
+    uint32_t node = 0;
+    std::shared_ptr<const std::vector<double>> parent_vec;
+    std::shared_ptr<const std::vector<NodeId>> parent_ids;
+  };
+
+  std::deque<Pending> queue;
+  for (const Community& community : root_cover) {
+    RecursiveCommunity node;
+    node.community = community;
+    node.depth = 0;
+    uint32_t index = static_cast<uint32_t>(tree->nodes.size());
+    tree->nodes.push_back(std::move(node));
+    tree->roots.push_back(index);
+    queue.push_back({index, root_vec, nullptr});
+  }
+
+  while (!queue.empty()) {
+    Pending pending = std::move(queue.front());
+    queue.pop_front();
+    const uint32_t depth = tree->nodes[pending.node].depth;
+    ExpandOutcome out = ExpandNode(
+        graph, options, run_options, *engine,
+        tree->nodes[pending.node].community, depth, pending.parent_vec.get(),
+        pending.parent_ids.get());
+    if (!out.status.ok()) return out.status;
+    ApplyOutcome(out, &tree->nodes[pending.node]);
+    for (Community& child : out.children) {
+      RecursiveCommunity child_node;
+      child_node.community = std::move(child);
+      child_node.parent = pending.node;
+      child_node.depth = depth + 1;
+      uint32_t index = static_cast<uint32_t>(tree->nodes.size());
+      tree->nodes.push_back(std::move(child_node));
+      tree->nodes[pending.node].children.push_back(index);
+      queue.push_back({index, out.sub_vec, out.sub_ids});
+    }
+  }
+
+  tree->scheduling.num_workers = 0;
+  tree->scheduling.max_concurrent = tree->nodes.empty() ? 0 : 1;
+  return Status::OK();
+}
+
+/// The pooled scheduler: sibling subtrees run concurrently on a
+/// thread_pool work queue, one SpectralEngine per worker. Tasks build a
+/// result tree whose structure — not its completion order — determines
+/// the final arena: the merge below walks it in canonical BFS order
+/// (depth, parent, community index), which is exactly the serial arena
+/// order, so the two paths are byte-identical.
+Status ExpandParallel(const Graph& graph,
+                      const RecursiveHierarchyOptions& options,
+                      const OcaOptions& run_options,
+                      const SpectralEngineOptions& engine_options,
+                      const Cover& root_cover,
+                      std::shared_ptr<const std::vector<double>> root_vec,
+                      RecursiveHierarchy* tree) {
+  /// One expansion task and, after it ran, its surviving children in
+  /// canonical order. Owned by its parent task (roots by the local
+  /// vector below), so the whole result tree outlives the pool drain.
+  struct TaskNode {
+    Community community;
+    uint32_t depth = 0;
+    ExpandOutcome outcome;
+    std::vector<std::unique_ptr<TaskNode>> children;
+  };
+
+  ThreadPool pool(options.num_threads);
+  // Worker engines run their mat-vec serially: the parallelism budget is
+  // spent across siblings, and fixed-block reductions make the mat-vec
+  // result identical at any thread count anyway.
+  SpectralEngineOptions worker_options = engine_options;
+  worker_options.num_threads = 1;
+  SpectralEngineSet engines(pool.num_threads(), worker_options);
+
+  std::atomic<size_t> running{0};
+  std::atomic<size_t> peak{0};
+
+  // Expands `task` on the worker's own engine, then creates and submits
+  // its children BEFORE returning — nested submission keeps the pool's
+  // in-flight count covering the whole subtree, so Wait() below cannot
+  // return early. A failed expansion simply submits nothing: the queue
+  // drains, and the merge surfaces the status (no deadlock path).
+  std::function<void(TaskNode*, std::shared_ptr<const std::vector<double>>,
+                     std::shared_ptr<const std::vector<NodeId>>)>
+      schedule = [&](TaskNode* task,
+                     std::shared_ptr<const std::vector<double>> parent_vec,
+                     std::shared_ptr<const std::vector<NodeId>> parent_ids) {
+        pool.Submit([&schedule, &graph, &options, &run_options, &engines,
+                     &running, &peak, task, parent_vec = std::move(parent_vec),
+                     parent_ids = std::move(parent_ids)] {
+          size_t now = running.fetch_add(1) + 1;
+          size_t prev = peak.load();
+          while (prev < now && !peak.compare_exchange_weak(prev, now)) {
+          }
+          int worker = ThreadPool::CurrentWorkerIndex();
+          SpectralEngine& engine =
+              engines.at(worker < 0 ? 0 : static_cast<size_t>(worker));
+          task->outcome =
+              ExpandNode(graph, options, run_options, engine, task->community,
+                         task->depth, parent_vec.get(), parent_ids.get());
+          if (task->outcome.status.ok() &&
+              task->outcome.stop_reason == "split") {
+            for (Community& child : task->outcome.children) {
+              auto child_task = std::make_unique<TaskNode>();
+              child_task->community = std::move(child);
+              child_task->depth = task->depth + 1;
+              task->children.push_back(std::move(child_task));
+            }
+            task->outcome.children.clear();
+            for (auto& child_task : task->children) {
+              schedule(child_task.get(), task->outcome.sub_vec,
+                       task->outcome.sub_ids);
+            }
+            // Each child's task captured its own shared_ptr above; drop
+            // this node's references so the eigenvector/id map die with
+            // the last child that needs them (matching the serial
+            // path's incremental release) instead of living in the
+            // result tree until the merge.
+            task->outcome.sub_vec.reset();
+            task->outcome.sub_ids.reset();
+          }
+          running.fetch_sub(1);
+        });
+      };
+
+  std::vector<std::unique_ptr<TaskNode>> root_tasks;
+  root_tasks.reserve(root_cover.size());
+  for (const Community& community : root_cover) {
+    auto task = std::make_unique<TaskNode>();
+    task->community = community;
+    task->depth = 0;
+    root_tasks.push_back(std::move(task));
+  }
+  for (auto& task : root_tasks) schedule(task.get(), root_vec, nullptr);
+  pool.Wait();
+
+  // Deterministic merge: canonical BFS over the result tree. The first
+  // non-OK status in this order is the build's error — the same node,
+  // and therefore the same status, the serial path stops at.
+  std::deque<std::pair<TaskNode*, uint32_t>> merge_queue;
+  for (auto& task : root_tasks) {
+    merge_queue.push_back({task.get(), RecursiveHierarchy::kNoParent});
+  }
+  while (!merge_queue.empty()) {
+    auto [task, parent] = merge_queue.front();
+    merge_queue.pop_front();
+    if (!task->outcome.status.ok()) return task->outcome.status;
+    RecursiveCommunity node;
+    node.community = std::move(task->community);
+    node.parent = parent;
+    node.depth = task->depth;
+    ApplyOutcome(task->outcome, &node);
+    uint32_t index = static_cast<uint32_t>(tree->nodes.size());
+    tree->nodes.push_back(std::move(node));
+    if (parent == RecursiveHierarchy::kNoParent) {
+      tree->roots.push_back(index);
+    } else {
+      tree->nodes[parent].children.push_back(index);
+    }
+    for (auto& child : task->children) {
+      merge_queue.push_back({child.get(), index});
+    }
+  }
+
+  tree->scheduling.num_workers = pool.num_threads();
+  tree->scheduling.max_concurrent = peak.load();
+  return Status::OK();
+}
+
+/// Rollups derivable from the finished arena, identical for both
+/// schedulers: depth reach, chain totals, warm-start hit rate.
+void FinalizeTree(RecursiveHierarchy* tree) {
+  tree->max_depth_reached = 0;
+  tree->chain = {};
+  for (const RecursiveCommunity& node : tree->nodes) {
+    tree->max_depth_reached =
+        std::max<size_t>(tree->max_depth_reached, node.depth);
+    if (node.SubgraphSolved()) {
+      ++tree->chain.subgraph_solves;
+      if (node.warm_started) ++tree->chain.warm_started_solves;
+      tree->chain.total_iterations += node.spectral_iterations;
+    }
+  }
+  tree->scheduling.tasks_run = tree->nodes.size();
+  tree->scheduling.warm_start_hit_rate =
+      tree->chain.subgraph_solves == 0
+          ? 0.0
+          : static_cast<double>(tree->chain.warm_started_solves) /
+                static_cast<double>(tree->chain.subgraph_solves);
+}
+
+/// Sequential FNV-1a accumulator for Digest(). Deliberately
+/// order-SENSITIVE (Mix(a); Mix(b) != Mix(b); Mix(a)): the digest pins
+/// the canonical arena order across schedulers, so hashing nodes in any
+/// other order must change the value.
+class Fnv1a {
+ public:
+  void Mix(uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (x >> (8 * i)) & 0xFFu;
+      hash_ *= 1099511628211ull;
+    }
+  }
+  void MixDouble(double x) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(x));
+    std::memcpy(&bits, &x, sizeof(bits));
+    Mix(bits);
+  }
+  void MixString(const std::string& s) {
+    Mix(s.size());
+    for (char c : s) Mix(static_cast<uint64_t>(static_cast<uint8_t>(c)));
+  }
+  uint64_t hash() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 14695981039346656037ull;
+};
 
 }  // namespace
 
@@ -62,11 +438,13 @@ Result<RecursiveHierarchy> BuildRecursiveHierarchy(
     const Graph& graph, const RecursiveHierarchyOptions& options) {
   OCA_RETURN_IF_ERROR(ValidateOptions(options));
 
-  // One engine for the whole build, exactly like BuildHierarchy — but
-  // here every recursion level solves a DIFFERENT graph, so instead of
-  // cache hits the levels chain through warm starts: each coupling
-  // solve also yields its lambda_min eigenvector, and each child solve
-  // is seeded with the parent vector's restriction onto its node set.
+  // The root solve runs on a build-owned engine either way. In serial
+  // mode that engine then serves the whole build, chaining levels
+  // through warm starts; in pooled mode each worker gets its own engine
+  // with the same configuration, and the chain instead hands parent
+  // eigenvectors to the child task by value — both produce the same
+  // numbers because every solve's start vector derives from the
+  // configured seed, not from engine history.
   SpectralEngineOptions engine_options =
       ValueSolveOptionsFrom(options.base.power_method);
   engine_options.seed ^= options.base.seed;
@@ -74,9 +452,9 @@ Result<RecursiveHierarchy> BuildRecursiveHierarchy(
   SpectralEngine engine(engine_options);
 
   auto root_vec = std::make_shared<std::vector<double>>();
-  OCA_ASSIGN_OR_RETURN(CouplingResult root_coupling,
-                       engine.CouplingConstantWithVector(graph,
-                                                         root_vec.get()));
+  OCA_ASSIGN_OR_RETURN(
+      CouplingResult root_coupling,
+      engine.CouplingConstantWithVector(graph, root_vec.get()));
   (void)root_coupling;  // cached; the top-level run reports it in stats
 
   RecursiveHierarchy tree;
@@ -86,125 +464,14 @@ Result<RecursiveHierarchy> BuildRecursiveHierarchy(
                        RunOca(graph, run_options, &engine));
   tree.root_stats = root_run.stats;
 
-  std::deque<Pending> queue;
-  for (const Community& community : root_run.cover) {
-    RecursiveCommunity node;
-    node.community = community;
-    node.depth = 0;
-    uint32_t index = static_cast<uint32_t>(tree.nodes.size());
-    tree.nodes.push_back(std::move(node));
-    tree.roots.push_back(index);
-    queue.push_back({index, root_vec, nullptr});
-  }
-
-  while (!queue.empty()) {
-    Pending pending = std::move(queue.front());
-    queue.pop_front();
-    RecursiveCommunity& node = tree.nodes[pending.node];
-    tree.max_depth_reached = std::max<size_t>(tree.max_depth_reached,
-                                              node.depth);
-
-    const size_t s = node.community.size();
-    if (s < options.min_split_size) {
-      node.stop_reason = "min_size";
-      continue;
-    }
-    if (node.depth >= options.max_depth) {
-      node.stop_reason = "max_depth";
-      continue;
-    }
-
-    OCA_ASSIGN_OR_RETURN(Subgraph sub,
-                         InducedSubgraph(graph, node.community));
-    if (sub.graph.num_edges() == 0) {
-      node.stop_reason = "edgeless";
-      continue;
-    }
-    double density = 2.0 * static_cast<double>(sub.graph.num_edges()) /
-                     (static_cast<double>(s) * static_cast<double>(s - 1));
-    if (density >= options.max_split_density) {
-      node.stop_reason = "density";
-      continue;
-    }
-
-    // --- The cross-graph warm-start chain. ---
-    bool warm = false;
-    if (options.warm_start && pending.parent_vec != nullptr) {
-      warm = engine.WarmStartFromParent(
-          *pending.parent_vec,
-          ToParentLocal(sub.to_original, pending.parent_ids));
-    }
-    auto sub_vec = std::make_shared<std::vector<double>>();
-    auto coupling_result =
-        engine.CouplingConstantWithVector(sub.graph, sub_vec.get());
-    if (!coupling_result.ok()) {
-      engine.Forget(sub.graph);
-      return coupling_result.status();
-    }
-    const CouplingResult& coupling = coupling_result.value();
-    node.subgraph_c = coupling.c;
-    node.subgraph_lambda_min = coupling.lambda_min;
-    node.spectral_iterations = coupling.iterations;
-    node.warm_started = warm;
-    ++tree.chain.subgraph_solves;
-    if (warm) ++tree.chain.warm_started_solves;
-    tree.chain.total_iterations += coupling.iterations;
-
-    auto run_result = RunOca(sub.graph, run_options, &engine);
-    // The subgraph dies with this iteration; its cache entry must not
-    // survive to alias a future subgraph at the same heap address.
-    engine.Forget(sub.graph);
-    if (!run_result.ok()) return run_result.status();
-    OcaResult run = std::move(run_result).value();
-    node.split_stats = run.stats;
-
-    if (run.cover.empty()) {
-      node.stop_reason = "no_communities";
-      continue;
-    }
-
-    // Map children back to original ids (to_original is ascending, so
-    // sorted local communities stay sorted) and apply the stability
-    // rule: a child that rho-matches its parent is the parent re-found
-    // at the subgraph's own resolution, not a split — drop it. What
-    // remains are genuine sub-structures; if nothing remains, the node
-    // is a stable leaf. Children are subsets of the parent, so every
-    // surviving child has rho = |child| / |parent| < stable_similarity,
-    // i.e. is strictly smaller — the recursion terminates even without
-    // the depth cap.
-    std::vector<Community> children;
-    children.reserve(run.cover.size());
-    for (const Community& local : run.cover) {
-      Community original;
-      original.reserve(local.size());
-      for (NodeId v : local) original.push_back(sub.to_original[v]);
-      if (RhoSimilarity(original, node.community) <
-          options.stable_similarity) {
-        children.push_back(std::move(original));
-      }
-    }
-    if (children.empty()) {
-      node.stop_reason = "stable";
-      continue;
-    }
-
-    node.stop_reason = "split";
-    auto ids = std::make_shared<std::vector<NodeId>>(
-        std::move(sub.to_original));
-    for (Community& child : children) {
-      RecursiveCommunity child_node;
-      child_node.community = std::move(child);
-      child_node.parent = pending.node;
-      child_node.depth = tree.nodes[pending.node].depth + 1;
-      uint32_t index = static_cast<uint32_t>(tree.nodes.size());
-      // NOTE: push_back may reallocate the arena; `node` is not used
-      // past this point.
-      tree.nodes.push_back(std::move(child_node));
-      tree.nodes[pending.node].children.push_back(index);
-      queue.push_back({index, sub_vec, ids});
-    }
-  }
-
+  Status built =
+      options.num_threads == 0
+          ? ExpandSerial(graph, options, run_options, &engine,
+                         root_run.cover, root_vec, &tree)
+          : ExpandParallel(graph, options, run_options, engine_options,
+                           root_run.cover, root_vec, &tree);
+  OCA_RETURN_IF_ERROR(built);
+  FinalizeTree(&tree);
   return tree;
 }
 
@@ -260,6 +527,42 @@ Cover RecursiveHierarchy::LeafCover() const {
   }
   leaves.Canonicalize();
   return leaves;
+}
+
+uint64_t RecursiveHierarchy::Digest() const {
+  Fnv1a h;
+  h.Mix(nodes.size());
+  h.Mix(roots.size());
+  for (uint32_t root : roots) h.Mix(root);
+  for (const RecursiveCommunity& node : nodes) {
+    h.Mix(node.community.size());
+    for (NodeId v : node.community) h.Mix(v);
+    h.Mix(node.parent);
+    h.Mix(node.depth);
+    h.MixString(node.stop_reason);
+    h.Mix(node.children.size());
+    for (uint32_t child : node.children) h.Mix(child);
+    h.MixDouble(node.subgraph_c);
+    h.MixDouble(node.subgraph_lambda_min);
+    h.Mix(node.spectral_iterations);
+    h.Mix(node.warm_started ? 1u : 0u);
+    const OcaRunStats& s = node.split_stats;
+    h.MixDouble(s.coupling_constant);
+    h.MixDouble(s.lambda_min);
+    h.Mix(s.spectral_iterations);
+    h.Mix(s.seeds_expanded);
+    h.Mix(s.raw_communities);
+    h.Mix(s.discarded_small);
+    h.MixString(s.halting_reason);
+    h.MixDouble(s.coverage_fraction);
+  }
+  h.MixDouble(root_stats.coupling_constant);
+  h.MixDouble(root_stats.lambda_min);
+  h.MixString(root_stats.halting_reason);
+  h.Mix(chain.subgraph_solves);
+  h.Mix(chain.warm_started_solves);
+  h.Mix(chain.total_iterations);
+  return h.hash();
 }
 
 }  // namespace oca

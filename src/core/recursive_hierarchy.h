@@ -17,11 +17,27 @@
 // start from a physically informed vector instead of cold random. The
 // per-node stats record what each solve cost and whether it was warm,
 // so warm-vs-cold savings are measurable (bench_recursive_hierarchy).
+//
+// PARALLELISM. Sibling subtrees are independent: once a node's subgraph
+// run has produced its children, each child's whole expansion (induced
+// subgraph, coupling solve, inner OCA, stability filter) depends only on
+// that child's community and its parent's published eigenvector. With
+// `num_threads >= 1` the build therefore runs expansions as a work queue
+// on util/thread_pool, one stateful SpectralEngine per worker
+// (SpectralEngineSet); the warm-start chain crosses engines by value —
+// the parent's eigenvector travels with the task, never through shared
+// engine state. Determinism is structural, not scheduled: every
+// expansion is a pure function of (community, depth, parent vector), and
+// children get stable identities from (depth, parent, community index),
+// so the arena is assembled in canonical BFS order regardless of
+// completion order — serial (num_threads == 0) and N-thread builds are
+// byte-identical (pinned by tests and the CI thread matrix).
 
 #ifndef OCA_CORE_RECURSIVE_HIERARCHY_H_
 #define OCA_CORE_RECURSIVE_HIERARCHY_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -60,6 +76,27 @@ struct RecursiveHierarchyOptions {
   /// (SpectralEngine::WarmStartFromParent). Off = every subgraph solve
   /// starts cold; exists so benchmarks and tests can measure the chain.
   bool warm_start = true;
+
+  /// Worker threads for sibling-subtree expansion. 0 runs the serial
+  /// reference implementation (single engine, plain BFS loop); N >= 1
+  /// runs the pooled scheduler with N workers and one engine per worker.
+  /// NOTE: unlike OcaOptions::num_threads, 0 does NOT mean "hardware
+  /// concurrency" here — the serial path is deliberately preserved as
+  /// the reference the parallel path is pinned against. Output is
+  /// byte-identical for every value (see Digest()). Worker engines run
+  /// their mat-vec serially (sibling-level parallelism replaces it; the
+  /// fixed-block reduction makes results identical either way), while
+  /// base.num_threads still applies inside each subgraph's OCA run.
+  size_t num_threads = 0;
+
+  /// Test-only fault injection: when set, called right before each
+  /// subgraph coupling solve with the node's community (original ids)
+  /// and depth; a non-OK status makes that solve fail. Exists so error
+  /// propagation through the parallel scheduler is testable — a failing
+  /// worker must surface its status without deadlocking the queue.
+  /// Leave null outside tests.
+  std::function<Status(const Community&, uint32_t depth)>
+      solve_fault_for_testing;
 };
 
 /// One node of the recursion tree. `community` is in ORIGINAL graph ids
@@ -104,6 +141,17 @@ struct SpectralChainStats {
   size_t total_iterations = 0;       // Lanczos steps summed over them
 };
 
+/// How the build was scheduled. Everything here except `max_concurrent`
+/// is deterministic; `max_concurrent` depends on OS scheduling and is
+/// therefore excluded from Digest() and determinism tests.
+struct RecursiveSchedulingStats {
+  size_t num_workers = 0;     // pool workers (0 = serial reference path)
+  size_t tasks_run = 0;       // expansion tasks executed (== tree nodes)
+  size_t max_concurrent = 0;  // peak simultaneously running expansions
+  /// warm_started_solves / subgraph_solves (0 when nothing was solved).
+  double warm_start_hit_rate = 0.0;
+};
+
 /// Per-depth rollup (communities found at that depth and what producing
 /// their NEXT level cost).
 struct RecursiveLevelSummary {
@@ -127,6 +175,7 @@ struct RecursiveHierarchy {
   /// flat pipeline's).
   OcaRunStats root_stats;
   SpectralChainStats chain;
+  RecursiveSchedulingStats scheduling;
   size_t max_depth_reached = 0;  // deepest populated depth
 
   /// All root-to-deepest membership chains of original node v: each path
@@ -143,6 +192,16 @@ struct RecursiveHierarchy {
   /// community per leaf (nodes without children). This is what
   /// downstream metrics compare against a planted fine scale.
   Cover LeafCover() const;
+
+  /// FNV-1a fingerprint of every deterministic field of the tree: node
+  /// communities, parents/depths/stop reasons, the spectral record
+  /// (exact bit patterns of subgraph_c / lambda_min), the deterministic
+  /// OcaRunStats fields of each split, and the chain totals. Wall-clock
+  /// timings and scheduling stats are excluded. Equal trees — including
+  /// a serial and an N-thread build of the same input — have equal
+  /// digests; this is what the determinism tests and the CI thread
+  /// matrix compare across thread counts.
+  uint64_t Digest() const;
 };
 
 /// Runs the recursive build. Errors propagate from RunOca and on invalid

@@ -103,8 +103,8 @@ Result<BenchmarkGraph> GenerateDaisyTree(const DaisyTreeOptions& options) {
       size_t target = static_cast<size_t>(rng.NextBounded(d));
       const auto& own_petal =
           layout.petals[rng.NextBounded(layout.petals.size())];
-      const auto& other_petal =
-          layouts[target].petals[rng.NextBounded(layouts[target].petals.size())];
+      const auto& other_petal = layouts[target].petals[rng.NextBounded(
+          layouts[target].petals.size())];
       for (NodeId a : own_petal) {
         for (NodeId b : other_petal) {
           if (rng.NextBool(options.gamma)) builder.AddEdge(a, b);

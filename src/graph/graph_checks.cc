@@ -10,7 +10,8 @@ Status ValidateGraph(const Graph& graph) {
   const auto& nbrs = graph.neighbor_array();
   const size_t n = graph.num_nodes();
 
-  if (offsets.empty() || offsets.front() != 0 || offsets.back() != nbrs.size()) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != nbrs.size()) {
     return Status::Internal("CSR offsets malformed");
   }
   for (size_t i = 0; i + 1 < offsets.size(); ++i) {

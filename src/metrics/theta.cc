@@ -49,7 +49,8 @@ Result<ThetaBreakdown> ComputeTheta(const Cover& real_in,
         if (candidate_mark[i] == j) continue;  // already scored this j
         candidate_mark[i] = j;
         double rho = RhoSimilarity(real[i], observed[j]);
-        if (rho > best_rho || (rho == best_rho && best_rho > 0.0 && i < best_i)) {
+        if (rho > best_rho ||
+            (rho == best_rho && best_rho > 0.0 && i < best_i)) {
           best_rho = rho;
           best_i = i;
         }

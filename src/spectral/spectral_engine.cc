@@ -703,4 +703,12 @@ void SpectralEngine::Forget(const Graph& graph) {
 
 void SpectralEngine::ClearCache() { cache_.clear(); }
 
+SpectralEngineSet::SpectralEngineSet(size_t count,
+                                     const SpectralEngineOptions& options) {
+  engines_.reserve(std::max<size_t>(1, count));
+  for (size_t i = 0; i < std::max<size_t>(1, count); ++i) {
+    engines_.push_back(std::make_unique<SpectralEngine>(options));
+  }
+}
+
 }  // namespace oca

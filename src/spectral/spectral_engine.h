@@ -49,6 +49,7 @@
 #ifndef OCA_SPECTRAL_SPECTRAL_ENGINE_H_
 #define OCA_SPECTRAL_SPECTRAL_ENGINE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -280,6 +281,33 @@ class SpectralEngine {
   std::vector<CacheEntry> cache_;
   size_t total_matvecs_ = 0;
   size_t cache_hits_ = 0;
+};
+
+/// A fixed fleet of independently owned engines for worker-parallel
+/// callers. An engine is stateful (workspaces, per-graph cache, pending
+/// warm start) and not thread-safe, so a task scheduler holds one engine
+/// per pool worker and routes every solve of a task through the engine
+/// of the worker running it (`ThreadPool::CurrentWorkerIndex`): two
+/// tasks that observe the same index are serialized on that worker, so
+/// no engine is ever touched concurrently. Cross-engine state handoff
+/// happens through values, not shared engines — a parent task publishes
+/// its solve's eigenvector, and the child task feeds it to its own
+/// worker's engine via `WarmStartFromParent`. All engines share one
+/// configuration; per-solve results are identical across engines (start
+/// vectors derive from the configured seed, not engine history).
+class SpectralEngineSet {
+ public:
+  SpectralEngineSet(size_t count, const SpectralEngineOptions& options);
+
+  /// The engine owned by worker `worker` (bounds-checked).
+  SpectralEngine& at(size_t worker) {
+    assert(worker < engines_.size());
+    return *engines_[worker];
+  }
+  size_t size() const { return engines_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<SpectralEngine>> engines_;
 };
 
 }  // namespace oca

@@ -28,7 +28,9 @@ void DynamicBitset::Clear() {
 
 size_t DynamicBitset::Count() const {
   size_t total = 0;
-  for (uint64_t w : words_) total += static_cast<size_t>(__builtin_popcountll(w));
+  for (uint64_t w : words_) {
+    total += static_cast<size_t>(__builtin_popcountll(w));
+  }
   return total;
 }
 

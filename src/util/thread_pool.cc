@@ -1,19 +1,44 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 
 namespace oca {
+
+namespace {
+
+/// Worker index of the calling thread within the pool that owns it.
+/// Threads belong to at most one pool for their whole lifetime, so a
+/// plain thread_local (no pool identity) is unambiguous.
+thread_local int tls_worker_index = -1;
+
+}  // namespace
 
 size_t DefaultThreadCount() {
   unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 1 : hc;
 }
 
+size_t ThreadCountFromEnv(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  long v = std::strtol(env, &end, 10);
+  // Malformed means malformed: overflow, trailing junk ("4abc"), or a
+  // non-positive value all take the fallback rather than a wild count.
+  if (errno != 0 || end == env || *end != '\0' || v <= 0) return fallback;
+  return static_cast<size_t>(v);
+}
+
+int ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
+
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -42,7 +67,8 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  tls_worker_index = static_cast<int>(worker_index);
   for (;;) {
     std::function<void()> task;
     {

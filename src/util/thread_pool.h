@@ -26,7 +26,11 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution.
+  /// Enqueues a task for execution. Safe to call from inside a running
+  /// task (nested submission): the child is counted as in-flight before
+  /// the parent finishes, so `Wait` cannot return while transitively
+  /// spawned work is still pending. Tasks must never call `Wait`
+  /// themselves — only blocking from off-pool threads is supported.
   void Submit(std::function<void()> task);
 
   /// Blocks until all submitted tasks have completed.
@@ -34,13 +38,21 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Index in [0, num_threads()) of the pool worker executing the
+  /// calling thread, or -1 off-pool (e.g. on the thread that owns the
+  /// pool). Lets tasks address per-worker state — e.g. one stateful
+  /// solver engine per worker — without any locking: two tasks observing
+  /// the same index are by construction serialized on the same worker.
+  /// The index is pool-relative; a thread only ever belongs to one pool.
+  static int CurrentWorkerIndex();
+
   /// Runs fn(i) for i in [0, count) across the pool, blocking until done.
   /// Work is chunked statically so assignment is deterministic; fn must be
   /// safe to call concurrently for distinct i.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
@@ -53,6 +65,12 @@ class ThreadPool {
 
 /// Sensible default worker count: hardware concurrency, at least 1.
 size_t DefaultThreadCount();
+
+/// Worker count from an environment variable (e.g. OCA_THREADS, the CI
+/// thread matrix's knob): the variable's value when it parses as a
+/// positive integer, `fallback` when unset or malformed. One parser for
+/// every OCA_THREADS consumer so the env contract cannot drift.
+size_t ThreadCountFromEnv(const char* name, size_t fallback);
 
 }  // namespace oca
 

@@ -1,0 +1,233 @@
+// Serial-vs-parallel determinism of BuildRecursiveHierarchy.
+//
+// The parallel scheduler's contract is structural determinism: an
+// expansion is a pure function of (community, depth, parent
+// eigenvector), children get stable identities from (depth, parent,
+// community index), and the arena is assembled in canonical BFS order
+// regardless of completion order — so the serial reference path
+// (num_threads == 0) and any N-worker build must be byte-identical in
+// every deterministic field. These tests pin that, the warm-start
+// hit-rate parity, the scheduling report, and error propagation through
+// the pool (a failing worker must surface its status, not deadlock the
+// queue).
+//
+// The CI thread-matrix job re-runs this file at OCA_THREADS in
+// {1, 2, nproc} on a multi-core runner; the env value is added to the
+// locally pinned {0, 1, 4} matrix below.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/recursive_hierarchy.h"
+#include "gen/nested_partition.h"
+#include "util/thread_pool.h"
+
+namespace oca {
+namespace {
+
+NestedBenchmarkGraph MixedScaleGraph(uint64_t seed) {
+  NestedPartitionOptions gen;
+  gen.num_supers = 4;
+  gen.subs_per_super = 3;
+  gen.nodes_per_sub = 20;
+  gen.p_sub = 0.85;
+  gen.p_super = 0.15;
+  gen.p_out = 0.08;
+  gen.seed = seed;
+  return GenerateNestedPartition(gen).value();
+}
+
+RecursiveHierarchyOptions Options(uint64_t seed, size_t num_threads) {
+  RecursiveHierarchyOptions opt;
+  opt.base.seed = seed;
+  opt.base.halting.max_seeds = 720;
+  opt.base.halting.target_coverage = 0.98;
+  opt.base.halting.stagnation_window = 150;
+  opt.num_threads = num_threads;
+  return opt;
+}
+
+/// Thread counts under test: the serial reference, a 1-worker pool
+/// (same scheduler code as N, no actual concurrency), a 4-worker pool,
+/// and whatever the CI matrix passes via OCA_THREADS.
+std::vector<size_t> ThreadMatrix() {
+  std::set<size_t> counts = {0, 1, 4};
+  counts.insert(ThreadCountFromEnv("OCA_THREADS", 4));
+  return {counts.begin(), counts.end()};
+}
+
+/// Field-by-field equality over every deterministic field (all but the
+/// wall-clock seconds of OcaRunStats and the scheduling report). Digest
+/// equality is asserted separately — this exists for readable failures.
+void ExpectTreesIdentical(const RecursiveHierarchy& a,
+                          const RecursiveHierarchy& b, size_t threads) {
+  ASSERT_EQ(a.nodes.size(), b.nodes.size()) << "threads " << threads;
+  ASSERT_EQ(a.roots, b.roots) << "threads " << threads;
+  for (size_t i = 0; i < a.nodes.size(); ++i) {
+    const RecursiveCommunity& x = a.nodes[i];
+    const RecursiveCommunity& y = b.nodes[i];
+    EXPECT_EQ(x.community, y.community) << "node " << i;
+    EXPECT_EQ(x.parent, y.parent) << "node " << i;
+    EXPECT_EQ(x.children, y.children) << "node " << i;
+    EXPECT_EQ(x.depth, y.depth) << "node " << i;
+    EXPECT_EQ(x.stop_reason, y.stop_reason) << "node " << i;
+    // Bit-exact, not approximate: the same solve ran on both sides.
+    EXPECT_EQ(x.subgraph_c, y.subgraph_c) << "node " << i;
+    EXPECT_EQ(x.subgraph_lambda_min, y.subgraph_lambda_min) << "node " << i;
+    EXPECT_EQ(x.spectral_iterations, y.spectral_iterations) << "node " << i;
+    EXPECT_EQ(x.warm_started, y.warm_started) << "node " << i;
+    EXPECT_EQ(x.split_stats.coupling_constant,
+              y.split_stats.coupling_constant)
+        << "node " << i;
+    EXPECT_EQ(x.split_stats.lambda_min, y.split_stats.lambda_min)
+        << "node " << i;
+    EXPECT_EQ(x.split_stats.seeds_expanded, y.split_stats.seeds_expanded)
+        << "node " << i;
+    EXPECT_EQ(x.split_stats.raw_communities, y.split_stats.raw_communities)
+        << "node " << i;
+    EXPECT_EQ(x.split_stats.halting_reason, y.split_stats.halting_reason)
+        << "node " << i;
+  }
+  EXPECT_EQ(a.chain.subgraph_solves, b.chain.subgraph_solves);
+  EXPECT_EQ(a.chain.warm_started_solves, b.chain.warm_started_solves);
+  EXPECT_EQ(a.chain.total_iterations, b.chain.total_iterations);
+  EXPECT_EQ(a.max_depth_reached, b.max_depth_reached);
+  EXPECT_EQ(a.root_stats.coupling_constant, b.root_stats.coupling_constant);
+  EXPECT_EQ(a.Digest(), b.Digest()) << "threads " << threads;
+}
+
+TEST(RecursiveHierarchyParallelTest, TreesAreByteIdenticalAcrossThreads) {
+  for (uint64_t seed : {3u, 7u, 13u}) {
+    auto bench = MixedScaleGraph(seed);
+    auto reference =
+        BuildRecursiveHierarchy(bench.graph, Options(seed, 0)).value();
+    ASSERT_GT(reference.nodes.size(), reference.roots.size())
+        << "seed " << seed << ": the pinned seeds must genuinely recurse";
+    for (size_t threads : ThreadMatrix()) {
+      if (threads == 0) continue;
+      auto tree =
+          BuildRecursiveHierarchy(bench.graph, Options(seed, threads))
+              .value();
+      ExpectTreesIdentical(reference, tree, threads);
+    }
+  }
+}
+
+TEST(RecursiveHierarchyParallelTest, WarmStartHitRateMatchesSerial) {
+  auto bench = MixedScaleGraph(7);
+  auto serial =
+      BuildRecursiveHierarchy(bench.graph, Options(7, 0)).value();
+  auto pooled =
+      BuildRecursiveHierarchy(bench.graph, Options(7, 4)).value();
+  ASSERT_GT(serial.chain.subgraph_solves, 0u);
+  // The chain crosses engines by value, so pooling must not lose a
+  // single warm start: hit counts, not just rates, agree.
+  EXPECT_EQ(pooled.chain.warm_started_solves,
+            serial.chain.warm_started_solves);
+  EXPECT_EQ(pooled.chain.subgraph_solves, serial.chain.subgraph_solves);
+  EXPECT_EQ(pooled.scheduling.warm_start_hit_rate,
+            serial.scheduling.warm_start_hit_rate);
+  EXPECT_DOUBLE_EQ(pooled.scheduling.warm_start_hit_rate, 1.0);
+}
+
+TEST(RecursiveHierarchyParallelTest, SchedulingStatsAreReported) {
+  auto bench = MixedScaleGraph(7);
+  auto serial =
+      BuildRecursiveHierarchy(bench.graph, Options(7, 0)).value();
+  EXPECT_EQ(serial.scheduling.num_workers, 0u);
+  EXPECT_EQ(serial.scheduling.tasks_run, serial.nodes.size());
+  EXPECT_EQ(serial.scheduling.max_concurrent, 1u);
+
+  auto pooled =
+      BuildRecursiveHierarchy(bench.graph, Options(7, 4)).value();
+  EXPECT_EQ(pooled.scheduling.num_workers, 4u);
+  EXPECT_EQ(pooled.scheduling.tasks_run, pooled.nodes.size());
+  EXPECT_GE(pooled.scheduling.max_concurrent, 1u);
+  EXPECT_LE(pooled.scheduling.max_concurrent, 4u);
+}
+
+TEST(RecursiveHierarchyParallelTest, ColdChainIsIdenticalAcrossThreadsToo) {
+  auto bench = MixedScaleGraph(7);
+  RecursiveHierarchyOptions serial_opt = Options(7, 0);
+  serial_opt.warm_start = false;
+  RecursiveHierarchyOptions pooled_opt = Options(7, 4);
+  pooled_opt.warm_start = false;
+  auto serial = BuildRecursiveHierarchy(bench.graph, serial_opt).value();
+  auto pooled = BuildRecursiveHierarchy(bench.graph, pooled_opt).value();
+  EXPECT_EQ(serial.chain.warm_started_solves, 0u);
+  ExpectTreesIdentical(serial, pooled, 4);
+}
+
+TEST(RecursiveHierarchyParallelTest, SolveFailureDoesNotDeadlockTheQueue) {
+  auto bench = MixedScaleGraph(7);
+  // Fail every subgraph solve: with 4 workers, several expansion tasks
+  // fail concurrently. The build must drain and surface a status — if
+  // the scheduler mishandled a failing task's bookkeeping, pool.Wait()
+  // would hang and the test would time out.
+  RecursiveHierarchyOptions opt = Options(7, 4);
+  opt.solve_fault_for_testing = [](const Community&, uint32_t) {
+    return Status::Internal("injected solve fault");
+  };
+  auto result = BuildRecursiveHierarchy(bench.graph, opt);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("injected solve fault"),
+            std::string::npos);
+}
+
+TEST(RecursiveHierarchyParallelTest, FailureStatusMatchesSerialPath) {
+  auto bench = MixedScaleGraph(7);
+  // Fail only below the root level so roots expand, children get
+  // scheduled, and one specific grandchild-level expansion dies. The
+  // canonical merge must return the same (first-in-BFS-order) status
+  // the serial reference stops at.
+  auto fault = [](const Community& community, uint32_t depth) {
+    if (depth >= 1) {
+      return Status::Internal("fault at depth 1, size " +
+                              std::to_string(community.size()));
+    }
+    return Status::OK();
+  };
+  RecursiveHierarchyOptions serial_opt = Options(7, 0);
+  serial_opt.solve_fault_for_testing = fault;
+  RecursiveHierarchyOptions pooled_opt = Options(7, 4);
+  pooled_opt.solve_fault_for_testing = fault;
+
+  auto serial = BuildRecursiveHierarchy(bench.graph, serial_opt);
+  auto pooled = BuildRecursiveHierarchy(bench.graph, pooled_opt);
+  ASSERT_FALSE(serial.ok());
+  ASSERT_FALSE(pooled.ok());
+  EXPECT_EQ(serial.status().ToString(), pooled.status().ToString());
+}
+
+TEST(RecursiveHierarchyParallelTest, FaultHookOnlyFiresForSolvedNodes) {
+  auto bench = MixedScaleGraph(7);
+  // A hook that never fails, used as a probe: it must fire exactly once
+  // per node that reaches the solve (leaves gated by min_size/max_depth/
+  // density never consult it), same count serial and pooled.
+  std::atomic<size_t> serial_calls{0};
+  RecursiveHierarchyOptions serial_opt = Options(7, 0);
+  serial_opt.solve_fault_for_testing = [&](const Community&, uint32_t) {
+    ++serial_calls;
+    return Status::OK();
+  };
+  auto serial = BuildRecursiveHierarchy(bench.graph, serial_opt).value();
+
+  std::atomic<size_t> pooled_calls{0};
+  RecursiveHierarchyOptions pooled_opt = Options(7, 4);
+  pooled_opt.solve_fault_for_testing = [&](const Community&, uint32_t) {
+    ++pooled_calls;
+    return Status::OK();
+  };
+  auto pooled = BuildRecursiveHierarchy(bench.graph, pooled_opt).value();
+
+  EXPECT_EQ(serial_calls.load(), serial.chain.subgraph_solves);
+  EXPECT_EQ(pooled_calls.load(), serial_calls.load());
+  EXPECT_EQ(serial.Digest(), pooled.Digest());
+}
+
+}  // namespace
+}  // namespace oca

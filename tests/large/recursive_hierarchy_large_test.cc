@@ -15,6 +15,7 @@
 #include "gen/nested_partition.h"
 #include "metrics/omega_index.h"
 #include "metrics/onmi.h"
+#include "util/thread_pool.h"
 
 namespace oca {
 namespace {
@@ -101,6 +102,41 @@ TEST(LargeRecursiveHierarchyTest, WarmChainBeatsColdAtIdenticalCoupling) {
   // The acceptance bar: the physically informed start must be strictly
   // cheaper in aggregate, not merely no worse.
   EXPECT_LT(warm_total, cold_total);
+}
+
+TEST(LargeRecursiveHierarchyTest, ParallelBuildIsByteIdenticalAtScale) {
+  // The multi-hundred-node version of the serial-vs-parallel pin: deep
+  // enough that sibling subtrees genuinely overlap in flight. The
+  // worker count follows the CI thread matrix via OCA_THREADS
+  // (default 4 locally).
+  const size_t threads = ThreadCountFromEnv("OCA_THREADS", 4);
+  for (uint64_t seed : {3u, 7u}) {
+    auto bench = LargeNested(seed);
+    auto serial =
+        BuildRecursiveHierarchy(bench.graph, LargeOptions(seed, true))
+            .value();
+    RecursiveHierarchyOptions pooled_opt = LargeOptions(seed, true);
+    pooled_opt.num_threads = threads;
+    auto pooled =
+        BuildRecursiveHierarchy(bench.graph, pooled_opt).value();
+
+    ASSERT_EQ(serial.nodes.size(), pooled.nodes.size()) << "seed " << seed;
+    for (size_t i = 0; i < serial.nodes.size(); ++i) {
+      EXPECT_EQ(serial.nodes[i].community, pooled.nodes[i].community)
+          << "seed " << seed << " node " << i;
+      EXPECT_EQ(serial.nodes[i].stop_reason, pooled.nodes[i].stop_reason)
+          << "seed " << seed << " node " << i;
+      EXPECT_EQ(serial.nodes[i].subgraph_c, pooled.nodes[i].subgraph_c)
+          << "seed " << seed << " node " << i;
+      EXPECT_EQ(serial.nodes[i].spectral_iterations,
+                pooled.nodes[i].spectral_iterations)
+          << "seed " << seed << " node " << i;
+    }
+    EXPECT_EQ(serial.Digest(), pooled.Digest())
+        << "seed " << seed << " threads " << threads;
+    EXPECT_EQ(pooled.scheduling.num_workers, threads);
+    EXPECT_EQ(pooled.scheduling.tasks_run, pooled.nodes.size());
+  }
 }
 
 TEST(LargeRecursiveHierarchyTest, MembershipPathsCoverEveryCoveredNode) {
