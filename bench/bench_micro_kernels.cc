@@ -14,6 +14,8 @@
 #include "core/local_search.h"
 #include "gen/erdos_renyi.h"
 #include "gen/lfr.h"
+#include "graph/graph_builder.h"
+#include "spectral/csr_matvec.h"
 #include "spectral/extreme_eigen.h"
 #include "spectral/spectral_engine.h"
 #include "util/random.h"
@@ -46,6 +48,52 @@ void BM_PowerMethodMatVec(benchmark::State& state) {
                           static_cast<int64_t>(g.num_edges() * 2));
 }
 BENCHMARK(BM_PowerMethodMatVec);
+
+// The same product through each compiled-in CSR kernel (results are
+// bit-identical; this row measures speed only). Arg is CsrKernelKind.
+void BM_MatVecKernel(benchmark::State& state) {
+  const auto kind = static_cast<oca::CsrKernelKind>(state.range(0));
+  if (!oca::CsrKernelAvailable(kind)) {
+    state.SkipWithError("kernel not available on this build/CPU");
+    return;
+  }
+  const oca::CsrKernelKind prev = oca::ActiveCsrKernel();
+  oca::SetCsrKernel(kind);
+  const oca::Graph& g = LfrGraph();
+  std::vector<double> x(g.num_nodes(), 1.0), y(g.num_nodes());
+  for (auto _ : state) {
+    oca::AdjacencyMatVecRows(g, 0, g.num_nodes(), x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_edges() * 2));
+  state.SetLabel(oca::CsrKernelName(kind));
+  oca::SetCsrKernel(prev);
+}
+BENCHMARK(BM_MatVecKernel)
+    ->Arg(static_cast<int>(oca::CsrKernelKind::kPortable))
+    ->Arg(static_cast<int>(oca::CsrKernelKind::kAvx2));
+
+// Mat-vec over the cache-reordered graph (degree-sort: hubs get the
+// smallest ids, concentrating gathers in the first lines of x).
+void BM_MatVecReordered(benchmark::State& state) {
+  static const oca::Graph* reordered = [] {
+    const oca::Graph& g = LfrGraph();
+    return new oca::Graph(
+        oca::ReorderGraph(
+            g, oca::ComputeNodeOrdering(g, oca::NodeOrdering::kDegreeSort))
+            .value());
+  }();
+  const oca::Graph& g = *reordered;
+  std::vector<double> x(g.num_nodes(), 1.0), y;
+  for (auto _ : state) {
+    oca::AdjacencyMatVec(g, x, &y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_edges() * 2));
+}
+BENCHMARK(BM_MatVecReordered);
 
 // Parallel mat-vec scaling: the engine's fixed-block pooled kernel at
 // 1/2/4 workers over the same graph. Results are bit-identical across

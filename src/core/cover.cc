@@ -82,4 +82,17 @@ std::string Cover::Summary() const {
   return buf;
 }
 
+Cover MapCoverToOriginalIds(const Cover& cover, const Graph& graph) {
+  if (!graph.is_reordered()) return cover;
+  Cover mapped;
+  for (const Community& community : cover) {
+    Community translated;
+    translated.reserve(community.size());
+    for (NodeId v : community) translated.push_back(graph.OriginalId(v));
+    mapped.Add(std::move(translated));
+  }
+  mapped.Canonicalize();
+  return mapped;
+}
+
 }  // namespace oca

@@ -73,6 +73,12 @@ class Cover {
   std::vector<Community> communities_;
 };
 
+/// Translates a cover found on a reordered graph (GraphBuilder node
+/// reordering, Graph::OriginalId) back into original node ids and
+/// canonicalizes it. Returns `cover` unchanged when the graph carries
+/// no permutation.
+Cover MapCoverToOriginalIds(const Cover& cover, const Graph& graph);
+
 }  // namespace oca
 
 #endif  // OCA_CORE_COVER_H_

@@ -529,6 +529,14 @@ Cover RecursiveHierarchy::LeafCover() const {
   return leaves;
 }
 
+void RecursiveHierarchy::MapToOriginalIds(const Graph& graph) {
+  if (!graph.is_reordered()) return;
+  for (RecursiveCommunity& node : nodes) {
+    for (NodeId& v : node.community) v = graph.OriginalId(v);
+    std::sort(node.community.begin(), node.community.end());
+  }
+}
+
 uint64_t RecursiveHierarchy::Digest() const {
   Fnv1a h;
   h.Mix(nodes.size());

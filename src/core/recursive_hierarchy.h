@@ -202,6 +202,18 @@ struct RecursiveHierarchy {
   /// digests; this is what the determinism tests and the CI thread
   /// matrix compare across thread counts.
   uint64_t Digest() const;
+
+  /// Rewrites every community in the tree from graph-local ids into
+  /// original ids (Graph::OriginalId), re-sorting each community.
+  /// `graph` must be the (reordered) graph the tree was built on; a
+  /// no-op when it carries no permutation. After mapping,
+  /// MembershipPaths/LeafCover speak original ids, and Digest() is
+  /// comparable across thread counts and kernel variants for the same
+  /// reordered input. (It is NOT bit-comparable against a build on the
+  /// un-reordered graph: relabeling reassociates the kernel's
+  /// floating-point sums, so spectral quantities differ in low-order
+  /// bits even though the recovered structure matches.)
+  void MapToOriginalIds(const Graph& graph);
 };
 
 /// Runs the recursive build. Errors propagate from RunOca and on invalid

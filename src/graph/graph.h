@@ -35,8 +35,13 @@ class Graph {
   /// Takes ownership of validated CSR arrays. Prefer GraphBuilder; this is
   /// for deserialization and internal use. `offsets` must have n+1 entries,
   /// `neighbors` 2m entries, each list sorted, symmetric, loop-free.
-  Graph(std::vector<uint64_t> offsets, std::vector<NodeId> neighbors)
-      : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {}
+  /// `original_ids`, when non-empty, must be a permutation of [0, n)
+  /// recording the external id of each node (see OriginalId below).
+  Graph(std::vector<uint64_t> offsets, std::vector<NodeId> neighbors,
+        std::vector<NodeId> original_ids = {})
+      : offsets_(std::move(offsets)),
+        neighbors_(std::move(neighbors)),
+        original_ids_(std::move(original_ids)) {}
 
   /// Number of nodes n.
   size_t num_nodes() const { return offsets_.size() - 1; }
@@ -78,6 +83,24 @@ class Graph {
   /// Materializes the canonical (u < v) edge list.
   std::vector<Edge> Edges() const;
 
+  /// True when this graph's node ids were relabeled at build time (a
+  /// cache-aware reordering pass, see GraphBuilder/ReorderGraph). All
+  /// algorithms operate on the graph-local ids; results are translated
+  /// back through OriginalId for reporting.
+  bool is_reordered() const { return !original_ids_.empty(); }
+
+  /// The external (pre-reorder) id of graph-local node v. Identity when
+  /// the graph was never reordered. Reordering a reordered graph
+  /// composes: OriginalId always refers to the ORIGINAL labeling.
+  NodeId OriginalId(NodeId v) const {
+    return original_ids_.empty() ? v : original_ids_[v];
+  }
+
+  /// new-id -> original-id permutation; empty means identity. Note the
+  /// binary serialization format (io/graph_serialize) stores structure
+  /// only — a round-trip drops the permutation.
+  const std::vector<NodeId>& original_ids() const { return original_ids_; }
+
   /// Raw CSR accessors (serialization, tests).
   const std::vector<uint64_t>& offsets() const { return offsets_; }
   const std::vector<NodeId>& neighbor_array() const { return neighbors_; }
@@ -85,12 +108,14 @@ class Graph {
   /// Estimated resident memory in bytes.
   size_t MemoryBytes() const {
     return offsets_.capacity() * sizeof(uint64_t) +
-           neighbors_.capacity() * sizeof(NodeId);
+           neighbors_.capacity() * sizeof(NodeId) +
+           original_ids_.capacity() * sizeof(NodeId);
   }
 
  private:
   std::vector<uint64_t> offsets_;   // n+1 prefix offsets into neighbors_
   std::vector<NodeId> neighbors_;   // concatenated sorted adjacency lists
+  std::vector<NodeId> original_ids_;  // new -> original; empty = identity
 };
 
 }  // namespace oca

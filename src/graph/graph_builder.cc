@@ -1,9 +1,110 @@
 #include "graph/graph_builder.h"
 
 #include <algorithm>
+#include <numeric>
 #include <string>
 
 namespace oca {
+
+std::vector<NodeId> ComputeNodeOrdering(const Graph& graph,
+                                        NodeOrdering ordering) {
+  const size_t n = graph.num_nodes();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  switch (ordering) {
+    case NodeOrdering::kOriginal:
+      break;
+    case NodeOrdering::kDegreeSort:
+      std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+        const size_t da = graph.Degree(a), db = graph.Degree(b);
+        return da != db ? da > db : a < b;
+      });
+      break;
+    case NodeOrdering::kRcm: {
+      // Cuthill-McKee: BFS each component from its minimum-degree node,
+      // expanding neighbors in ascending degree, then reverse the whole
+      // order. Seeds are taken from a (degree, id)-sorted candidate
+      // list so component traversal order is deterministic.
+      std::vector<NodeId> seeds = order;
+      std::sort(seeds.begin(), seeds.end(), [&](NodeId a, NodeId b) {
+        const size_t da = graph.Degree(a), db = graph.Degree(b);
+        return da != db ? da < db : a < b;
+      });
+      std::vector<char> visited(n, 0);
+      std::vector<NodeId> result;
+      result.reserve(n);
+      std::vector<NodeId> frontier;
+      for (NodeId seed : seeds) {
+        if (visited[seed]) continue;
+        visited[seed] = 1;
+        result.push_back(seed);
+        for (size_t head = result.size() - 1; head < result.size(); ++head) {
+          const NodeId u = result[head];
+          frontier.clear();
+          for (NodeId v : graph.Neighbors(u)) {
+            if (!visited[v]) {
+              visited[v] = 1;
+              frontier.push_back(v);
+            }
+          }
+          std::sort(frontier.begin(), frontier.end(),
+                    [&](NodeId a, NodeId b) {
+                      const size_t da = graph.Degree(a), db = graph.Degree(b);
+                      return da != db ? da < db : a < b;
+                    });
+          result.insert(result.end(), frontier.begin(), frontier.end());
+        }
+      }
+      std::reverse(result.begin(), result.end());
+      order = std::move(result);
+      break;
+    }
+  }
+  return order;
+}
+
+Result<Graph> ReorderGraph(const Graph& graph,
+                           std::span<const NodeId> new_to_old) {
+  const size_t n = graph.num_nodes();
+  if (new_to_old.size() != n) {
+    return Status::InvalidArgument(
+        "reorder permutation has " + std::to_string(new_to_old.size()) +
+        " entries for a graph on " + std::to_string(n) + " nodes");
+  }
+  std::vector<NodeId> old_to_new(n, 0);
+  std::vector<char> seen(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId old_id = new_to_old[i];
+    if (old_id >= n || seen[old_id]) {
+      return Status::InvalidArgument(
+          "reorder permutation is not a permutation of [0, num_nodes)");
+    }
+    seen[old_id] = 1;
+    old_to_new[old_id] = static_cast<NodeId>(i);
+  }
+
+  std::vector<uint64_t> offsets(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    offsets[i + 1] = offsets[i] + graph.Degree(new_to_old[i]);
+  }
+  std::vector<NodeId> neighbors(graph.neighbor_array().size());
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t cursor = offsets[i];
+    for (NodeId v : graph.Neighbors(new_to_old[i])) {
+      neighbors[cursor++] = old_to_new[v];
+    }
+    std::sort(neighbors.begin() + static_cast<ptrdiff_t>(offsets[i]),
+              neighbors.begin() + static_cast<ptrdiff_t>(cursor));
+  }
+  // Compose so OriginalId on the result refers to the true original
+  // labeling even when `graph` was itself already reordered.
+  std::vector<NodeId> original_ids(n);
+  for (size_t i = 0; i < n; ++i) {
+    original_ids[i] = graph.OriginalId(new_to_old[i]);
+  }
+  return Graph(std::move(offsets), std::move(neighbors),
+               std::move(original_ids));
+}
 
 void GraphBuilder::AddEdge(NodeId u, NodeId v) {
   if (u == v) return;  // simple graph: no self-loops
@@ -57,6 +158,13 @@ Result<Graph> GraphBuilder::Build() const {
               neighbors.begin() + static_cast<ptrdiff_t>(offsets[i + 1]));
   }
   return Graph(std::move(offsets), std::move(neighbors));
+}
+
+Result<Graph> GraphBuilder::Build(NodeOrdering ordering) const {
+  Result<Graph> base = Build();
+  if (!base.ok() || ordering == NodeOrdering::kOriginal) return base;
+  const Graph& graph = base.value();
+  return ReorderGraph(graph, ComputeNodeOrdering(graph, ordering));
 }
 
 Result<Graph> BuildGraph(size_t num_nodes, const std::vector<Edge>& edges) {

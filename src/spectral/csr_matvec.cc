@@ -1,0 +1,167 @@
+#include "spectral/csr_matvec.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "spectral/csr_matvec_rows.h"
+
+namespace oca {
+
+namespace {
+
+/// Portable body: four independent accumulator chains over the striped
+/// lanes. The chains break the serial add-latency dependency the old
+/// single-accumulator loop was bound by (~4 cycles per edge on current
+/// cores) and give the compiler a layout it can auto-vectorize; the
+/// combine order matches the AVX2 kernel's horizontal sum exactly.
+struct PortableBody {
+  double operator()(const NodeId* nbr, uint64_t b, uint64_t body_end,
+                    const double* x) const {
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    for (uint64_t p = b; p < body_end; p += 4) {
+      a0 += x[nbr[p]];
+      a1 += x[nbr[p + 1]];
+      a2 += x[nbr[p + 2]];
+      a3 += x[nbr[p + 3]];
+    }
+    return (a0 + a2) + (a1 + a3);
+  }
+};
+
+bool CpuHasAvx2() {
+#if defined(OCA_HAVE_AVX2)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+CsrKernelKind ResolveKernelFromEnv() {
+  if (const char* env = std::getenv("OCA_SIMD"); env != nullptr) {
+    if (std::strcmp(env, "avx2") == 0) {
+      return CpuHasAvx2() ? CsrKernelKind::kAvx2 : CsrKernelKind::kPortable;
+    }
+    // "portable"/"off"/"auto" (or anything unrecognized) all resolve to
+    // the portable kernel — see below.
+  }
+  // Auto prefers the PORTABLE kernel: measured on the community-graph
+  // row profile (mean degree ~20, x L1-resident), four independent
+  // scalar load chains sustain ~2 loads/cycle while vgatherdpd manages
+  // ~1 — 14.5us vs 18.4us on the 2000-node LFR mat-vec bench. The AVX2
+  // path stays behind OCA_SIMD=avx2 / SetCsrKernel for wide-row
+  // workloads and as the template for future ISA ports; results are
+  // bit-identical either way, so the choice never affects digests.
+  return CsrKernelKind::kPortable;
+}
+
+/// Resolved dispatch choice; -1 until first use. Relaxed atomics: every
+/// transition is to a value that produces bit-identical results, so a
+/// racing reader at worst runs one block on the previous kernel.
+std::atomic<int> g_active_kernel{-1};
+
+void CheckRowRange(const Graph& graph, size_t begin, size_t end,
+                   const double* x, const double* y) {
+  if (begin > end || end > graph.num_nodes()) {
+    internal::KernelContractViolation(
+        "AdjacencyMatVecRows: row range out of bounds");
+  }
+  if (begin == end) return;  // empty range needs no buffers
+  if (x == nullptr || y == nullptr) {
+    internal::KernelContractViolation(
+        "AdjacencyMatVecRows: null vector argument");
+  }
+  if (x == y) {
+    internal::KernelContractViolation(
+        "AdjacencyMatVecRows: x and y must not alias (y[u] is written "
+        "while x entries are still being read)");
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+void KernelContractViolation(const char* what) {
+  std::fprintf(stderr, "[FATAL] CSR mat-vec contract violation: %s\n", what);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+
+const char* CsrKernelName(CsrKernelKind kind) {
+  switch (kind) {
+    case CsrKernelKind::kAvx2:
+      return "avx2";
+    case CsrKernelKind::kPortable:
+      break;
+  }
+  return "portable";
+}
+
+bool CsrKernelAvailable(CsrKernelKind kind) {
+  return kind == CsrKernelKind::kPortable || CpuHasAvx2();
+}
+
+CsrKernelKind ActiveCsrKernel() {
+  int kind = g_active_kernel.load(std::memory_order_relaxed);
+  if (kind < 0) {
+    kind = static_cast<int>(ResolveKernelFromEnv());
+    g_active_kernel.store(kind, std::memory_order_relaxed);
+  }
+  return static_cast<CsrKernelKind>(kind);
+}
+
+CsrKernelKind SetCsrKernel(CsrKernelKind kind) {
+  if (!CsrKernelAvailable(kind)) kind = CsrKernelKind::kPortable;
+  g_active_kernel.store(static_cast<int>(kind), std::memory_order_relaxed);
+  return kind;
+}
+
+void AdjacencyMatVecRows(const Graph& graph, size_t begin, size_t end,
+                         const double* x, double* y) {
+  CheckRowRange(graph, begin, end, x, y);
+  const uint64_t* offs = graph.offsets().data();
+  const NodeId* nbr = graph.neighbor_array().data();
+#if defined(OCA_HAVE_AVX2)
+  if (ActiveCsrKernel() == CsrKernelKind::kAvx2) {
+    internal::Avx2Rows(offs, nbr, begin, end, x, y);
+    return;
+  }
+#endif
+  internal::CsrRowLoop<false>(offs, nbr, begin, end, x, y, PortableBody{});
+}
+
+double AdjacencyMatVecRowsFused(const Graph& graph, size_t begin, size_t end,
+                                const double* x, double* y) {
+  CheckRowRange(graph, begin, end, x, y);
+  const uint64_t* offs = graph.offsets().data();
+  const NodeId* nbr = graph.neighbor_array().data();
+#if defined(OCA_HAVE_AVX2)
+  if (ActiveCsrKernel() == CsrKernelKind::kAvx2) {
+    return internal::Avx2RowsFused(offs, nbr, begin, end, x, y);
+  }
+#endif
+  return internal::CsrRowLoop<true>(offs, nbr, begin, end, x, y,
+                                    PortableBody{});
+}
+
+size_t MatVecBlockRows(size_t n) {
+  // One block below the threshold: a 2048-row mat-vec is microseconds
+  // of work, not worth partition bookkeeping. Above it, target ~64
+  // blocks (ample parallel load balance at any realistic worker count)
+  // rounded to a 512-row multiple, clamped so a block's y-range plus
+  // row metadata stays comfortably cache-resident.
+  constexpr size_t kMinBlock = 2048;
+  constexpr size_t kMaxBlock = 65536;
+  constexpr size_t kTargetBlocks = 64;
+  if (n <= kMinBlock) return kMinBlock;
+  size_t block = (n + kTargetBlocks - 1) / kTargetBlocks;
+  block = ((block + 511) / 512) * 512;
+  return std::clamp(block, kMinBlock, kMaxBlock);
+}
+
+}  // namespace oca

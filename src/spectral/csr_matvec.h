@@ -1,0 +1,105 @@
+// The one CSR adjacency row kernel behind every spectral mat-vec.
+//
+// Every adjacency product in the library — the free AdjacencyMatVec
+// wrappers, SpectralEngine::MatVec, and the engine's fused
+// mat-vec+Rayleigh Lanczos step — runs through the two row-range
+// entry points below. There is deliberately no second copy of the row
+// loop anywhere: the plain and fused variants share one implementation
+// (the fused variant additionally accumulates sum_u y[u]*x[u] over its
+// row range), so the products cannot drift apart.
+//
+// SIMD: the kernel is vectorized with a fixed four-accumulator layout.
+// Each row's neighbor sum is computed as four striped partial sums over
+// the vectorizable body (lane j accumulates x[nbr[base + 4t + j]]),
+// combined as (a0 + a2) + (a1 + a3), followed by a sequential scalar
+// tail. Both implementations — the portable C++ one (four independent
+// dependency chains the compiler can keep in registers or auto-
+// vectorize) and the AVX2 gather one (built when OCA_ENABLE_AVX2 is on
+// and the compiler supports -mavx2, selected at runtime only on CPUs
+// that report AVX2) — follow exactly this operation order, so their
+// results are BIT-IDENTICAL. That is what lets the deterministic-
+// parallel contract (RecursiveHierarchy::Digest() invariance across
+// thread counts) extend across kernel variants: switching kernels
+// never changes a single bit of any spectral result.
+//
+// Dispatch: resolved once per process from the OCA_SIMD environment
+// variable ("portable" forces the fallback, "avx2" requests the wide
+// kernel, anything else auto-detects) and the CPU's capabilities;
+// SetCsrKernel overrides it (tests, benchmarks).
+//
+// Contract (checked, violations abort): x and y hold
+// graph.num_nodes() entries, do not alias, and begin <= end <= n.
+// Aliasing x == y cannot work even in principle — y[u] is written
+// while x[v] for v > u is still being read.
+
+#ifndef OCA_SPECTRAL_CSR_MATVEC_H_
+#define OCA_SPECTRAL_CSR_MATVEC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace oca {
+
+/// The available CSR row-kernel implementations. All of them produce
+/// bit-identical results; they differ only in speed.
+enum class CsrKernelKind {
+  kPortable = 0,  // unrolled four-accumulator C++, always available
+  kAvx2 = 1,      // AVX2 gather; needs build flag + CPU support
+};
+
+/// Human-readable kernel name ("portable", "avx2") for logs/benches.
+const char* CsrKernelName(CsrKernelKind kind);
+
+/// True when `kind` was compiled in AND the running CPU supports it.
+bool CsrKernelAvailable(CsrKernelKind kind);
+
+/// The kernel the next mat-vec will use. First call resolves the
+/// OCA_SIMD environment variable ("portable" | "avx2" | "auto"/unset)
+/// against CsrKernelAvailable; an unavailable request falls back to
+/// portable. Auto resolves to the portable kernel — on the library's
+/// row profile (short rows, L1-resident x) the four scalar load chains
+/// beat AVX2 gathers; see the note in csr_matvec.cc.
+CsrKernelKind ActiveCsrKernel();
+
+/// Overrides the active kernel (falls back to portable when `kind` is
+/// unavailable) and returns what is actually active now. Not
+/// synchronized with in-flight mat-vecs — switch between solves only
+/// (tests and benchmarks do).
+CsrKernelKind SetCsrKernel(CsrKernelKind kind);
+
+/// y[u] = sum_{v in N(u)} x[v] for u in [begin, end): one block of
+/// rows of the adjacency mat-vec. See the contract above.
+void AdjacencyMatVecRows(const Graph& graph, size_t begin, size_t end,
+                         const double* x, double* y);
+
+/// AdjacencyMatVecRows plus the block's Rayleigh partial: returns
+/// sum_{u in [begin, end)} y[u] * x[u], accumulated in row order. The
+/// fused pass is what the engine's Lanczos step runs — one CSR
+/// traversal yields both the product and the alpha coefficient.
+double AdjacencyMatVecRowsFused(const Graph& graph, size_t begin, size_t end,
+                                const double* x, double* y);
+
+/// Deterministic row-block width for an n-node mat-vec: a pure
+/// function of n alone (never of thread count or kernel), so the block
+/// partition — and with it the fixed-block alpha reduction order — is
+/// identical across serial, pooled, and SIMD execution. Small graphs
+/// get one block (no partition overhead); large graphs get enough
+/// blocks for parallel load balance, each sized to keep its y-range
+/// and row metadata cache-resident.
+size_t MatVecBlockRows(size_t n);
+
+namespace internal {
+
+/// Aborts with a diagnostic. Kernel preconditions are enforced in
+/// every build type: the checks are O(1) against O(degree) work, and a
+/// silently aliased mat-vec produces garbage eigenvalues that are far
+/// more expensive to debug than an abort at the call site.
+[[noreturn]] void KernelContractViolation(const char* what);
+
+}  // namespace internal
+
+}  // namespace oca
+
+#endif  // OCA_SPECTRAL_CSR_MATVEC_H_

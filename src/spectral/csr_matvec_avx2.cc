@@ -1,0 +1,62 @@
+// AVX2 implementation of the CSR row kernel. Compiled with -mavx2
+// -ffp-contract=off only when OCA_ENABLE_AVX2 is on and the compiler
+// supports the flag; csr_matvec.cc calls in here only after
+// __builtin_cpu_supports("avx2") passes at runtime, so the library
+// still runs on pre-AVX2 hardware.
+//
+// Bit-identity with the portable kernel (the whole point — see
+// csr_matvec.h): lane j of the gather accumulator sums exactly the
+// elements the portable kernel's accumulator a_j sums, in the same
+// order, and the horizontal reduction (lo128 + hi128, then hadd)
+// computes (a0 + a2) + (a1 + a3) — the portable combine expression.
+
+#if defined(OCA_HAVE_AVX2)
+
+// GCC's avx2intrin.h trips -Wmaybe-uninitialized on the
+// _mm256_undefined_pd inside _mm256_i32gather_pd (a known false
+// positive in the intrinsic header, not in this code).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <immintrin.h>
+
+#include "spectral/csr_matvec_rows.h"
+
+namespace oca {
+namespace internal {
+
+namespace {
+
+struct Avx2Body {
+  double operator()(const NodeId* nbr, uint64_t b, uint64_t body_end,
+                    const double* x) const {
+    __m256d acc = _mm256_setzero_pd();
+    for (uint64_t p = b; p < body_end; p += 4) {
+      const __m128i idx =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(nbr + p));
+      acc = _mm256_add_pd(acc, _mm256_i32gather_pd(x, idx, 8));
+    }
+    const __m128d lo = _mm256_castpd256_pd128(acc);     // (a0, a1)
+    const __m128d hi = _mm256_extractf128_pd(acc, 1);   // (a2, a3)
+    const __m128d pair = _mm_add_pd(lo, hi);            // (a0+a2, a1+a3)
+    return _mm_cvtsd_f64(_mm_hadd_pd(pair, pair));      // (a0+a2)+(a1+a3)
+  }
+};
+
+}  // namespace
+
+void Avx2Rows(const uint64_t* offs, const NodeId* nbr, size_t begin,
+              size_t end, const double* x, double* y) {
+  CsrRowLoop<false>(offs, nbr, begin, end, x, y, Avx2Body{});
+}
+
+double Avx2RowsFused(const uint64_t* offs, const NodeId* nbr, size_t begin,
+                     size_t end, const double* x, double* y) {
+  return CsrRowLoop<true>(offs, nbr, begin, end, x, y, Avx2Body{});
+}
+
+}  // namespace internal
+}  // namespace oca
+
+#endif  // OCA_HAVE_AVX2

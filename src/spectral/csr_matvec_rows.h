@@ -1,0 +1,59 @@
+// Internal: the single row-loop skeleton both CSR kernel TUs compile.
+//
+// Included only by csr_matvec.cc (portable body) and
+// csr_matvec_avx2.cc (gather body). The row structure — body/tail
+// split, tail accumulation order, fused Rayleigh partial — lives here
+// exactly once; an implementation supplies only the four-accumulator
+// body sum for a full 4-multiple span. Keeping the skeleton shared is
+// what makes the bit-identity contract in csr_matvec.h checkable by
+// inspection: a body returns (a0 + a2) + (a1 + a3) over the striped
+// lanes, and everything around it is literally the same code.
+//
+// Both TUs are compiled with -ffp-contract=off (see src/CMakeLists.txt)
+// so the fused `acc += sum * x[u]` update cannot be contracted into an
+// FMA in one TU but not the other.
+
+#ifndef OCA_SPECTRAL_CSR_MATVEC_ROWS_H_
+#define OCA_SPECTRAL_CSR_MATVEC_ROWS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace oca {
+namespace internal {
+
+/// `Body(nbr, b, body_end, x)` returns the striped four-accumulator sum
+/// of x[nbr[e]] over [b, body_end), a span whose length is a multiple
+/// of 4, combined as (a0 + a2) + (a1 + a3).
+template <bool kFused, typename Body>
+inline double CsrRowLoop(const uint64_t* offs, const NodeId* nbr,
+                         size_t begin, size_t end, const double* x, double* y,
+                         Body body) {
+  double block_acc = 0.0;
+  for (size_t u = begin; u < end; ++u) {
+    const uint64_t b = offs[u];
+    const uint64_t e = offs[u + 1];
+    const uint64_t body_end = b + ((e - b) & ~uint64_t{3});
+    double sum = body(nbr, b, body_end, x);
+    for (uint64_t p = body_end; p < e; ++p) sum += x[nbr[p]];
+    y[u] = sum;
+    if constexpr (kFused) block_acc += sum * x[u];
+  }
+  return block_acc;
+}
+
+#if defined(OCA_HAVE_AVX2)
+// Defined in csr_matvec_avx2.cc (compiled with -mavx2); called by the
+// dispatcher in csr_matvec.cc only after a runtime CPU check.
+void Avx2Rows(const uint64_t* offs, const NodeId* nbr, size_t begin,
+              size_t end, const double* x, double* y);
+double Avx2RowsFused(const uint64_t* offs, const NodeId* nbr, size_t begin,
+                     size_t end, const double* x, double* y);
+#endif
+
+}  // namespace internal
+}  // namespace oca
+
+#endif  // OCA_SPECTRAL_CSR_MATVEC_ROWS_H_

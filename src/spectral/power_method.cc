@@ -1,24 +1,37 @@
 #include "spectral/power_method.h"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "spectral/spectral_engine.h"
 
 namespace oca {
 
-void AdjacencyMatVecRows(const Graph& graph, size_t begin, size_t end,
-                         const double* x, double* y) {
-  const uint64_t* offs = graph.offsets().data();
-  const NodeId* nbr = graph.neighbor_array().data();
-  for (size_t u = begin; u < end; ++u) {
-    double sum = 0.0;
-    for (uint64_t e = offs[u]; e < offs[u + 1]; ++e) sum += x[nbr[e]];
-    y[u] = sum;
+namespace {
+
+void CheckVectorArgs(const char* entry, const Graph& graph,
+                     const std::vector<double>& x,
+                     const std::vector<double>* y) {
+  if (x.size() != graph.num_nodes()) {
+    internal::KernelContractViolation(
+        (std::string(entry) + ": x.size() != graph.num_nodes()").c_str());
+  }
+  if (y == nullptr) {
+    internal::KernelContractViolation(
+        (std::string(entry) + ": output vector is null").c_str());
+  }
+  if (y == &x) {
+    internal::KernelContractViolation(
+        (std::string(entry) + ": output must not alias x").c_str());
   }
 }
 
+}  // namespace
+
 void AdjacencyMatVec(const Graph& graph, const std::vector<double>& x,
                      std::vector<double>* y) {
+  CheckVectorArgs("AdjacencyMatVec", graph, x, y);
   y->resize(graph.num_nodes());
   AdjacencyMatVecRows(graph, 0, graph.num_nodes(), x.data(), y->data());
 }
@@ -33,15 +46,28 @@ void ShiftedAdjacencyMatVec(const Graph& graph, double shift,
   }
 }
 
-double RayleighQuotient(const Graph& graph, const std::vector<double>& x) {
-  std::vector<double> y;
-  AdjacencyMatVec(graph, x, &y);
-  double num = 0.0, den = 0.0;
-  for (size_t i = 0; i < x.size(); ++i) {
-    num += x[i] * y[i];
-    den += x[i] * x[i];
+double RayleighQuotient(const Graph& graph, const std::vector<double>& x,
+                        std::vector<double>* workspace) {
+  CheckVectorArgs("RayleighQuotient", graph, x, workspace);
+  const size_t n = graph.num_nodes();
+  workspace->resize(n);
+  // One fused pass per block: the numerator partials accumulate in the
+  // same deterministic block order as the engine's Lanczos alpha
+  // reduction (MatVecBlockRows is a pure function of n).
+  const size_t block = MatVecBlockRows(n);
+  double num = 0.0;
+  for (size_t begin = 0; begin < n; begin += block) {
+    num += AdjacencyMatVecRowsFused(graph, begin, std::min(n, begin + block),
+                                    x.data(), workspace->data());
   }
+  double den = 0.0;
+  for (size_t i = 0; i < n; ++i) den += x[i] * x[i];
   return den > 0.0 ? num / den : 0.0;
+}
+
+double RayleighQuotient(const Graph& graph, const std::vector<double>& x) {
+  std::vector<double> workspace;
+  return RayleighQuotient(graph, x, &workspace);
 }
 
 Result<EigenEstimate> DominantEigenpair(const Graph& graph,

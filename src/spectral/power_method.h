@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "spectral/csr_matvec.h"
 #include "util/result.h"
 
 namespace oca {
@@ -69,23 +70,39 @@ struct EigenEstimate {
   bool converged = false;
 };
 
-/// y[u] = sum_{v in N(u)} x[v] for u in [begin, end): the single CSR
-/// traversal every adjacency mat-vec variant shares (serial, and one
-/// block of the engine's parallel mat-vec). x and y must hold
-/// graph.num_nodes() entries and must not alias.
-void AdjacencyMatVecRows(const Graph& graph, size_t begin, size_t end,
-                         const double* x, double* y);
+// The row-range kernels (AdjacencyMatVecRows and its fused variant)
+// live in spectral/csr_matvec.h, re-exported via the include above;
+// the wrappers below add the vector-level conveniences.
+//
+// Contract shared by every entry point here (checked in all build
+// types; violations abort with a diagnostic, see
+// internal::KernelContractViolation):
+//   * x must hold exactly graph.num_nodes() entries.
+//   * y must not alias x (`y != &x`): y[u] is written while x entries
+//     are still being read, so an aliased call cannot produce A x even
+//     in principle.
+//   * y is resized to graph.num_nodes(); previous contents are
+//     overwritten.
 
 /// y = A x for the graph's adjacency matrix (y is resized to n).
 void AdjacencyMatVec(const Graph& graph, const std::vector<double>& x,
                      std::vector<double>* y);
 
-/// y = (A - shift*I) x.
+/// y = (A - shift*I) x. Same contract as AdjacencyMatVec.
 void ShiftedAdjacencyMatVec(const Graph& graph, double shift,
                             const std::vector<double>& x,
                             std::vector<double>* y);
 
-/// Rayleigh quotient x'Ax / x'x for the adjacency matrix.
+/// Rayleigh quotient x'Ax / x'x for the adjacency matrix, computed in
+/// one fused CSR pass into `workspace` (resized to n, contents
+/// overwritten — same contract as AdjacencyMatVec's y). The workspace
+/// overload is the allocation-free form for call sites that evaluate
+/// quotients in a loop: after the first call the buffer is reused,
+/// never reallocated.
+double RayleighQuotient(const Graph& graph, const std::vector<double>& x,
+                        std::vector<double>* workspace);
+
+/// Convenience overload that allocates a fresh workspace per call.
 double RayleighQuotient(const Graph& graph, const std::vector<double>& x);
 
 /// Dominant (largest algebraic, = spectral radius) eigenpair of A.

@@ -11,11 +11,6 @@ namespace oca {
 
 namespace {
 
-/// Fixed reduction-block width (rows). Reductions are summed per block
-/// and then combined in block order, so the mat-vec and its Rayleigh
-/// coefficient are bit-identical for every thread count.
-constexpr size_t kBlockRows = 2048;
-
 /// Ritz values are re-examined every this many Lanczos steps.
 constexpr size_t kCheckInterval = 4;
 
@@ -139,12 +134,17 @@ void SpectralEngine::PrepareStartVector(const Graph& graph) {
 
 void SpectralEngine::MatVec(const Graph& graph, const double* x, double* y) {
   const size_t n = graph.num_nodes();
+  // Block width is a pure function of n (MatVecBlockRows), so the row
+  // partition is identical across serial/pooled runs and kernel
+  // variants. Row results are independent of blocking anyway; the
+  // partition only matters for parallel grain here.
+  const size_t block = MatVecBlockRows(n);
   if (UseParallel(graph)) {
     if (!pool_) pool_ = std::make_unique<ThreadPool>(ResolvedThreads());
-    const size_t nblocks = (n + kBlockRows - 1) / kBlockRows;
+    const size_t nblocks = (n + block - 1) / block;
     pool_->ParallelFor(nblocks, [&](size_t blk) {
-      size_t begin = blk * kBlockRows;
-      AdjacencyMatVecRows(graph, begin, std::min(n, begin + kBlockRows), x, y);
+      size_t begin = blk * block;
+      AdjacencyMatVecRows(graph, begin, std::min(n, begin + block), x, y);
     });
   } else {
     AdjacencyMatVecRows(graph, 0, n, x, y);
@@ -152,25 +152,20 @@ void SpectralEngine::MatVec(const Graph& graph, const double* x, double* y) {
   ++total_matvecs_;
 }
 
-double SpectralEngine::MatVecAlphaStep(const Graph& graph) {
+double SpectralEngine::MatVecFused(const Graph& graph, const double* x,
+                                   double* y) {
   const size_t n = graph.num_nodes();
-  const size_t nblocks = (n + kBlockRows - 1) / kBlockRows;
+  const size_t block = MatVecBlockRows(n);
+  const size_t nblocks = (n + block - 1) / block;
   partial_.assign(nblocks, 0.0);
-  const uint64_t* offs = graph.offsets().data();
-  const NodeId* nbr = graph.neighbor_array().data();
-  const double* x = v_.data();
-  double* y = w_.data();
+  // The single shared row kernel (fused variant): serial and pooled
+  // execution run the same per-block calls, and the alpha partials are
+  // combined in block order, so the result is bit-identical for every
+  // thread count and kernel variant.
   auto run_block = [&](size_t blk) {
-    size_t begin = blk * kBlockRows;
-    size_t end = std::min(n, begin + kBlockRows);
-    double acc = 0.0;
-    for (size_t u = begin; u < end; ++u) {
-      double s = 0.0;
-      for (uint64_t e = offs[u]; e < offs[u + 1]; ++e) s += x[nbr[e]];
-      y[u] = s;
-      acc += s * x[u];
-    }
-    partial_[blk] = acc;
+    size_t begin = blk * block;
+    partial_[blk] = AdjacencyMatVecRowsFused(
+        graph, begin, std::min(n, begin + block), x, y);
   };
   if (UseParallel(graph)) {
     if (!pool_) pool_ = std::make_unique<ThreadPool>(ResolvedThreads());
@@ -182,6 +177,10 @@ double SpectralEngine::MatVecAlphaStep(const Graph& graph) {
   double alpha = 0.0;
   for (size_t blk = 0; blk < nblocks; ++blk) alpha += partial_[blk];
   return alpha;
+}
+
+double SpectralEngine::MatVecAlphaStep(const Graph& graph) {
+  return MatVecFused(graph, v_.data(), w_.data());
 }
 
 size_t SpectralEngine::SturmCountBelow(size_t k, double x) const {

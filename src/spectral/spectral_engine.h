@@ -122,6 +122,16 @@ class SpectralEngine {
   /// every thread count.
   void MatVec(const Graph& graph, const double* x, double* y);
 
+  /// y = A x plus the Rayleigh coefficient x' A x, from ONE fused CSR
+  /// pass (spectral/csr_matvec.h's fused row kernel — the same single
+  /// kernel MatVec runs, so the two products cannot drift). The
+  /// coefficient is reduced over fixed row blocks in block order
+  /// (MatVecBlockRows), so it is bit-identical across thread counts and
+  /// kernel variants. Same contract as MatVec. This is the engine's
+  /// Lanczos step; it is public so kernel-consistency tests and fused
+  /// callers (e.g. Rayleigh-quotient loops) can use it directly.
+  double MatVecFused(const Graph& graph, const double* x, double* y);
+
   /// Both spectral extremes at `value_tolerance`. Cached per graph.
   /// Errors on empty/edgeless graphs.
   Result<ExtremeEigenvalues> Extremes(const Graph& graph);
@@ -225,8 +235,8 @@ class SpectralEngine {
   size_t ResolvedThreads() const;
   bool UseParallel(const Graph& graph) const;
 
-  /// One fused CSR pass: w_ = A v_, returns alpha = v_' A v_ via
-  /// fixed-block deterministic reduction.
+  /// One fused CSR pass on the solve workspaces: w_ = A v_, returns
+  /// alpha = v_' A v_. Thin wrapper over the public MatVecFused.
   double MatVecAlphaStep(const Graph& graph);
 
   /// Runs the Lanczos recurrence until the wanted ends converge (pass 1,

@@ -22,8 +22,10 @@
 #include <string>
 #include <vector>
 
+#include "core/cover.h"
 #include "core/recursive_hierarchy.h"
 #include "gen/nested_partition.h"
+#include "graph/graph_builder.h"
 #include "util/thread_pool.h"
 
 namespace oca {
@@ -227,6 +229,64 @@ TEST(RecursiveHierarchyParallelTest, FaultHookOnlyFiresForSolvedNodes) {
   EXPECT_EQ(serial_calls.load(), serial.chain.subgraph_solves);
   EXPECT_EQ(pooled_calls.load(), serial_calls.load());
   EXPECT_EQ(serial.Digest(), pooled.Digest());
+}
+
+// The determinism contract extends to cache-reordered inputs: for a
+// FIXED reordered representation, serial and every N-worker build are
+// byte-identical (and so are their digests after MapToOriginalIds).
+// The CI thread-matrix legs each run this at their OCA_THREADS value;
+// the cross-leg digest comparison then proves the reordered build is
+// one value across the whole matrix.
+TEST(RecursiveHierarchyParallelTest, ReorderedGraphTreesAreByteIdentical) {
+  auto bench = MixedScaleGraph(3);
+  Graph reordered =
+      ReorderGraph(bench.graph, ComputeNodeOrdering(bench.graph,
+                                                    NodeOrdering::kDegreeSort))
+          .value();
+  auto reference = BuildRecursiveHierarchy(reordered, Options(3, 0)).value();
+  ASSERT_GT(reference.nodes.size(), reference.roots.size())
+      << "the pinned seed must genuinely recurse";
+  for (size_t threads : ThreadMatrix()) {
+    if (threads == 0) continue;
+    auto tree =
+        BuildRecursiveHierarchy(reordered, Options(3, threads)).value();
+    ExpectTreesIdentical(reference, tree, threads);
+    EXPECT_EQ(tree.Digest(), reference.Digest()) << "threads " << threads;
+    // Mapping to original ids is deterministic too: digests still match.
+    tree.MapToOriginalIds(reordered);
+    auto mapped_reference = reference;
+    mapped_reference.MapToOriginalIds(reordered);
+    EXPECT_EQ(tree.Digest(), mapped_reference.Digest())
+        << "threads " << threads;
+  }
+}
+
+// MapCoverToOriginalIds round-trips the reordered build's leaves into
+// the original labeling: every member id is a valid original id and the
+// node universe is preserved.
+TEST(RecursiveHierarchyParallelTest, MappedLeafCoverSpeaksOriginalIds) {
+  auto bench = MixedScaleGraph(3);
+  Graph reordered =
+      ReorderGraph(bench.graph,
+                   ComputeNodeOrdering(bench.graph, NodeOrdering::kRcm))
+          .value();
+  auto tree = BuildRecursiveHierarchy(reordered, Options(3, 0)).value();
+  Cover raw = tree.LeafCover();
+  Cover mapped = MapCoverToOriginalIds(raw, reordered);
+  ASSERT_EQ(mapped.size(), raw.size());
+  size_t raw_members = 0;
+  size_t mapped_members = 0;
+  for (const auto& c : raw.communities()) raw_members += c.size();
+  for (const auto& c : mapped.communities()) {
+    mapped_members += c.size();
+    for (NodeId v : c) {
+      ASSERT_LT(v, bench.graph.num_nodes());
+    }
+  }
+  EXPECT_EQ(mapped_members, raw_members);
+  // Mapping then MapToOriginalIds on the tree agree.
+  tree.MapToOriginalIds(reordered);
+  EXPECT_EQ(tree.LeafCover(), mapped);
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "graph/graph_checks.h"
 
 namespace oca {
@@ -98,6 +102,142 @@ TEST(GraphBuilderTest, LargeRandomGraphValidates) {
   }
   Graph g = builder.Build().value();
   EXPECT_TRUE(ValidateGraph(g).ok());
+}
+
+// ---------------------------------------------------------------------
+// Cache-aware reordering (NodeOrdering / ReorderGraph).
+// ---------------------------------------------------------------------
+
+/// The undirected edge set of `g`, expressed in ORIGINAL ids, as a
+/// sorted list of (min, max) pairs — the reordering-invariant identity
+/// of the graph.
+std::vector<std::pair<NodeId, NodeId>> OriginalEdgeSet(const Graph& g) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      NodeId a = g.OriginalId(u);
+      NodeId b = g.OriginalId(v);
+      if (a < b) edges.emplace_back(a, b);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+Graph ReorderTestGraph() {
+  // A star glued to a path plus a stray edge: distinct degrees, so the
+  // degree-sort order is fully determined.
+  GraphBuilder builder(8);
+  builder.AddEdges({{0, 1}, {0, 2}, {0, 3}, {0, 4}, {4, 5}, {5, 6}, {6, 7},
+                    {2, 3}});
+  return builder.Build().value();
+}
+
+TEST(NodeOrderingTest, OriginalOrderingIsIdentity) {
+  Graph g = ReorderTestGraph();
+  std::vector<NodeId> order = ComputeNodeOrdering(g, NodeOrdering::kOriginal);
+  for (NodeId i = 0; i < g.num_nodes(); ++i) EXPECT_EQ(order[i], i);
+  EXPECT_FALSE(g.is_reordered());
+  EXPECT_EQ(g.OriginalId(3), 3u);
+}
+
+TEST(NodeOrderingTest, DegreeSortIsDescendingWithIdTiebreak) {
+  Graph g = ReorderTestGraph();
+  std::vector<NodeId> order =
+      ComputeNodeOrdering(g, NodeOrdering::kDegreeSort);
+  ASSERT_EQ(order.size(), g.num_nodes());
+  for (size_t i = 1; i < order.size(); ++i) {
+    size_t prev = g.Degree(order[i - 1]);
+    size_t cur = g.Degree(order[i]);
+    EXPECT_TRUE(prev > cur || (prev == cur && order[i - 1] < order[i]))
+        << "position " << i;
+  }
+  // Node 0 (degree 4, the hub) must come first.
+  EXPECT_EQ(order[0], 0u);
+}
+
+TEST(NodeOrderingTest, ReorderPreservesTheEdgeSet) {
+  Graph g = ReorderTestGraph();
+  std::vector<std::pair<NodeId, NodeId>> original = OriginalEdgeSet(g);
+  for (NodeOrdering ordering :
+       {NodeOrdering::kDegreeSort, NodeOrdering::kRcm}) {
+    Graph r = ReorderGraph(g, ComputeNodeOrdering(g, ordering)).value();
+    EXPECT_TRUE(r.is_reordered());
+    EXPECT_TRUE(ValidateGraph(r).ok());
+    EXPECT_EQ(r.num_edges(), g.num_edges());
+    EXPECT_EQ(OriginalEdgeSet(r), original)
+        << "ordering " << static_cast<int>(ordering);
+  }
+}
+
+TEST(NodeOrderingTest, RcmShrinksBandwidthOnAPath) {
+  // A path labeled so neighbors are far apart: 0-4-1-5-2-6-3.
+  GraphBuilder builder(7);
+  builder.AddEdges({{0, 4}, {4, 1}, {1, 5}, {5, 2}, {2, 6}, {6, 3}});
+  Graph g = builder.Build().value();
+  auto bandwidth = [](const Graph& graph) {
+    size_t bw = 0;
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      for (NodeId v : graph.Neighbors(u)) {
+        bw = std::max(bw, static_cast<size_t>(u > v ? u - v : v - u));
+      }
+    }
+    return bw;
+  };
+  Graph r = ReorderGraph(g, ComputeNodeOrdering(g, NodeOrdering::kRcm))
+                .value();
+  // RCM relabels a path into consecutive ids: bandwidth exactly 1.
+  EXPECT_EQ(bandwidth(r), 1u);
+  EXPECT_LT(bandwidth(r), bandwidth(g));
+}
+
+TEST(NodeOrderingTest, DoubleReorderComposesToTrueOriginalIds) {
+  Graph g = ReorderTestGraph();
+  Graph once =
+      ReorderGraph(g, ComputeNodeOrdering(g, NodeOrdering::kDegreeSort))
+          .value();
+  Graph twice =
+      ReorderGraph(once, ComputeNodeOrdering(once, NodeOrdering::kRcm))
+          .value();
+  // OriginalId on the twice-reordered graph must refer to g's ids, not
+  // to the intermediate labeling: the composed edge set matches.
+  EXPECT_EQ(OriginalEdgeSet(twice), OriginalEdgeSet(g));
+  std::vector<bool> seen(g.num_nodes(), false);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    NodeId orig = twice.OriginalId(v);
+    ASSERT_LT(orig, g.num_nodes());
+    EXPECT_FALSE(seen[orig]) << "duplicate original id " << orig;
+    seen[orig] = true;
+  }
+}
+
+TEST(NodeOrderingTest, ReorderGraphRejectsNonPermutations) {
+  Graph g = ReorderTestGraph();
+  std::vector<NodeId> too_short = {0, 1, 2};
+  EXPECT_FALSE(ReorderGraph(g, too_short).ok());
+  std::vector<NodeId> duplicate = {0, 1, 2, 3, 4, 5, 6, 6};
+  EXPECT_FALSE(ReorderGraph(g, duplicate).ok());
+  std::vector<NodeId> out_of_range = {0, 1, 2, 3, 4, 5, 6, 8};
+  EXPECT_FALSE(ReorderGraph(g, out_of_range).ok());
+}
+
+TEST(NodeOrderingTest, BuildWithOrderingMatchesBuildPlusReorder) {
+  GraphBuilder builder(8);
+  builder.AddEdges({{0, 1}, {0, 2}, {0, 3}, {0, 4}, {4, 5}, {5, 6}, {6, 7},
+                    {2, 3}});
+  Graph direct = builder.Build(NodeOrdering::kDegreeSort).value();
+  Graph staged = ReorderGraph(
+                     builder.Build().value(),
+                     ComputeNodeOrdering(builder.Build().value(),
+                                         NodeOrdering::kDegreeSort))
+                     .value();
+  EXPECT_EQ(direct.offsets(), staged.offsets());
+  EXPECT_EQ(direct.neighbor_array(), staged.neighbor_array());
+  EXPECT_EQ(direct.original_ids(), staged.original_ids());
+  // kOriginal is exactly Build().
+  Graph plain = builder.Build(NodeOrdering::kOriginal).value();
+  EXPECT_FALSE(plain.is_reordered());
+  EXPECT_EQ(plain.neighbor_array(), builder.Build().value().neighbor_array());
 }
 
 }  // namespace

@@ -109,5 +109,71 @@ TEST(DominantEigenpairTest, DeterministicPerSeed) {
   EXPECT_EQ(a.iterations, b.iterations);
 }
 
+// The workspace overload is the allocation-free form: after the first
+// call the buffer must be reused in place, never reallocated.
+TEST(RayleighQuotientTest, WorkspaceOverloadReusesItsBuffer) {
+  Graph g = Clique(6);
+  std::vector<double> x = {1, -2, 3, -4, 5, -6};
+  std::vector<double> workspace;
+  const double first = RayleighQuotient(g, x, &workspace);
+  ASSERT_EQ(workspace.size(), g.num_nodes());
+  const double* data = workspace.data();
+  const size_t capacity = workspace.capacity();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(RayleighQuotient(g, x, &workspace), first);
+    EXPECT_EQ(workspace.data(), data) << "workspace was reallocated";
+    EXPECT_EQ(workspace.capacity(), capacity);
+  }
+  // Both overloads compute the same quotient.
+  EXPECT_EQ(RayleighQuotient(g, x), first);
+}
+
+// Contract checks (see spectral/csr_matvec.h) abort in every build
+// type: a silently aliased or mis-sized mat-vec produces garbage
+// eigenvalues far more expensive to debug than an abort here.
+using MatVecContractDeathTest = ::testing::Test;
+
+TEST(MatVecContractDeathTest, AliasedOutputAborts) {
+  Graph g = Path5();
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  EXPECT_DEATH(AdjacencyMatVec(g, x, &x), "contract violation");
+}
+
+TEST(MatVecContractDeathTest, SizeMismatchAborts) {
+  Graph g = Path5();
+  std::vector<double> x = {1, 2, 3};  // graph has 5 nodes
+  std::vector<double> y;
+  EXPECT_DEATH(AdjacencyMatVec(g, x, &y), "contract violation");
+}
+
+TEST(MatVecContractDeathTest, RayleighQuotientChecksItsArguments) {
+  Graph g = Path5();
+  std::vector<double> x = {1, 2, 3};  // wrong size
+  EXPECT_DEATH(RayleighQuotient(g, x), "contract violation");
+  std::vector<double> ok = {1, 2, 3, 4, 5};
+  EXPECT_DEATH(RayleighQuotient(g, ok, &ok), "contract violation");
+}
+
+TEST(MatVecContractDeathTest, RowRangeOutOfBoundsAborts) {
+  Graph g = Path5();
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y(5);
+  EXPECT_DEATH(AdjacencyMatVecRows(g, 3, 2, x.data(), y.data()),
+               "contract violation");
+  EXPECT_DEATH(AdjacencyMatVecRows(g, 0, 6, x.data(), y.data()),
+               "contract violation");
+  EXPECT_DEATH(AdjacencyMatVecRows(g, 0, 5, x.data(), x.data()),
+               "contract violation");
+  EXPECT_DEATH(AdjacencyMatVecRows(g, 0, 5, nullptr, y.data()),
+               "contract violation");
+}
+
+TEST(MatVecContractDeathTest, EmptyRowRangeNeedsNoBuffers) {
+  Graph g = Path5();
+  // begin == end: nothing is read or written; null buffers are fine.
+  AdjacencyMatVecRows(g, 2, 2, nullptr, nullptr);
+  EXPECT_EQ(AdjacencyMatVecRowsFused(g, 2, 2, nullptr, nullptr), 0.0);
+}
+
 }  // namespace
 }  // namespace oca
