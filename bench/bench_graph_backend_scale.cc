@@ -1,0 +1,243 @@
+// In-memory vs memory-mapped graph backend across graph sizes.
+//
+// The backend refactor's promise is that the mmap backend costs nothing
+// on the hot path: both backends hand the kernels the same span views,
+// so once pages are resident, mat-vec and k-core throughput must be
+// backend-independent. What mmap buys is the open path — O(1) setup vs
+// reading (and the generator pipeline, vs holding) the whole file — and
+// an O(resident) memory footprint. This harness measures all three
+// faces per size:
+//
+//   build    streaming generate+build straight to disk (the file is
+//            shared by both backends; timed once per size)
+//   open     ReadGraphBinaryFile (memory) vs OpenMmapGraph (mmap)
+//   matvec   AdjacencyMatVecRows sweeps over the full row range
+//   kcore    CoreNumbers + Degeneracy
+//
+// Every numeric result (degeneracy, kcore digest, mat-vec checksum) is
+// cross-checked between backends; a mismatch fails the run — a perf
+// harness that silently benchmarks two different answers measures
+// nothing.
+//
+// Set OCA_BENCH_JSON=path for machine-readable rows (CI artifact).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/streaming_generator.h"
+#include "graph/k_core.h"
+#include "graph/mmap_graph.h"
+#include "io/graph_serialize.h"
+#include "spectral/csr_matvec.h"
+
+namespace {
+
+struct Config {
+  uint64_t nodes;
+  uint64_t min_degree;
+  double swaps_per_edge;
+};
+
+struct Row {
+  uint64_t nodes = 0;
+  uint64_t edges = 0;
+  double build_seconds = 0.0;
+  double open_mem_seconds = 0.0;
+  double open_mmap_seconds = 0.0;
+  double matvec_mem_seconds = 0.0;
+  double matvec_mmap_seconds = 0.0;
+  double kcore_mem_seconds = 0.0;
+  double kcore_mmap_seconds = 0.0;
+  uint32_t degeneracy = 0;
+  bool match = false;
+};
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+struct BackendNumbers {
+  double open_seconds = 0.0;
+  double matvec_seconds = 0.0;
+  double kcore_seconds = 0.0;
+  double matvec_checksum = 0.0;
+  uint32_t degeneracy = 0;
+  uint64_t kcore_digest = 0;
+};
+
+uint64_t DigestU32(const std::vector<uint32_t>& values) {
+  uint64_t h = 1469598103934665603ull;
+  for (uint32_t v : values) {
+    h ^= v;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+BackendNumbers Measure(const std::string& path, bool mmap_backend,
+                       size_t matvec_reps) {
+  BackendNumbers out;
+  auto t0 = Clock::now();
+  oca::Result<oca::Graph> opened =
+      mmap_backend ? oca::OpenMmapGraph(path)
+                   : oca::ReadGraphBinaryFile(path);
+  auto t1 = Clock::now();
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    std::exit(1);
+  }
+  const oca::Graph& g = *opened;
+  out.open_seconds = Seconds(t0, t1);
+
+  const size_t n = g.num_nodes();
+  std::vector<double> x(n), y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<double>((i * 2654435761u) % 1024) / 1024.0 - 0.5;
+  }
+  auto t2 = Clock::now();
+  for (size_t rep = 0; rep < matvec_reps; ++rep) {
+    oca::AdjacencyMatVecRows(g, 0, n, x.data(), y.data());
+    std::swap(x, y);
+  }
+  auto t3 = Clock::now();
+  out.matvec_seconds = Seconds(t2, t3) / static_cast<double>(matvec_reps);
+  for (size_t i = 0; i < n; ++i) out.matvec_checksum += x[i];
+
+  auto t4 = Clock::now();
+  const std::vector<uint32_t> cores = oca::CoreNumbers(g);
+  out.degeneracy = oca::Degeneracy(g);
+  auto t5 = Clock::now();
+  out.kcore_seconds = Seconds(t4, t5);
+  out.kcore_digest = DigestU32(cores);
+  return out;
+}
+
+void WriteJson(const char* path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "OCA_BENCH_JSON: cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"bench_graph_backend_scale\",\n");
+  std::fprintf(f, "  \"configs\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"nodes\": %llu, \"edges\": %llu, \"build_seconds\": %.4f, "
+        "\"open_mem_seconds\": %.5f, \"open_mmap_seconds\": %.5f, "
+        "\"matvec_mem_seconds\": %.5f, \"matvec_mmap_seconds\": %.5f, "
+        "\"kcore_mem_seconds\": %.5f, \"kcore_mmap_seconds\": %.5f, "
+        "\"degeneracy\": %u, \"match\": %s}%s\n",
+        static_cast<unsigned long long>(r.nodes),
+        static_cast<unsigned long long>(r.edges), r.build_seconds,
+        r.open_mem_seconds, r.open_mmap_seconds, r.matvec_mem_seconds,
+        r.matvec_mmap_seconds, r.kcore_mem_seconds, r.kcore_mmap_seconds,
+        r.degeneracy, r.match ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+
+int main() {
+  oca::bench::Banner(
+      "Graph backend scaling: in-memory vs mmap CSR",
+      "out-of-core backend refactor: same kernels, same bytes");
+
+  std::vector<Config> configs;
+  switch (oca::bench::GetScale()) {
+    case oca::bench::Scale::kQuick:
+      configs = {{20000, 3, 0.25}, {50000, 3, 0.25}};
+      break;
+    case oca::bench::Scale::kDefault:
+      configs = {{20000, 3, 0.5}, {100000, 4, 0.5}, {300000, 4, 0.5}};
+      break;
+    case oca::bench::Scale::kPaper:
+      configs = {{20000, 3, 1.0},
+                 {100000, 4, 1.0},
+                 {300000, 4, 1.0},
+                 {1000000, 4, 0.5}};
+      break;
+  }
+
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string prefix_base =
+      std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+      "/oca_bench_backend";
+
+  std::printf("%10s %10s | %8s | %9s %9s | %9s %9s | %9s %9s | %s\n",
+              "nodes", "edges", "build_s", "open_mem", "open_mmap",
+              "mv_mem", "mv_mmap", "kc_mem", "kc_mmap", "check");
+
+  std::vector<Row> rows;
+  bool failed = false;
+  for (const Config& config : configs) {
+    oca::StreamingGeneratorOptions gen;
+    gen.num_nodes = config.nodes;
+    gen.min_degree = config.min_degree;
+    gen.swaps_per_edge = config.swaps_per_edge;
+    gen.seed = 42;
+    gen.keep_intermediates = false;
+    const std::string prefix =
+        prefix_base + "_" + std::to_string(config.nodes);
+
+    auto t0 = Clock::now();
+    auto generated = oca::GenerateGraphToFile(gen, prefix);
+    auto t1 = Clock::now();
+    if (!generated.ok()) {
+      std::fprintf(stderr, "generate failed: %s\n",
+                   generated.status().ToString().c_str());
+      return 1;
+    }
+
+    const size_t reps = config.nodes >= 300000 ? 5 : 20;
+    BackendNumbers mem = Measure(generated->graph_path, false, reps);
+    BackendNumbers map = Measure(generated->graph_path, true, reps);
+    const bool match = mem.degeneracy == map.degeneracy &&
+                       mem.kcore_digest == map.kcore_digest &&
+                       mem.matvec_checksum == map.matvec_checksum;
+
+    Row row;
+    row.nodes = generated->num_nodes;
+    row.edges = generated->num_edges;
+    row.build_seconds = Seconds(t0, t1);
+    row.open_mem_seconds = mem.open_seconds;
+    row.open_mmap_seconds = map.open_seconds;
+    row.matvec_mem_seconds = mem.matvec_seconds;
+    row.matvec_mmap_seconds = map.matvec_seconds;
+    row.kcore_mem_seconds = mem.kcore_seconds;
+    row.kcore_mmap_seconds = map.kcore_seconds;
+    row.degeneracy = mem.degeneracy;
+    row.match = match;
+    rows.push_back(row);
+    if (!match) failed = true;
+
+    std::printf(
+        "%10llu %10llu | %8.2f | %9.5f %9.5f | %9.5f %9.5f | %9.5f %9.5f "
+        "| %s\n",
+        static_cast<unsigned long long>(row.nodes),
+        static_cast<unsigned long long>(row.edges), row.build_seconds,
+        row.open_mem_seconds, row.open_mmap_seconds,
+        row.matvec_mem_seconds, row.matvec_mmap_seconds,
+        row.kcore_mem_seconds, row.kcore_mmap_seconds,
+        match ? "match" : "MISMATCH!");
+    std::remove(generated->graph_path.c_str());
+  }
+
+  if (const char* json = std::getenv("OCA_BENCH_JSON")) {
+    WriteJson(json, rows);
+  }
+  return failed ? 1 : 0;
+}

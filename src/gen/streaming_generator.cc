@@ -1,0 +1,437 @@
+#include "gen/streaming_generator.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "gen/degree_sequence.h"
+#include "io/edge_stream.h"
+#include "io/graph_format.h"
+#include "util/random.h"
+
+namespace oca {
+
+namespace {
+
+// Result<T>-returning sibling of OCA_RETURN_IF_ERROR (which needs a
+// Status return type): wraps a non-OK status into the Result.
+#define OCA_RETURN_IF_ERROR_R(expr) \
+  do {                              \
+    ::oca::Status _s = (expr);      \
+    if (!_s.ok()) return _s;        \
+  } while (false)
+
+// ---------------------------------------------------------------------
+// Stage 1 helpers: graphicality.
+
+/// Erdős–Gallai test for a nonincreasing degree sequence with even sum:
+/// graphical iff for every k in [1, n],
+///   sum_{i<=k} d_i <= k(k-1) + sum_{i>k} min(d_i, k).
+bool IsGraphical(const std::vector<uint32_t>& desc) {
+  const size_t n = desc.size();
+  std::vector<uint64_t> prefix(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + desc[i];
+  if (prefix[n] % 2 != 0) return false;
+  for (size_t k = 1; k <= n; ++k) {
+    const uint64_t lhs = prefix[k];
+    // First index (0-based) >= k whose degree is < k; entries before it
+    // in the suffix contribute k each, the rest contribute d_i.
+    const auto it = std::lower_bound(
+        desc.begin() + static_cast<ptrdiff_t>(k), desc.end(), k,
+        [](uint32_t d, size_t kk) { return d >= kk; });
+    const size_t idx = static_cast<size_t>(it - desc.begin());
+    const uint64_t rhs = static_cast<uint64_t>(k) * (k - 1) +
+                         static_cast<uint64_t>(idx - k) * k +
+                         (prefix[n] - prefix[idx]);
+    if (lhs > rhs) return false;
+    // Sufficient to check k up to the Durfee number m = max{i : d_i >= i}
+    // (1-based); beyond it the inequality only slackens.
+    if (k >= n || desc[k] < k + 1) break;
+  }
+  return true;
+}
+
+/// Lowers the largest degrees (2 units at a time, preserving parity and
+/// descending order) until the sequence is graphical. Returns the total
+/// units removed. Terminates: an all-<=1 sequence with even sum is a
+/// perfect matching.
+uint64_t RepairToGraphical(std::vector<uint32_t>* desc) {
+  uint64_t removed = 0;
+  while ((*desc)[0] >= 2 && !IsGraphical(*desc)) {
+    (*desc)[0] -= 2;
+    removed += 2;
+    // Re-sink the head to keep the sequence nonincreasing.
+    auto pos = std::upper_bound(desc->begin() + 1, desc->end(), (*desc)[0],
+                                std::greater<uint32_t>());
+    std::rotate(desc->begin(), desc->begin() + 1, pos);
+  }
+  return removed;
+}
+
+// ---------------------------------------------------------------------
+// Stage 3 helpers: bounded-memory edge swaps.
+
+Status ErrnoError(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+/// pread-based adjacency oracle over an OCAG snapshot: O(log deg) tiny
+/// reads per query, zero mapped or heap-resident edge state. This is
+/// what keeps the swap stage's address-space footprint node-linear —
+/// an mmap of the snapshot would re-introduce an O(m) mapping.
+class FileAdjacency {
+ public:
+  ~FileAdjacency() { Close(); }
+
+  Status Open(const std::string& path) {
+    Close();
+    fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd_ < 0) return ErrnoError("cannot open adjacency snapshot", path);
+    path_ = path;
+    char header[kGraphFileHeaderBytes];
+    OCA_RETURN_IF_ERROR(PReadAll(header, sizeof(header), 0));
+    if (std::memcmp(header, kGraphFileMagic, 4) != 0) {
+      return Status::Internal("adjacency snapshot '" + path +
+                              "' has a bad magic");
+    }
+    std::memcpy(&n_, header + 8, 8);
+    return Status::OK();
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  Result<bool> HasEdge(NodeId u, NodeId v) const {
+    uint64_t range[2];
+    OCA_RETURN_IF_ERROR_R(
+        PReadAll(range, sizeof(range),
+                 kGraphFileOffsetsStart + uint64_t{u} * sizeof(uint64_t)));
+    uint64_t lo = range[0], hi = range[1];
+    const uint64_t nbr_base = GraphFileNeighborsStart(n_);
+    while (lo < hi) {
+      const uint64_t mid = lo + (hi - lo) / 2;
+      NodeId w = 0;
+      OCA_RETURN_IF_ERROR_R(
+          PReadAll(&w, sizeof(w), nbr_base + mid * sizeof(NodeId)));
+      if (w == v) return true;
+      if (w < v) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return false;
+  }
+
+ private:
+  Status PReadAll(void* buf, size_t len, uint64_t offset) const {
+    char* p = static_cast<char*>(buf);
+    while (len > 0) {
+      ssize_t r = ::pread(fd_, p, len, static_cast<off_t>(offset));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoError("read from adjacency snapshot", path_);
+      }
+      if (r == 0) {
+        return Status::IOError("adjacency snapshot '" + path_ +
+                               "' truncated");
+      }
+      p += r;
+      len -= static_cast<size_t>(r);
+      offset += static_cast<uint64_t>(r);
+    }
+    return Status::OK();
+  }
+
+  int fd_ = -1;
+  uint64_t n_ = 0;
+  std::string path_;
+};
+
+uint64_t EdgeKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (uint64_t{u} << 32) | v;
+}
+
+Status BuildSnapshot(uint64_t n, const std::string& edge_path,
+                     const std::string& snapshot_path, size_t buffer_bytes) {
+  EdgeFileSource source;
+  OCA_RETURN_IF_ERROR(source.Open(edge_path));
+  StreamBuildOptions opts;
+  opts.buffer_bytes = buffer_bytes;
+  auto built = BuildGraphFileFromEdges(n, source, snapshot_path, opts);
+  return built.ok() ? Status::OK() : built.status();
+}
+
+Status PWriteAllFd(int fd, const void* data, size_t len, uint64_t offset,
+                   const std::string& path) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    ssize_t w = ::pwrite(fd, p, len, static_cast<off_t>(offset));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("write to edge file", path);
+    }
+    p += w;
+    len -= static_cast<size_t>(w);
+    offset += static_cast<uint64_t>(w);
+  }
+  return Status::OK();
+}
+
+Status PReadAllFd(int fd, void* buf, size_t len, uint64_t offset,
+                  const std::string& path) {
+  char* p = static_cast<char*>(buf);
+  while (len > 0) {
+    ssize_t r = ::pread(fd, p, len, static_cast<off_t>(offset));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("read from edge file", path);
+    }
+    if (r == 0) return Status::IOError("edge file '" + path + "' truncated");
+    p += r;
+    len -= static_cast<size_t>(r);
+    offset += static_cast<uint64_t>(r);
+  }
+  return Status::OK();
+}
+
+/// In-place double-edge-swap randomization of the edge file. See the
+/// header comment for the snapshot + bounded-delta scheme.
+Status RandomizeEdges(const StreamingGeneratorOptions& options,
+                      const std::string& edge_path, uint64_t num_edges,
+                      const std::string& snapshot_path, Rng* rng,
+                      StreamingGeneratorResult* stats) {
+  const uint64_t target = static_cast<uint64_t>(
+      std::llround(options.swaps_per_edge * static_cast<double>(num_edges)));
+  if (target == 0 || num_edges < 2) return Status::OK();
+
+  OCA_RETURN_IF_ERROR(BuildSnapshot(options.num_nodes, edge_path,
+                                    snapshot_path, options.buffer_bytes));
+  ++stats->swap_rounds;
+  FileAdjacency adjacency;
+  OCA_RETURN_IF_ERROR(adjacency.Open(snapshot_path));
+
+  int fd = ::open(edge_path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) return ErrnoError("cannot open edge file", edge_path);
+
+  // present-after-toggle map for edges modified since the last snapshot.
+  std::unordered_map<uint64_t, bool> delta;
+  delta.reserve(std::min<size_t>(options.max_swap_delta, 1u << 20));
+  auto edge_present = [&](NodeId x, NodeId y) -> Result<bool> {
+    const auto it = delta.find(EdgeKey(x, y));
+    if (it != delta.end()) return it->second;
+    return adjacency.HasEdge(std::min(x, y), std::max(x, y));
+  };
+
+  Status status = Status::OK();
+  for (uint64_t attempt = 0; attempt < target; ++attempt) {
+    ++stats->swap_attempts;
+    if (delta.size() >= options.max_swap_delta) {
+      adjacency.Close();
+      status = BuildSnapshot(options.num_nodes, edge_path, snapshot_path,
+                             options.buffer_bytes);
+      if (!status.ok()) break;
+      status = adjacency.Open(snapshot_path);
+      if (!status.ok()) break;
+      delta.clear();
+      ++stats->swap_rounds;
+    }
+
+    const uint64_t i = rng->NextBounded(num_edges);
+    const uint64_t j = rng->NextBounded(num_edges);
+    if (i == j) continue;
+    NodeId e1[2], e2[2];
+    status = PReadAllFd(fd, e1, sizeof(e1), i * sizeof(Edge), edge_path);
+    if (!status.ok()) break;
+    status = PReadAllFd(fd, e2, sizeof(e2), j * sizeof(Edge), edge_path);
+    if (!status.ok()) break;
+    NodeId a = e1[0], b = e1[1], c = e2[0], d = e2[1];
+    if ((rng->Next() & 1) != 0) std::swap(c, d);
+    // Candidate rewiring (a,b),(c,d) -> (a,d),(c,b): all four endpoints
+    // must be distinct (no loops, no degenerate swaps)...
+    if (a == c || a == d || b == c || b == d) continue;
+    // ...and neither new edge may already exist.
+    auto ad = edge_present(a, d);
+    if (!ad.ok()) {
+      status = ad.status();
+      break;
+    }
+    if (*ad) continue;
+    auto cb = edge_present(c, b);
+    if (!cb.ok()) {
+      status = cb.status();
+      break;
+    }
+    if (*cb) continue;
+
+    delta[EdgeKey(a, b)] = false;
+    delta[EdgeKey(c, d)] = false;
+    delta[EdgeKey(a, d)] = true;
+    delta[EdgeKey(c, b)] = true;
+    const NodeId r1[2] = {std::min(a, d), std::max(a, d)};
+    const NodeId r2[2] = {std::min(c, b), std::max(c, b)};
+    status = PWriteAllFd(fd, r1, sizeof(r1), i * sizeof(Edge), edge_path);
+    if (!status.ok()) break;
+    status = PWriteAllFd(fd, r2, sizeof(r2), j * sizeof(Edge), edge_path);
+    if (!status.ok()) break;
+    ++stats->swaps_applied;
+  }
+  adjacency.Close();
+  if (::close(fd) != 0 && status.ok()) {
+    status = ErrnoError("close of edge file", edge_path);
+  }
+  return status;
+}
+
+}  // namespace
+
+Result<StreamingGeneratorResult> GenerateGraphToFile(
+    const StreamingGeneratorOptions& options,
+    const std::string& output_prefix) {
+  if (options.num_nodes < 2) {
+    return Status::InvalidArgument(
+        "streaming generator needs at least 2 nodes, got " +
+        std::to_string(options.num_nodes));
+  }
+  if (options.min_degree == 0) {
+    return Status::InvalidArgument("min_degree must be >= 1");
+  }
+  if (!(options.gamma > 0.0)) {
+    return Status::InvalidArgument("gamma must be positive");
+  }
+  if (options.swaps_per_edge < 0.0) {
+    return Status::InvalidArgument("swaps_per_edge must be >= 0");
+  }
+  const uint64_t n = options.num_nodes;
+  uint64_t max_degree = options.max_degree;
+  if (max_degree == 0) {
+    max_degree = std::max<uint64_t>(
+        options.min_degree,
+        static_cast<uint64_t>(std::sqrt(static_cast<double>(n))));
+  }
+  max_degree = std::min(max_degree, n - 1);
+  const uint64_t min_degree = std::min(options.min_degree, max_degree);
+
+  StreamingGeneratorResult result;
+  result.num_nodes = n;
+  result.degree_path = output_prefix + ".degrees";
+  result.edge_path = output_prefix + ".edges";
+  result.graph_path = output_prefix + ".ocag";
+  const std::string snapshot_path = output_prefix + ".lookup";
+
+  Rng rng(options.seed);
+
+  // ---- Stage 1: requested degree sequence, descending, graphical.
+  std::vector<uint32_t> degrees = SamplePowerLawSequence(
+      static_cast<size_t>(n), min_degree, max_degree, options.gamma, &rng);
+  std::sort(degrees.begin(), degrees.end(), std::greater<uint32_t>());
+  uint64_t sum = 0;
+  for (uint32_t d : degrees) sum += d;
+  if (sum % 2 != 0) {
+    // SamplePowerLawSequence bumps an entry for parity but cannot when
+    // every entry sits at max; shed one unit from the head instead.
+    --degrees[0];
+    ++result.degree_repairs;
+  }
+  result.degree_repairs += RepairToGraphical(&degrees);
+  {
+    std::FILE* f = std::fopen(result.degree_path.c_str(), "wb");
+    if (f == nullptr) {
+      return ErrnoError("cannot create degree file", result.degree_path);
+    }
+    const bool wrote =
+        degrees.empty() ||
+        std::fwrite(degrees.data(), sizeof(uint32_t), degrees.size(), f) ==
+            degrees.size();
+    if (std::fclose(f) != 0 || !wrote) {
+      return Status::IOError("write of degree file '" + result.degree_path +
+                             "' failed");
+    }
+  }
+
+  // ---- Stage 2: Havel–Hakimi materialization to the edge file.
+  // Max-heap on (remaining degree, smaller node first); the head is
+  // wired to the next-d_u largest — the textbook construction, made
+  // deterministic by the tie order.
+  {
+    EdgeFileWriter writer;
+    OCA_RETURN_IF_ERROR(writer.Open(result.edge_path));
+    using Entry = std::pair<uint32_t, uint32_t>;  // (remaining degree, node)
+    struct Less {
+      bool operator()(const Entry& a, const Entry& b) const {
+        if (a.first != b.first) return a.first < b.first;
+        return a.second > b.second;
+      }
+    };
+    std::priority_queue<Entry, std::vector<Entry>, Less> heap;
+    for (uint64_t v = 0; v < n; ++v) {
+      if (degrees[v] > 0) heap.emplace(degrees[v], static_cast<uint32_t>(v));
+    }
+    std::vector<Entry> partners;
+    while (!heap.empty()) {
+      const auto [du, u] = heap.top();
+      heap.pop();
+      partners.clear();
+      for (uint32_t t = 0; t < du; ++t) {
+        if (heap.empty()) {
+          return Status::Internal(
+              "Havel-Hakimi ran out of partners; the degree sequence "
+              "escaped the Erdos-Gallai repair");
+        }
+        auto [dw, w] = heap.top();
+        heap.pop();
+        OCA_RETURN_IF_ERROR(writer.Append(u, w));
+        if (dw > 1) partners.emplace_back(dw - 1, w);
+      }
+      for (const Entry& p : partners) heap.push(p);
+    }
+    OCA_RETURN_IF_ERROR(writer.Close());
+    result.num_edges = writer.edges_written();
+  }
+
+  // ---- Stage 3: in-place double-edge-swap randomization.
+  OCA_RETURN_IF_ERROR(RandomizeEdges(options, result.edge_path,
+                                     result.num_edges, snapshot_path, &rng,
+                                     &result));
+
+  // ---- Stage 4: final CSR graph file through the chunked builder.
+  {
+    EdgeFileSource source;
+    OCA_RETURN_IF_ERROR(source.Open(result.edge_path));
+    StreamBuildOptions build_opts;
+    build_opts.buffer_bytes = options.buffer_bytes;
+    auto built = BuildGraphFileFromEdges(n, source, result.graph_path,
+                                         build_opts);
+    if (!built.ok()) return built.status();
+    result.final_build = *built;
+    if (result.final_build.num_edges != result.num_edges) {
+      return Status::Internal(
+          "edge-swap stage changed the edge count: " +
+          std::to_string(result.num_edges) + " -> " +
+          std::to_string(result.final_build.num_edges) +
+          " (a swap must have created a duplicate)");
+    }
+  }
+
+  std::remove(snapshot_path.c_str());
+  if (!options.keep_intermediates) {
+    std::remove(result.degree_path.c_str());
+    std::remove(result.edge_path.c_str());
+  }
+  return result;
+}
+
+}  // namespace oca

@@ -1,0 +1,104 @@
+// Out-of-core graph generation: the extmem-lfr-style staged pipeline
+// (powerlaw degree sequence → Havel–Hakimi materialization → edge-swap
+// randomization), every stage reading from and writing to disk so a
+// million-node graph is generated end to end without the edge list ever
+// living in RAM.
+//
+// Stages and their artifacts (all under one output prefix):
+//   1. <prefix>.degrees  — the REQUESTED degree sequence, one u32 per
+//      node, descending (node 0 is the biggest hub). Sampled from the
+//      discrete power law P(k) ~ k^-gamma on {min_degree..max_degree},
+//      sum forced even, then repaired to graphicality with the
+//      Erdős–Gallai test (largest degrees lowered until the sequence is
+//      realizable). This file is the contract the property tests hold
+//      the later stages to: the final graph's degree sequence must
+//      match it EXACTLY (Havel–Hakimi realizes it exactly; edge swaps
+//      preserve degrees by construction).
+//   2. <prefix>.edges    — simple loop-free edges realizing the
+//      sequence (io/edge_stream.h format), from a deterministic
+//      Havel–Hakimi materialization (max-remaining-degree first, ties
+//      to the smaller node), then randomized IN PLACE by double-edge
+//      swaps: (a,b),(c,d) → (a,d),(c,b) when all four endpoints are
+//      distinct and neither new edge exists. Existence checks run
+//      against an on-disk CSR snapshot via pread binary search plus a
+//      bounded in-RAM delta of this round's toggles — when the delta
+//      fills up, the snapshot is rebuilt from the edge file and the
+//      delta cleared, so swap state is never edge-linear in RAM either.
+//   3. <prefix>.ocag     — the final CSR graph file from the chunked
+//      streaming builder (graph/graph_stream_build.h), ready for
+//      OpenMmapGraph.
+//
+// Determinism: every stage is a pure function of (options, seed) — a
+// fixed seed yields byte-identical degree, edge, and graph files across
+// runs (pinned by tests/gen/streaming_generator_test.cc).
+//
+// Peak heap: O(num_nodes) (degree array, Havel–Hakimi heap) plus the
+// stream-build buffer and the swap delta — never O(num_edges).
+
+#ifndef OCA_GEN_STREAMING_GENERATOR_H_
+#define OCA_GEN_STREAMING_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph_stream_build.h"
+#include "util/result.h"
+
+namespace oca {
+
+struct StreamingGeneratorOptions {
+  uint64_t num_nodes = 100000;
+
+  /// Power-law exponent gamma (P(k) ~ k^-gamma). Typical LFR: 2–3.
+  double gamma = 2.5;
+
+  /// Degree bounds. max_degree = 0 picks max(min_degree, floor(sqrt(n)))
+  /// — the usual structural-cutoff default. Both are clamped to n - 1.
+  uint64_t min_degree = 2;
+  uint64_t max_degree = 0;
+
+  /// Swap attempts per edge (the randomization budget). 0 disables the
+  /// swap stage and leaves the raw Havel–Hakimi realization, which is
+  /// deterministic but heavily degree-assortative.
+  double swaps_per_edge = 1.0;
+
+  uint64_t seed = 1;
+
+  /// Stream-build gather-buffer bound (see StreamBuildOptions).
+  size_t buffer_bytes = 8u << 20;
+
+  /// Swap-delta bound: accepted-swap toggles kept in RAM before the
+  /// on-disk adjacency snapshot is rebuilt. Each toggle is O(32) bytes;
+  /// the default bounds the delta near 2 MiB.
+  size_t max_swap_delta = 1u << 16;
+
+  /// Remove the .degrees/.edges intermediates (and the internal lookup
+  /// snapshot) once the final graph file is written.
+  bool keep_intermediates = true;
+};
+
+struct StreamingGeneratorResult {
+  std::string degree_path;
+  std::string edge_path;
+  std::string graph_path;
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  /// Total degree units removed by the Erdős–Gallai repair (0 in the
+  /// common case: the capped power law is almost always graphical).
+  uint64_t degree_repairs = 0;
+  uint64_t swap_attempts = 0;
+  uint64_t swaps_applied = 0;
+  /// Adjacency-snapshot rebuilds triggered by a full swap delta.
+  uint64_t swap_rounds = 0;
+  StreamBuildStats final_build;
+};
+
+/// Runs the full pipeline; artifact paths are `<output_prefix>.degrees`,
+/// `.edges`, `.ocag`. Errors are typed Status via Result<T>.
+Result<StreamingGeneratorResult> GenerateGraphToFile(
+    const StreamingGeneratorOptions& options,
+    const std::string& output_prefix);
+
+}  // namespace oca
+
+#endif  // OCA_GEN_STREAMING_GENERATOR_H_

@@ -1,15 +1,32 @@
 // Immutable compressed-sparse-row (CSR) representation of a simple
-// undirected graph.
+// undirected graph, polymorphic over its storage backend.
 //
 // This is the substrate every algorithm in the library runs on. Neighbor
 // lists are sorted, self-loops and parallel edges are excluded by
 // construction (see GraphBuilder), and the structure never changes after
 // construction, so algorithms may share a Graph across threads freely.
+//
+// Backends. A Graph is a pair of CSR array VIEWS (offsets, neighbors)
+// plus whatever keeps them alive:
+//   * in-memory — the Graph owns two std::vectors (the historical and
+//     still default backend; GraphBuilder::Build produces these);
+//   * memory-mapped — the views point into a read-only mmap of an OCAG
+//     graph file and a shared keep-alive handle holds the mapping open
+//     (see graph/mmap_graph.h; files come from io/graph_serialize or the
+//     streaming GraphBuilder::BuildToFile).
+// There is deliberately NO virtual dispatch: every accessor reads the
+// same two spans regardless of backend, so the CSR mat-vec kernel
+// (spectral/csr_matvec.h), the k-core/OCA scan loops, and every digest
+// pin (kernels x threads x reordering) behave identically — and are
+// bit-identical — on both backends. The backend choice is a memory/IO
+// trade, never an observable one (tests/graph/backend_equivalence_test
+// enforces this).
 
 #ifndef OCA_GRAPH_GRAPH_H_
 #define OCA_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -30,34 +47,106 @@ using Edge = std::pair<NodeId, NodeId>;
 class Graph {
  public:
   /// Empty graph.
-  Graph() : offsets_(1, 0) {}
+  Graph() : offsets_(1, 0) { RebindOwnedViews(); }
 
-  /// Takes ownership of validated CSR arrays. Prefer GraphBuilder; this is
-  /// for deserialization and internal use. `offsets` must have n+1 entries,
-  /// `neighbors` 2m entries, each list sorted, symmetric, loop-free.
-  /// `original_ids`, when non-empty, must be a permutation of [0, n)
-  /// recording the external id of each node (see OriginalId below).
+  /// Takes ownership of validated CSR arrays (the in-memory backend).
+  /// Prefer GraphBuilder; this is for deserialization and internal use.
+  /// `offsets` must have n+1 entries, `neighbors` 2m entries, each list
+  /// sorted, symmetric, loop-free. `original_ids`, when non-empty, must
+  /// be a permutation of [0, n) recording the external id of each node
+  /// (see OriginalId below).
   Graph(std::vector<uint64_t> offsets, std::vector<NodeId> neighbors,
         std::vector<NodeId> original_ids = {})
       : offsets_(std::move(offsets)),
         neighbors_(std::move(neighbors)),
-        original_ids_(std::move(original_ids)) {}
+        original_ids_(std::move(original_ids)) {
+    RebindOwnedViews();
+  }
+
+  /// Non-owning backend: views into storage kept alive by `backing`
+  /// (an mmap'd graph file; see graph/mmap_graph.h). The views must
+  /// satisfy the same CSR invariants as the owning constructor and must
+  /// remain valid for the lifetime of `backing`. Copies of the Graph
+  /// share the backing.
+  static Graph FromExternal(std::span<const uint64_t> offsets,
+                            std::span<const NodeId> neighbors,
+                            std::shared_ptr<const void> backing,
+                            std::vector<NodeId> original_ids = {}) {
+    Graph g;
+    g.offsets_.clear();
+    g.original_ids_ = std::move(original_ids);
+    g.backing_ = std::move(backing);
+    g.offsets_view_ = offsets;
+    g.neighbors_view_ = neighbors;
+    return g;
+  }
+
+  // Views point into our own vectors (in-memory backend), so copies and
+  // moves must re-anchor them onto the destination's storage; for the
+  // external backend the views target the shared backing and transfer
+  // verbatim.
+  Graph(const Graph& other)
+      : offsets_(other.offsets_),
+        neighbors_(other.neighbors_),
+        original_ids_(other.original_ids_),
+        backing_(other.backing_),
+        offsets_view_(other.offsets_view_),
+        neighbors_view_(other.neighbors_view_) {
+    if (!backing_) RebindOwnedViews();
+  }
+  Graph& operator=(const Graph& other) {
+    if (this != &other) {
+      offsets_ = other.offsets_;
+      neighbors_ = other.neighbors_;
+      original_ids_ = other.original_ids_;
+      backing_ = other.backing_;
+      offsets_view_ = other.offsets_view_;
+      neighbors_view_ = other.neighbors_view_;
+      if (!backing_) RebindOwnedViews();
+    }
+    return *this;
+  }
+  Graph(Graph&& other) noexcept
+      : offsets_(std::move(other.offsets_)),
+        neighbors_(std::move(other.neighbors_)),
+        original_ids_(std::move(other.original_ids_)),
+        backing_(std::move(other.backing_)),
+        offsets_view_(other.offsets_view_),
+        neighbors_view_(other.neighbors_view_) {
+    if (!backing_) RebindOwnedViews();
+    other.ResetToEmpty();
+  }
+  Graph& operator=(Graph&& other) noexcept {
+    if (this != &other) {
+      offsets_ = std::move(other.offsets_);
+      neighbors_ = std::move(other.neighbors_);
+      original_ids_ = std::move(other.original_ids_);
+      backing_ = std::move(other.backing_);
+      offsets_view_ = other.offsets_view_;
+      neighbors_view_ = other.neighbors_view_;
+      if (!backing_) RebindOwnedViews();
+      other.ResetToEmpty();
+    }
+    return *this;
+  }
 
   /// Number of nodes n.
-  size_t num_nodes() const { return offsets_.size() - 1; }
+  size_t num_nodes() const {
+    return offsets_view_.empty() ? 0 : offsets_view_.size() - 1;
+  }
 
   /// Number of undirected edges m.
-  size_t num_edges() const { return neighbors_.size() / 2; }
+  size_t num_edges() const { return neighbors_view_.size() / 2; }
 
   /// Degree of v.
   size_t Degree(NodeId v) const {
-    return static_cast<size_t>(offsets_[v + 1] - offsets_[v]);
+    return static_cast<size_t>(offsets_view_[v + 1] - offsets_view_[v]);
   }
 
   /// Sorted neighbors of v as a non-owning view.
   std::span<const NodeId> Neighbors(NodeId v) const {
-    return {neighbors_.data() + offsets_[v],
-            neighbors_.data() + offsets_[v + 1]};
+    return {neighbors_view_.data() + offsets_view_[v],
+            neighbors_view_.data() + offsets_view_[v + 1]};
   }
 
   /// True when {u, v} is an edge. O(log deg) via binary search on the
@@ -101,11 +190,19 @@ class Graph {
   /// only — a round-trip drops the permutation.
   const std::vector<NodeId>& original_ids() const { return original_ids_; }
 
-  /// Raw CSR accessors (serialization, tests).
-  const std::vector<uint64_t>& offsets() const { return offsets_; }
-  const std::vector<NodeId>& neighbor_array() const { return neighbors_; }
+  /// Raw CSR accessors (serialization, kernels, tests). Views are valid
+  /// as long as this Graph (or, for the mapped backend, any copy of it)
+  /// is alive.
+  std::span<const uint64_t> offsets() const { return offsets_view_; }
+  std::span<const NodeId> neighbor_array() const { return neighbors_view_; }
 
-  /// Estimated resident memory in bytes.
+  /// True when the CSR arrays live in externally-backed storage (an
+  /// mmap'd graph file) instead of owned heap vectors.
+  bool is_mapped() const { return backing_ != nullptr; }
+
+  /// Estimated HEAP-resident memory in bytes. For the mapped backend
+  /// this counts only the owned side tables (original_ids) — the CSR
+  /// arrays are file pages the OS can drop and refetch at will.
   size_t MemoryBytes() const {
     return offsets_.capacity() * sizeof(uint64_t) +
            neighbors_.capacity() * sizeof(NodeId) +
@@ -113,9 +210,24 @@ class Graph {
   }
 
  private:
-  std::vector<uint64_t> offsets_;   // n+1 prefix offsets into neighbors_
+  void RebindOwnedViews() {
+    offsets_view_ = {offsets_.data(), offsets_.size()};
+    neighbors_view_ = {neighbors_.data(), neighbors_.size()};
+  }
+  void ResetToEmpty() {
+    offsets_.assign(1, 0);
+    neighbors_.clear();
+    original_ids_.clear();
+    backing_.reset();
+    RebindOwnedViews();
+  }
+
+  std::vector<uint64_t> offsets_;   // n+1 prefix offsets (in-memory backend)
   std::vector<NodeId> neighbors_;   // concatenated sorted adjacency lists
   std::vector<NodeId> original_ids_;  // new -> original; empty = identity
+  std::shared_ptr<const void> backing_;  // keep-alive for external storage
+  std::span<const uint64_t> offsets_view_;   // the arrays every accessor reads
+  std::span<const NodeId> neighbors_view_;
 };
 
 }  // namespace oca

@@ -167,6 +167,12 @@ Result<Graph> GraphBuilder::Build(NodeOrdering ordering) const {
   return ReorderGraph(graph, ComputeNodeOrdering(graph, ordering));
 }
 
+Result<StreamBuildStats> GraphBuilder::BuildToFile(
+    const std::string& path, const StreamBuildOptions& options) const {
+  VectorEdgeSource source({edges_.data(), edges_.size()});
+  return BuildGraphFileFromEdges(num_nodes_, source, path, options);
+}
+
 Result<Graph> BuildGraph(size_t num_nodes, const std::vector<Edge>& edges) {
   GraphBuilder builder(num_nodes);
   builder.AddEdges(edges);

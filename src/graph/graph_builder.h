@@ -8,9 +8,11 @@
 #define OCA_GRAPH_GRAPH_BUILDER_H_
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/graph_stream_build.h"
 #include "util/result.h"
 
 namespace oca {
@@ -75,6 +77,18 @@ class GraphBuilder {
   /// Build plus an opt-in cache-aware reordering pass (see NodeOrdering
   /// above). `Build(NodeOrdering::kOriginal)` is exactly `Build()`.
   Result<Graph> Build(NodeOrdering ordering) const;
+
+  /// Streams the accumulated edges into an OCAG graph file at `path`
+  /// through the bounded-buffer chunked builder (graph_stream_build.h)
+  /// instead of materializing the CSR arrays — the finalize step's peak
+  /// heap is O(num_nodes) + the buffer, not O(edges). The file is
+  /// byte-identical to WriteGraphBinaryFile(Build()) and opens with
+  /// either backend (ReadGraphBinaryFile or OpenMmapGraph). Note the
+  /// builder itself still holds the accumulated edge vector; for builds
+  /// whose edge list must never touch RAM, feed BuildGraphFileFromEdges
+  /// an EdgeSource that streams from disk (io/edge_stream.h).
+  Result<StreamBuildStats> BuildToFile(
+      const std::string& path, const StreamBuildOptions& options = {}) const;
 
   /// Clears accumulated edges; keeps the node count.
   void Reset() { edges_.clear(); }

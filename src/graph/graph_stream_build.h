@@ -1,0 +1,103 @@
+// Streaming two-pass CSR construction: build an OCAG graph file (the
+// mmap backend's format, io/graph_format.h) from an edge stream without
+// ever materializing the edge list — or the neighbor array — in RAM.
+//
+// The classic GraphBuilder::Build holds three edge-linear structures at
+// once (the accumulated edge vector, its sorted dedup copy, and the CSR
+// arrays). This path replaces all of them with node-linear state plus
+// one bounded gather buffer:
+//
+//   pass 1   one scan of the source counts per-node incidence
+//            (degree before dedup) and validates endpoints;
+//   pass 2   nodes are processed in ascending chunks sized so each
+//            chunk's incidence fits the buffer; per chunk, one scan of
+//            the source gathers the chunk's neighbors, each list is
+//            sorted + deduped in the buffer, and the finished slice is
+//            appended to the file at its final position while the
+//            chunk's offsets are patched in place.
+//
+// Peak heap = O(n) incidence counters + the gather buffer
+// (StreamBuildOptions::buffer_bytes) — never O(m). The price is one
+// extra scan of the source per chunk; sources are expected to be cheap
+// re-scannable streams (an edge file on disk, a generator).
+//
+// Determinism: the output file is a pure function of the edge MULTISET
+// (self-loops dropped, duplicates deduped, lists sorted) — independent
+// of edge order, chunking, and buffer size — and is byte-identical to
+// WriteGraphBinaryFile(GraphBuilder::Build()) of the same edges.
+// All I/O and validation failures are typed Status via Result<T>.
+
+#ifndef OCA_GRAPH_GRAPH_STREAM_BUILD_H_
+#define OCA_GRAPH_GRAPH_STREAM_BUILD_H_
+
+#include <span>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace oca {
+
+/// A re-scannable stream of undirected edges. Implementations must
+/// replay the SAME edge sequence after each Rewind (the chunked builder
+/// scans the source once per chunk); a source that mutates between
+/// passes is detected and reported as an error, not UB.
+class EdgeSource {
+ public:
+  virtual ~EdgeSource() = default;
+
+  /// Restarts the stream from the first edge.
+  virtual Status Rewind() = 0;
+
+  /// Fills `out` with up to out.size() edges; returns the count filled.
+  /// Zero means end of stream. Orientation is free; self-loops allowed
+  /// (the builder drops them).
+  virtual Result<size_t> ReadBatch(std::span<Edge> out) = 0;
+};
+
+/// EdgeSource over an in-RAM edge span (adapter for GraphBuilder and
+/// tests; the span must outlive the source).
+class VectorEdgeSource final : public EdgeSource {
+ public:
+  explicit VectorEdgeSource(std::span<const Edge> edges) : edges_(edges) {}
+  Status Rewind() override {
+    cursor_ = 0;
+    return Status::OK();
+  }
+  Result<size_t> ReadBatch(std::span<Edge> out) override;
+
+ private:
+  std::span<const Edge> edges_;
+  size_t cursor_ = 0;
+};
+
+struct StreamBuildOptions {
+  /// Bound on the pass-2 gather buffer. Smaller buffers mean more
+  /// chunks and thus more scans of the source; the output is identical.
+  /// A single node whose incidence alone exceeds the budget gets a
+  /// one-node chunk with a buffer sized to that node (the bound is
+  /// per-chunk best effort, never a correctness limit).
+  size_t buffer_bytes = 8u << 20;
+};
+
+struct StreamBuildStats {
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;  // undirected, after dedup
+  uint64_t self_loops_dropped = 0;
+  uint64_t duplicates_dropped = 0;  // duplicate undirected edges
+  uint64_t num_chunks = 0;
+  uint64_t source_passes = 0;  // total scans of the source
+  uint64_t file_bytes = 0;
+};
+
+/// Streams `source` into an OCAG graph file at `path` for a graph on
+/// `num_nodes` nodes (must be > 0). See the file comment for the
+/// algorithm and memory contract. The result opens with OpenMmapGraph
+/// or ReadGraphBinaryFile.
+Result<StreamBuildStats> BuildGraphFileFromEdges(
+    size_t num_nodes, EdgeSource& source, const std::string& path,
+    const StreamBuildOptions& options = {});
+
+}  // namespace oca
+
+#endif  // OCA_GRAPH_GRAPH_STREAM_BUILD_H_

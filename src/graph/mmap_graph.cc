@@ -1,0 +1,156 @@
+#include "graph/mmap_graph.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "graph/graph_checks.h"
+#include "io/graph_format.h"
+
+namespace oca {
+
+namespace {
+
+/// RAII owner of one read-only file mapping; held by the Graph as its
+/// shared keep-alive backing.
+class MmapBacking {
+ public:
+  MmapBacking(void* base, size_t length, int fd)
+      : base_(base), length_(length), fd_(fd) {}
+  ~MmapBacking() {
+    if (base_ != MAP_FAILED) ::munmap(base_, length_);
+    if (fd_ >= 0) ::close(fd_);
+  }
+  MmapBacking(const MmapBacking&) = delete;
+  MmapBacking& operator=(const MmapBacking&) = delete;
+
+  const char* data() const { return static_cast<const char*>(base_); }
+
+ private:
+  void* base_;
+  size_t length_;
+  int fd_;
+};
+
+Status ErrnoError(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<Graph> OpenMmapGraph(const std::string& path,
+                            const MmapGraphOptions& options) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return ErrnoError("cannot open", path);
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s = ErrnoError("cannot stat", path);
+    ::close(fd);
+    return s;
+  }
+  const uint64_t file_bytes = static_cast<uint64_t>(st.st_size);
+  if (file_bytes < kGraphFileHeaderBytes) {
+    ::close(fd);
+    return Status::IOError("graph file '" + path + "' truncated: " +
+                           std::to_string(file_bytes) +
+                           " bytes, header needs " +
+                           std::to_string(kGraphFileHeaderBytes));
+  }
+
+  void* base = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (base == MAP_FAILED) {
+    Status s = ErrnoError("cannot mmap", path);
+    ::close(fd);
+    return s;
+  }
+  auto backing = std::make_shared<MmapBacking>(base, file_bytes, fd);
+  const char* bytes = backing->data();
+
+  // Header checks, strictly before any array access: everything below
+  // must be provably inside the mapping.
+  if (std::memcmp(bytes, kGraphFileMagic, sizeof(kGraphFileMagic)) != 0) {
+    return Status::InvalidArgument("bad magic: '" + path +
+                                   "' is not an OCAG graph file");
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, bytes + 4, sizeof(version));
+  if (version != kGraphFileVersion) {
+    return Status::InvalidArgument(
+        "unsupported OCAG version " + std::to_string(version) + " in '" +
+        path + "' (expected " + std::to_string(kGraphFileVersion) + ")");
+  }
+  uint64_t n = 0, arr = 0;
+  std::memcpy(&n, bytes + 8, sizeof(n));
+  std::memcpy(&arr, bytes + 16, sizeof(arr));
+  if (n == 0) {
+    return Status::InvalidArgument("graph file '" + path +
+                                   "' declares zero nodes");
+  }
+  if (arr % 2 != 0) {
+    return Status::InvalidArgument(
+        "graph file '" + path +
+        "' neighbor array length must be even, got " + std::to_string(arr));
+  }
+  // Overflow-safe size cross-check: the offset table alone must fit
+  // before GraphFileBytes is evaluated on attacker-controlled n/arr.
+  if (n > (UINT64_MAX - kGraphFileOffsetsStart) / sizeof(uint64_t) - 1 ||
+      GraphFileNeighborsStart(n) > file_bytes) {
+    return Status::IOError("graph file '" + path + "' offset table (" +
+                           std::to_string(n) + "+1 entries) overruns the " +
+                           std::to_string(file_bytes) + "-byte file");
+  }
+  if (arr > (file_bytes - GraphFileNeighborsStart(n)) / sizeof(NodeId) ||
+      GraphFileBytes(n, arr) != file_bytes) {
+    return Status::IOError(
+        "graph file '" + path + "' size mismatch: header implies " +
+        std::to_string(GraphFileBytes(n, arr)) + " bytes, file has " +
+        std::to_string(file_bytes));
+  }
+
+  if (options.sequential) {
+    (void)::madvise(base, file_bytes, MADV_SEQUENTIAL);
+  }
+
+  const uint64_t* offsets =
+      reinterpret_cast<const uint64_t*>(bytes + kGraphFileOffsetsStart);
+  const NodeId* neighbors =
+      reinterpret_cast<const NodeId*>(bytes + GraphFileNeighborsStart(n));
+
+  // The CSR frame must be internally consistent even when deep
+  // validation is off — a bad offset is an out-of-bounds neighbor read
+  // in every scan loop downstream.
+  if (offsets[0] != 0 || offsets[n] != arr) {
+    return Status::InvalidArgument(
+        "graph file '" + path + "' CSR offsets malformed: [0]=" +
+        std::to_string(offsets[0]) + ", [n]=" + std::to_string(offsets[n]) +
+        ", expected 0 and " + std::to_string(arr));
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return Status::InvalidArgument(
+          "graph file '" + path + "' CSR offsets not monotone at node " +
+          std::to_string(i));
+    }
+  }
+
+  Graph graph = Graph::FromExternal(
+      {offsets, static_cast<size_t>(n + 1)},
+      {neighbors, static_cast<size_t>(arr)}, std::move(backing));
+  if (options.validate) {
+    Status deep = ValidateGraph(graph);
+    if (!deep.ok()) {
+      return Status::InvalidArgument("graph file '" + path +
+                                     "' failed validation: " + deep.message());
+    }
+  }
+  return graph;
+}
+
+}  // namespace oca

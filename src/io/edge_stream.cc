@@ -1,0 +1,114 @@
+#include "io/edge_stream.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace oca {
+
+namespace {
+
+Status ErrnoError(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+EdgeFileWriter::~EdgeFileWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status EdgeFileWriter::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("EdgeFileWriter already open");
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return ErrnoError("cannot create edge file", path);
+  path_ = path;
+  edges_written_ = 0;
+  return Status::OK();
+}
+
+Status EdgeFileWriter::Append(NodeId u, NodeId v) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("EdgeFileWriter not open");
+  }
+  if (u == v) {
+    return Status::InvalidArgument("self-loop " + std::to_string(u) +
+                                   " in edge file '" + path_ + "'");
+  }
+  if (u > v) std::swap(u, v);
+  const NodeId record[2] = {u, v};
+  if (std::fwrite(record, sizeof(record), 1, file_) != 1) {
+    return ErrnoError("write to edge file", path_);
+  }
+  ++edges_written_;
+  return Status::OK();
+}
+
+Status EdgeFileWriter::Close() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("EdgeFileWriter not open");
+  }
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return ErrnoError("close of edge file", path_);
+  return Status::OK();
+}
+
+EdgeFileSource::~EdgeFileSource() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status EdgeFileSource::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("EdgeFileSource already open");
+  }
+  OCA_ASSIGN_OR_RETURN(num_edges_, EdgeFileEdgeCount(path));
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) return ErrnoError("cannot open edge file", path);
+  path_ = path;
+  return Status::OK();
+}
+
+Status EdgeFileSource::Rewind() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("EdgeFileSource not open");
+  }
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return ErrnoError("seek in edge file", path_);
+  }
+  return Status::OK();
+}
+
+Result<size_t> EdgeFileSource::ReadBatch(std::span<Edge> out) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("EdgeFileSource not open");
+  }
+  static_assert(sizeof(Edge) == 2 * sizeof(NodeId),
+                "Edge must be two packed u32s for raw record I/O");
+  const size_t got =
+      std::fread(out.data(), sizeof(Edge), out.size(), file_);
+  if (got < out.size() && std::ferror(file_) != 0) {
+    return ErrnoError("read from edge file", path_);
+  }
+  return got;
+}
+
+Result<uint64_t> EdgeFileEdgeCount(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return ErrnoError("cannot stat edge file", path);
+  }
+  const uint64_t bytes = static_cast<uint64_t>(st.st_size);
+  if (bytes % sizeof(Edge) != 0) {
+    return Status::IOError("edge file '" + path + "' size " +
+                           std::to_string(bytes) +
+                           " is not a whole number of 8-byte records");
+  }
+  return bytes / sizeof(Edge);
+}
+
+}  // namespace oca

@@ -1,0 +1,77 @@
+// Binary edge files: the inter-stage format of the out-of-core
+// pipeline (streaming generator stages, external edge lists headed for
+// the chunked CSR builder).
+//
+// Format: a bare sequence of little-endian (u32 u, u32 v) records,
+// 8 bytes per undirected edge, canonical orientation u < v, no header.
+// A file's edge count is size/8; any size not divisible by 8 is a
+// typed error. The format is deliberately trivial — it exists to be
+// scanned repeatedly by EdgeSource passes and patched in place by the
+// edge-swap randomizer, not to be archival (the OCAG graph file is).
+
+#ifndef OCA_IO_EDGE_STREAM_H_
+#define OCA_IO_EDGE_STREAM_H_
+
+#include <cstdio>
+#include <string>
+
+#include "graph/graph_stream_build.h"
+#include "util/result.h"
+
+namespace oca {
+
+/// Buffered sequential writer. Self-loops are rejected (typed error);
+/// orientation is canonicalized to u < v on write.
+class EdgeFileWriter {
+ public:
+  EdgeFileWriter() = default;
+  ~EdgeFileWriter();
+  EdgeFileWriter(const EdgeFileWriter&) = delete;
+  EdgeFileWriter& operator=(const EdgeFileWriter&) = delete;
+
+  /// Creates/truncates `path`.
+  Status Open(const std::string& path);
+
+  /// Appends one edge (canonicalized). Open must have succeeded.
+  Status Append(NodeId u, NodeId v);
+
+  /// Flushes and closes; returns the first deferred write error.
+  Status Close();
+
+  uint64_t edges_written() const { return edges_written_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t edges_written_ = 0;
+};
+
+/// Re-scannable EdgeSource over an edge file, for the chunked builder.
+class EdgeFileSource final : public EdgeSource {
+ public:
+  EdgeFileSource() = default;
+  ~EdgeFileSource() override;
+  EdgeFileSource(const EdgeFileSource&) = delete;
+  EdgeFileSource& operator=(const EdgeFileSource&) = delete;
+
+  /// Opens `path` and validates its size is a whole number of records.
+  Status Open(const std::string& path);
+
+  uint64_t num_edges() const { return num_edges_; }
+
+  Status Rewind() override;
+  Result<size_t> ReadBatch(std::span<Edge> out) override;
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t num_edges_ = 0;
+};
+
+/// Edge count of `path` (validates record alignment without opening a
+/// stream).
+Result<uint64_t> EdgeFileEdgeCount(const std::string& path);
+
+}  // namespace oca
+
+#endif  // OCA_IO_EDGE_STREAM_H_

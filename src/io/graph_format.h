@@ -1,0 +1,51 @@
+// The OCAG on-disk graph format, shared by the stream writer
+// (io/graph_serialize), the streaming builder (graph/graph_stream_build),
+// and the mmap backend (graph/mmap_graph).
+//
+// Little-endian, versioned header, then the two CSR arrays verbatim:
+//
+//   byte 0   magic "OCAG"
+//   byte 4   u32 version (currently 1)
+//   byte 8   u64 n    — number of nodes
+//   byte 16  u64 arr  — neighbor array length (2m)
+//   byte 24  u64 offsets[n + 1]
+//   byte 24 + 8(n+1)  u32 neighbors[arr]
+//
+// The section offsets are what make the format directly mmap-able: the
+// header is 24 bytes, so the u64 offsets table lands 8-byte aligned and
+// the u32 neighbor array (24 + 8(n+1) ≡ 0 mod 4) 4-byte aligned at any
+// page-aligned mapping base. A valid file's size is exactly
+// GraphFileBytes(n, arr); anything shorter is truncated, anything longer
+// is trailing garbage — both are typed errors on open.
+
+#ifndef OCA_IO_GRAPH_FORMAT_H_
+#define OCA_IO_GRAPH_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace oca {
+
+inline constexpr char kGraphFileMagic[4] = {'O', 'C', 'A', 'G'};
+inline constexpr uint32_t kGraphFileVersion = 1;
+
+/// Fixed header size: magic + version + n + arr.
+inline constexpr uint64_t kGraphFileHeaderBytes = 24;
+
+/// Byte offset of the u64 offsets table (== header size).
+inline constexpr uint64_t kGraphFileOffsetsStart = kGraphFileHeaderBytes;
+
+/// Byte offset of the u32 neighbor array for an n-node file.
+inline constexpr uint64_t GraphFileNeighborsStart(uint64_t n) {
+  return kGraphFileOffsetsStart + (n + 1) * sizeof(uint64_t);
+}
+
+/// Exact size of a well-formed file with n nodes and arr (= 2m)
+/// neighbor entries.
+inline constexpr uint64_t GraphFileBytes(uint64_t n, uint64_t arr) {
+  return GraphFileNeighborsStart(n) + arr * sizeof(uint32_t);
+}
+
+}  // namespace oca
+
+#endif  // OCA_IO_GRAPH_FORMAT_H_

@@ -4,13 +4,17 @@
 #include <fstream>
 
 #include "graph/graph_checks.h"
+#include "io/graph_format.h"
 
 namespace oca {
 
 namespace {
 
-constexpr char kMagic[4] = {'O', 'C', 'A', 'G'};
-constexpr uint32_t kVersion = 1;
+// The format lives in io/graph_format.h, shared with the mmap backend
+// (graph/mmap_graph) and the streaming builder (graph/graph_stream_build):
+// one writer family, three readers, zero drift.
+constexpr const char (&kMagic)[4] = kGraphFileMagic;
+constexpr uint32_t kVersion = kGraphFileVersion;
 
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {

@@ -231,13 +231,15 @@ TEST(NodeOrderingTest, BuildWithOrderingMatchesBuildPlusReorder) {
                      ComputeNodeOrdering(builder.Build().value(),
                                          NodeOrdering::kDegreeSort))
                      .value();
-  EXPECT_EQ(direct.offsets(), staged.offsets());
-  EXPECT_EQ(direct.neighbor_array(), staged.neighbor_array());
+  EXPECT_TRUE(std::ranges::equal(direct.offsets(), staged.offsets()));
+  EXPECT_TRUE(
+      std::ranges::equal(direct.neighbor_array(), staged.neighbor_array()));
   EXPECT_EQ(direct.original_ids(), staged.original_ids());
   // kOriginal is exactly Build().
   Graph plain = builder.Build(NodeOrdering::kOriginal).value();
   EXPECT_FALSE(plain.is_reordered());
-  EXPECT_EQ(plain.neighbor_array(), builder.Build().value().neighbor_array());
+  EXPECT_TRUE(std::ranges::equal(
+      plain.neighbor_array(), builder.Build().value().neighbor_array()));
 }
 
 }  // namespace

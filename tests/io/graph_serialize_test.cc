@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "gen/erdos_renyi.h"
@@ -16,8 +17,8 @@ TEST(GraphSerializeTest, StreamRoundTrip) {
   std::stringstream buffer;
   ASSERT_TRUE(WriteGraphBinary(g, buffer).ok());
   Graph loaded = ReadGraphBinary(buffer).value();
-  EXPECT_EQ(loaded.offsets(), g.offsets());
-  EXPECT_EQ(loaded.neighbor_array(), g.neighbor_array());
+  EXPECT_TRUE(std::ranges::equal(loaded.offsets(), g.offsets()));
+  EXPECT_TRUE(std::ranges::equal(loaded.neighbor_array(), g.neighbor_array()));
 }
 
 TEST(GraphSerializeTest, EmptyGraphRoundTrip) {
