@@ -9,11 +9,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "baselines/bron_kerbosch.h"
 #include "core/community_state.h"
 #include "core/local_search.h"
+#include "core/recursive_hierarchy.h"
 #include "gen/erdos_renyi.h"
 #include "gen/lfr.h"
+#include "gen/nested_partition.h"
 #include "graph/graph_builder.h"
 #include "spectral/csr_matvec.h"
 #include "spectral/extreme_eigen.h"
@@ -21,6 +25,25 @@
 #include "util/random.h"
 
 namespace {
+
+/// Restores the full kernel-dispatch state, including per-graph auto
+/// mode, on scope exit.
+class KernelScope {
+ public:
+  KernelScope() : was_auto_(oca::CsrKernelIsAuto()),
+                  prev_(oca::ActiveCsrKernel()) {}
+  ~KernelScope() {
+    if (was_auto_) {
+      oca::SetCsrKernelAuto();
+    } else {
+      oca::SetCsrKernel(prev_);
+    }
+  }
+
+ private:
+  bool was_auto_;
+  oca::CsrKernelKind prev_;
+};
 
 const oca::Graph& LfrGraph() {
   static const oca::Graph* graph = [] {
@@ -49,17 +72,39 @@ void BM_PowerMethodMatVec(benchmark::State& state) {
 }
 BENCHMARK(BM_PowerMethodMatVec);
 
+/// Wide-row counterpart to the narrow LFR graph: mean degree ~80, the
+/// regime where the AVX2 gather kernel pays for itself and the
+/// dispatch heuristic picks it.
+const oca::Graph& WideErGraph() {
+  static const oca::Graph* graph = [] {
+    oca::Rng rng(13);
+    return new oca::Graph(oca::ErdosRenyi(2000, 0.04, &rng).value());
+  }();
+  return *graph;
+}
+
 // The same product through each compiled-in CSR kernel (results are
-// bit-identical; this row measures speed only). Arg is CsrKernelKind.
+// bit-identical; these rows measure speed only). Arg 0: 0 = portable,
+// 1 = AVX2, 2 = auto dispatch (the mean-row-length heuristic picks at
+// graph-open time; the label shows what it resolved to). Arg 1 selects
+// the graph: 0 = narrow LFR (mean degree ~20, below the gather
+// threshold), 1 = wide ER (mean degree ~80, above it).
 void BM_MatVecKernel(benchmark::State& state) {
-  const auto kind = static_cast<oca::CsrKernelKind>(state.range(0));
-  if (!oca::CsrKernelAvailable(kind)) {
-    state.SkipWithError("kernel not available on this build/CPU");
-    return;
+  KernelScope scope;
+  const oca::Graph& g = state.range(1) == 0 ? LfrGraph() : WideErGraph();
+  std::string label = state.range(1) == 0 ? "narrow/" : "wide/";
+  if (state.range(0) == 2) {
+    oca::SetCsrKernelAuto();
+    label += std::string("auto->") + oca::CsrKernelName(oca::CsrKernelFor(g));
+  } else {
+    const auto kind = static_cast<oca::CsrKernelKind>(state.range(0));
+    if (!oca::CsrKernelAvailable(kind)) {
+      state.SkipWithError("kernel not available on this build/CPU");
+      return;
+    }
+    oca::SetCsrKernel(kind);
+    label += oca::CsrKernelName(kind);
   }
-  const oca::CsrKernelKind prev = oca::ActiveCsrKernel();
-  oca::SetCsrKernel(kind);
-  const oca::Graph& g = LfrGraph();
   std::vector<double> x(g.num_nodes(), 1.0), y(g.num_nodes());
   for (auto _ : state) {
     oca::AdjacencyMatVecRows(g, 0, g.num_nodes(), x.data(), y.data());
@@ -67,12 +112,106 @@ void BM_MatVecKernel(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(g.num_edges() * 2));
-  state.SetLabel(oca::CsrKernelName(kind));
-  oca::SetCsrKernel(prev);
+  state.SetLabel(label);
 }
 BENCHMARK(BM_MatVecKernel)
-    ->Arg(static_cast<int>(oca::CsrKernelKind::kPortable))
-    ->Arg(static_cast<int>(oca::CsrKernelKind::kAvx2));
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({2, 1});
+
+/// The ISSUE acceptance graph for the batched-solve rows: 960 nodes in
+/// a 6 x 4 x 40 nested planted partition, seed 7.
+const oca::Graph& NestedBenchGraph() {
+  static const oca::Graph* graph = [] {
+    oca::NestedPartitionOptions gen;
+    gen.num_supers = 6;
+    gen.subs_per_super = 4;
+    gen.nodes_per_sub = 40;
+    gen.p_sub = 0.85;
+    gen.p_super = 0.15;
+    gen.p_out = 0.08;
+    gen.seed = 7;
+    return new oca::Graph(oca::GenerateNestedPartition(gen).value().graph);
+  }();
+  return *graph;
+}
+
+// k adjacency products in ONE sweep through the multi-vector (SpMM)
+// kernel. items/sec counts k * 2E per iteration, so the ratio to
+// BM_MatVecSequential at the same k is the fusion speedup (the
+// acceptance bar is >= 1.5x at k = 4).
+void BM_MatVecMulti(benchmark::State& state) {
+  const auto k = static_cast<size_t>(state.range(0));
+  const oca::Graph& g = NestedBenchGraph();
+  const size_t n = g.num_nodes();
+  oca::Rng rng(7);
+  std::vector<double> x(n * k);
+  for (double& v : x) v = rng.NextDouble() * 2.0 - 1.0;
+  std::vector<double> y;
+  for (auto _ : state) {
+    oca::AdjacencyMatVecMulti(g, x, &y, k);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(k * g.num_edges() * 2));
+  state.SetLabel(oca::CsrKernelName(oca::CsrKernelFor(g)));
+}
+BENCHMARK(BM_MatVecMulti)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// The unfused baseline: the same k products as k independent
+// single-vector sweeps (k passes over the adjacency stream).
+void BM_MatVecSequential(benchmark::State& state) {
+  const auto k = static_cast<size_t>(state.range(0));
+  const oca::Graph& g = NestedBenchGraph();
+  const size_t n = g.num_nodes();
+  oca::Rng rng(7);
+  std::vector<std::vector<double>> x(k, std::vector<double>(n));
+  for (auto& col : x) {
+    for (double& v : col) v = rng.NextDouble() * 2.0 - 1.0;
+  }
+  std::vector<double> y(n);
+  for (auto _ : state) {
+    for (size_t j = 0; j < k; ++j) {
+      oca::AdjacencyMatVecRows(g, 0, n, x[j].data(), y.data());
+      benchmark::DoNotOptimize(y.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(k * g.num_edges() * 2));
+}
+BENCHMARK(BM_MatVecSequential)->Arg(4)->Arg(8);
+
+// End-to-end recursive hierarchy on the 960-node nested graph. Arg 0 is
+// the Lanczos block width, arg 1 toggles the cross-solve seed batcher —
+// the two faces of the batched-solves work. The digest is invariant in
+// block width (and pinned by tests); these rows record what the fusion
+// buys in wall time. items = total spectral iterations.
+void BM_HierarchyBatchedSolves(benchmark::State& state) {
+  const oca::Graph& g = NestedBenchGraph();
+  oca::RecursiveHierarchyOptions opt;
+  opt.base.seed = 7;
+  opt.base.halting.max_seeds = g.num_nodes() * 3;
+  opt.base.halting.target_coverage = 0.98;
+  opt.base.halting.stagnation_window = 150;
+  opt.base.power_method.block_size = static_cast<size_t>(state.range(0));
+  opt.batch_restrictions = state.range(1) != 0;
+  int64_t iterations = 0;
+  for (auto _ : state) {
+    auto tree = oca::BuildRecursiveHierarchy(g, opt).value();
+    iterations += static_cast<int64_t>(tree.chain.total_iterations);
+    benchmark::DoNotOptimize(tree.Digest());
+  }
+  state.SetItemsProcessed(iterations);
+}
+BENCHMARK(BM_HierarchyBatchedSolves)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Unit(benchmark::kMillisecond);
 
 // Mat-vec over the cache-reordered graph (degree-sort: hubs get the
 // smallest ids, concentrating gathers in the first lines of x).

@@ -25,13 +25,17 @@
 // `num_threads >= 1` the build therefore runs expansions as a work queue
 // on util/thread_pool, one stateful SpectralEngine per worker
 // (SpectralEngineSet); the warm-start chain crosses engines by value —
-// the parent's eigenvector travels with the task, never through shared
-// engine state. Determinism is structural, not scheduled: every
-// expansion is a pure function of (community, depth, parent vector), and
-// children get stable identities from (depth, parent, community index),
-// so the arena is assembled in canonical BFS order regardless of
-// completion order — serial (num_threads == 0) and N-thread builds are
-// byte-identical (pinned by tests and the CI thread matrix).
+// ancestor eigenvectors travel with the task (an immutable chain of
+// links), never through shared engine state. The queue is
+// depth-prioritized: among pending expansions workers always pick the
+// deepest, so a subtree is driven to its leaves (releasing its chain
+// links) before workers fan across shallow siblings. Determinism is
+// structural, not scheduled: every expansion is a pure function of
+// (community, depth, ancestor chain, batch seed), and children get
+// stable identities from (depth, parent, community index), so the arena
+// is assembled in canonical BFS order regardless of completion order —
+// serial (num_threads == 0) and N-thread builds are byte-identical
+// (pinned by tests and the CI thread matrix).
 
 #ifndef OCA_CORE_RECURSIVE_HIERARCHY_H_
 #define OCA_CORE_RECURSIVE_HIERARCHY_H_
@@ -76,6 +80,21 @@ struct RecursiveHierarchyOptions {
   /// (SpectralEngine::WarmStartFromParent). Off = every subgraph solve
   /// starts cold; exists so benchmarks and tests can measure the chain.
   bool warm_start = true;
+
+  /// Batch sibling warm-start seeds through the multi-vector CSR kernel:
+  /// when a node splits into k children, all k restriction mat-vecs run
+  /// as ONE SpMM pass over the parent subgraph (chunks of
+  /// kMaxMatVecBatch), producing a shifted-power-polished seed per child
+  /// — one adjacency sweep where the unbatched chain pays one per child,
+  /// and a better seed than the raw restriction (one step of
+  /// (sigma*I - A) amplifies the lambda_min component). Requires
+  /// `warm_start`. NOTE: the polished seed changes each child solve's
+  /// start vector, so iteration counts and low-order spectral bits —
+  /// and therefore Digest() — are comparable only at a fixed setting of
+  /// this flag (they stay invariant across threads, kernels and
+  /// block_size as always). Off = the per-child WarmStartFromParent
+  /// restriction, exactly the pre-batching behavior.
+  bool batch_restrictions = true;
 
   /// Worker threads for sibling-subtree expansion. 0 runs the serial
   /// reference implementation (single engine, plain BFS loop); N >= 1
@@ -122,6 +141,12 @@ struct RecursiveCommunity {
   double subgraph_lambda_min = 0.0;
   size_t spectral_iterations = 0;  // Lanczos steps of the coupling solve
   bool warm_started = false;       // parent-eigenvector restriction used
+  /// How far up the ancestor chain the warm-start seed came from:
+  /// 0 = cold (no usable seed), 1 = the immediate parent (batched polish
+  /// or direct restriction), d >= 2 = the parent's restriction was
+  /// degenerate (child carries ~no mass of the parent eigenvector) and
+  /// the walk-up found usable mass d levels above instead.
+  uint32_t warm_start_distance = 0;
 
   /// Full OcaRunStats of this node's subgraph run (same condition as
   /// above). For roots the run is the top-level one, recorded once in
@@ -150,6 +175,13 @@ struct RecursiveSchedulingStats {
   size_t max_concurrent = 0;  // peak simultaneously running expansions
   /// warm_started_solves / subgraph_solves (0 when nothing was solved).
   double warm_start_hit_rate = 0.0;
+  /// Solves whose seed came from a non-parent ancestor (distance >= 2):
+  /// the immediate parent's restriction was degenerate but the walk-up
+  /// recovered a usable seed higher in the chain.
+  size_t ancestor_warm_hits = 0;
+  /// Deepest ancestor distance any solve's seed travelled (0 when every
+  /// solve was cold).
+  size_t max_warm_start_distance = 0;
 };
 
 /// Per-depth rollup (communities found at that depth and what producing
@@ -221,6 +253,37 @@ struct RecursiveHierarchy {
 /// density thresholds outside (0, 1]).
 Result<RecursiveHierarchy> BuildRecursiveHierarchy(
     const Graph& graph, const RecursiveHierarchyOptions& options);
+
+/// The cross-solve batcher (exposed for tests and benchmarks): computes
+/// one warm-start seed per child community from a parent graph's
+/// converged lambda_min `eigenvector`, fusing ALL children's restriction
+/// mat-vecs through the multi-vector CSR kernel in chunks of
+/// kMaxMatVecBatch — one adjacency sweep per chunk instead of one per
+/// child.
+///
+/// Per child j the seed is one shifted-power polish of the masked
+/// restriction: x_j = eigenvector masked to child j's nodes (in
+/// `graph`-local ids), w_j = (sigma*I - A) x_j with sigma =
+/// graph.MaxDegree() (so sigma - lambda > 0 weights the lambda_min
+/// component hardest), restricted back to child j's nodes and
+/// normalized. The returned seed is ordered by the child's SORTED
+/// original ids — exactly the local order InducedSubgraph will assign —
+/// so it can be fed to SpectralEngine::SetWarmStart for that child's
+/// solve as-is.
+///
+/// `to_original` maps graph-local index -> original id (sorted
+/// ascending; null = `graph` IS the original graph, identity map).
+/// `children` are in original ids, each sorted ascending, each a subset
+/// of the parent's node set. A child whose restricted mass is below the
+/// usable-signal floor (same 1e-6 rule as WarmStartFromParent) gets an
+/// EMPTY seed — the caller falls back to the ancestor walk-up. The
+/// chunk split is deterministic and each output column's bits are
+/// independent of the chunk width (multi-kernel column contract), so
+/// seeds do not depend on sibling count or order.
+std::vector<std::vector<double>> BatchRestrictionSeeds(
+    const Graph& graph, const std::vector<double>& eigenvector,
+    const std::vector<NodeId>* to_original,
+    const std::vector<Community>& children);
 
 }  // namespace oca
 

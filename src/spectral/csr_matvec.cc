@@ -39,28 +39,46 @@ bool CpuHasAvx2() {
 #endif
 }
 
-CsrKernelKind ResolveKernelFromEnv() {
+/// Dispatch state: kUnresolved until first use, then either kAuto (the
+/// per-graph heuristic) or a forced CsrKernelKind value (>= 0). Relaxed
+/// atomics: every transition is to a state that produces bit-identical
+/// results, so a racing reader at worst runs one block on the previous
+/// kernel.
+constexpr int kKernelUnresolved = -2;
+constexpr int kKernelAuto = -1;
+
+int ResolveKernelFromEnv() {
   if (const char* env = std::getenv("OCA_SIMD"); env != nullptr) {
     if (std::strcmp(env, "avx2") == 0) {
-      return CpuHasAvx2() ? CsrKernelKind::kAvx2 : CsrKernelKind::kPortable;
+      return static_cast<int>(CpuHasAvx2() ? CsrKernelKind::kAvx2
+                                           : CsrKernelKind::kPortable);
     }
-    // "portable"/"off"/"auto" (or anything unrecognized) all resolve to
-    // the portable kernel — see below.
+    if (std::strcmp(env, "portable") == 0 || std::strcmp(env, "off") == 0) {
+      return static_cast<int>(CsrKernelKind::kPortable);
+    }
+    // "auto" (or anything unrecognized) falls through to the heuristic.
   }
-  // Auto prefers the PORTABLE kernel: measured on the community-graph
-  // row profile (mean degree ~20, x L1-resident), four independent
-  // scalar load chains sustain ~2 loads/cycle while vgatherdpd manages
-  // ~1 — 14.5us vs 18.4us on the 2000-node LFR mat-vec bench. The AVX2
-  // path stays behind OCA_SIMD=avx2 / SetCsrKernel for wide-row
-  // workloads and as the template for future ISA ports; results are
-  // bit-identical either way, so the choice never affects digests.
-  return CsrKernelKind::kPortable;
+  // Auto dispatches per graph on mean row length (CsrKernelFor):
+  // measured on the community-graph row profile (mean degree ~20, x
+  // L1-resident), four independent scalar load chains sustain
+  // ~2 loads/cycle while vgatherdpd manages ~1 — 14.5us vs 18.4us on
+  // the 2000-node LFR mat-vec bench — so short rows stay portable and
+  // only wide rows (>= kAvx2MeanRowThreshold) take the AVX2 path.
+  // Results are bit-identical either way, so the choice never affects
+  // digests; OCA_SIMD / SetCsrKernel stay authoritative when set.
+  return kKernelAuto;
 }
 
-/// Resolved dispatch choice; -1 until first use. Relaxed atomics: every
-/// transition is to a value that produces bit-identical results, so a
-/// racing reader at worst runs one block on the previous kernel.
-std::atomic<int> g_active_kernel{-1};
+std::atomic<int> g_kernel_state{kKernelUnresolved};
+
+int KernelState() {
+  int state = g_kernel_state.load(std::memory_order_relaxed);
+  if (state == kKernelUnresolved) {
+    state = ResolveKernelFromEnv();
+    g_kernel_state.store(state, std::memory_order_relaxed);
+  }
+  return state;
+}
 
 void CheckRowRange(const Graph& graph, size_t begin, size_t end,
                    const double* x, const double* y) {
@@ -78,6 +96,16 @@ void CheckRowRange(const Graph& graph, size_t begin, size_t end,
         "AdjacencyMatVecRows: x and y must not alias (y[u] is written "
         "while x entries are still being read)");
   }
+}
+
+void CheckMultiArgs(const Graph& graph, size_t begin, size_t end,
+                    const double* x, const double* y, size_t k) {
+  if (k < 1 || k > kMaxMatVecBatch) {
+    internal::KernelContractViolation(
+        "AdjacencyMatVecMultiRows: batch width k outside "
+        "[1, kMaxMatVecBatch]");
+  }
+  CheckRowRange(graph, begin, end, x, y);
 }
 
 }  // namespace
@@ -107,18 +135,41 @@ bool CsrKernelAvailable(CsrKernelKind kind) {
 }
 
 CsrKernelKind ActiveCsrKernel() {
-  int kind = g_active_kernel.load(std::memory_order_relaxed);
-  if (kind < 0) {
-    kind = static_cast<int>(ResolveKernelFromEnv());
-    g_active_kernel.store(kind, std::memory_order_relaxed);
-  }
-  return static_cast<CsrKernelKind>(kind);
+  const int state = KernelState();
+  // In auto mode, report the heuristic's short-row answer: the
+  // library's default workloads (community graphs) sit well below the
+  // AVX2 threshold.
+  return state >= 0 ? static_cast<CsrKernelKind>(state)
+                    : CsrKernelKind::kPortable;
 }
+
+bool CsrKernelIsAuto() { return KernelState() == kKernelAuto; }
 
 CsrKernelKind SetCsrKernel(CsrKernelKind kind) {
   if (!CsrKernelAvailable(kind)) kind = CsrKernelKind::kPortable;
-  g_active_kernel.store(static_cast<int>(kind), std::memory_order_relaxed);
+  g_kernel_state.store(static_cast<int>(kind), std::memory_order_relaxed);
   return kind;
+}
+
+void SetCsrKernelAuto() {
+  g_kernel_state.store(kKernelAuto, std::memory_order_relaxed);
+}
+
+CsrKernelKind CsrKernelForMeanDegree(double mean_row) {
+  if (mean_row >= kAvx2MeanRowThreshold && CpuHasAvx2()) {
+    return CsrKernelKind::kAvx2;
+  }
+  return CsrKernelKind::kPortable;
+}
+
+CsrKernelKind CsrKernelFor(const Graph& graph) {
+  const int state = KernelState();
+  if (state >= 0) return static_cast<CsrKernelKind>(state);
+  const size_t n = graph.num_nodes();
+  if (n == 0) return CsrKernelKind::kPortable;
+  return CsrKernelForMeanDegree(
+      static_cast<double>(graph.neighbor_array().size()) /
+      static_cast<double>(n));
 }
 
 void AdjacencyMatVecRows(const Graph& graph, size_t begin, size_t end,
@@ -127,7 +178,7 @@ void AdjacencyMatVecRows(const Graph& graph, size_t begin, size_t end,
   const uint64_t* offs = graph.offsets().data();
   const NodeId* nbr = graph.neighbor_array().data();
 #if defined(OCA_HAVE_AVX2)
-  if (ActiveCsrKernel() == CsrKernelKind::kAvx2) {
+  if (CsrKernelFor(graph) == CsrKernelKind::kAvx2) {
     internal::Avx2Rows(offs, nbr, begin, end, x, y);
     return;
   }
@@ -141,12 +192,54 @@ double AdjacencyMatVecRowsFused(const Graph& graph, size_t begin, size_t end,
   const uint64_t* offs = graph.offsets().data();
   const NodeId* nbr = graph.neighbor_array().data();
 #if defined(OCA_HAVE_AVX2)
-  if (ActiveCsrKernel() == CsrKernelKind::kAvx2) {
+  if (CsrKernelFor(graph) == CsrKernelKind::kAvx2) {
     return internal::Avx2RowsFused(offs, nbr, begin, end, x, y);
   }
 #endif
   return internal::CsrRowLoop<true>(offs, nbr, begin, end, x, y,
                                     PortableBody{});
+}
+
+void AdjacencyMatVecMultiRows(const Graph& graph, size_t begin, size_t end,
+                              const double* x, double* y, size_t k) {
+  CheckMultiArgs(graph, begin, end, x, y, k);
+  if (k == 1) {  // identical layout; the single kernel is the fast path
+    AdjacencyMatVecRows(graph, begin, end, x, y);
+    return;
+  }
+  const uint64_t* offs = graph.offsets().data();
+  const NodeId* nbr = graph.neighbor_array().data();
+#if defined(OCA_HAVE_AVX2)
+  if (CsrKernelFor(graph) == CsrKernelKind::kAvx2) {
+    internal::Avx2MultiRows(offs, nbr, begin, end, x, y, k);
+    return;
+  }
+#endif
+  internal::PortableMultiRows<false>(offs, nbr, begin, end, x, y, k, nullptr);
+}
+
+void AdjacencyMatVecMultiRowsFused(const Graph& graph, size_t begin,
+                                   size_t end, const double* x, double* y,
+                                   size_t k, double* alpha) {
+  CheckMultiArgs(graph, begin, end, x, y, k);
+  if (alpha == nullptr) {
+    internal::KernelContractViolation(
+        "AdjacencyMatVecMultiRowsFused: null alpha argument");
+  }
+  for (size_t j = 0; j < k; ++j) alpha[j] = 0.0;
+  if (k == 1) {
+    alpha[0] = AdjacencyMatVecRowsFused(graph, begin, end, x, y);
+    return;
+  }
+  const uint64_t* offs = graph.offsets().data();
+  const NodeId* nbr = graph.neighbor_array().data();
+#if defined(OCA_HAVE_AVX2)
+  if (CsrKernelFor(graph) == CsrKernelKind::kAvx2) {
+    internal::Avx2MultiRowsFused(offs, nbr, begin, end, x, y, k, alpha);
+    return;
+  }
+#endif
+  internal::PortableMultiRows<true>(offs, nbr, begin, end, x, y, k, alpha);
 }
 
 size_t MatVecBlockRows(size_t n) {

@@ -22,13 +22,29 @@
 // thread counts) extend across kernel variants: switching kernels
 // never changes a single bit of any spectral result.
 //
+// Multi-vector (SpMM): the AdjacencyMatVecMulti* entry points compute
+// k products in ONE sweep over offsets/neighbors. Vectors are
+// interleaved node-major (column j of node v at x[v * k + j]) so each
+// edge visit is one contiguous k-wide strip; on AVX2 that strip is a
+// plain vector load — the gather disappears entirely. Column j of the
+// multi kernel is bit-identical to a single-vector call on that
+// column, for every k and every kernel (the striped accumulation and
+// combine order are kept per column — see csr_matvec_rows.h), so the
+// digest pins extend across batch widths by construction.
+//
 // Dispatch: resolved once per process from the OCA_SIMD environment
-// variable ("portable" forces the fallback, "avx2" requests the wide
-// kernel, anything else auto-detects) and the CPU's capabilities;
-// SetCsrKernel overrides it (tests, benchmarks).
+// variable ("portable"/"avx2" force a kernel; "auto" or unset enables
+// the per-graph heuristic) and the CPU's capabilities; SetCsrKernel /
+// SetCsrKernelAuto override it (tests, benchmarks). In auto mode the
+// kernel is chosen from the graph's mean row length — a constant of
+// the graph, so the choice is made once per graph in effect: short
+// community-graph rows run the portable chains (measured faster than
+// gathers in PR 6), wide rows run AVX2. Either way results are
+// bit-identical, so the heuristic can never affect a digest.
 //
 // Contract (checked, violations abort): x and y hold
-// graph.num_nodes() entries, do not alias, and begin <= end <= n.
+// graph.num_nodes() entries (times k for the multi variants, with
+// 1 <= k <= kMaxMatVecBatch), do not alias, and begin <= end <= n.
 // Aliasing x == y cannot work even in principle — y[u] is written
 // while x[v] for v > u is still being read.
 
@@ -41,6 +57,11 @@
 #include "graph/graph.h"
 
 namespace oca {
+
+/// Widest batch the multi-vector (SpMM) entry points accept. Callers
+/// with more right-hand sides chunk them kMaxMatVecBatch at a time; the
+/// engine's block-Lanczos width is clamped to this.
+inline constexpr size_t kMaxMatVecBatch = 8;
 
 /// The available CSR row-kernel implementations. All of them produce
 /// bit-identical results; they differ only in speed.
@@ -55,19 +76,45 @@ const char* CsrKernelName(CsrKernelKind kind);
 /// True when `kind` was compiled in AND the running CPU supports it.
 bool CsrKernelAvailable(CsrKernelKind kind);
 
-/// The kernel the next mat-vec will use. First call resolves the
-/// OCA_SIMD environment variable ("portable" | "avx2" | "auto"/unset)
-/// against CsrKernelAvailable; an unavailable request falls back to
-/// portable. Auto resolves to the portable kernel — on the library's
-/// row profile (short rows, L1-resident x) the four scalar load chains
-/// beat AVX2 gathers; see the note in csr_matvec.cc.
+/// The kernel a mat-vec on a typical (short-row) graph will use. First
+/// call resolves the OCA_SIMD environment variable
+/// ("portable" | "avx2" | "auto"/unset) against CsrKernelAvailable; an
+/// unavailable request falls back to portable. In auto mode this
+/// reports the heuristic's short-row answer (portable); per-graph
+/// resolution is CsrKernelFor.
 CsrKernelKind ActiveCsrKernel();
 
-/// Overrides the active kernel (falls back to portable when `kind` is
-/// unavailable) and returns what is actually active now. Not
-/// synchronized with in-flight mat-vecs — switch between solves only
-/// (tests and benchmarks do).
+/// True when no kernel is forced (no OCA_SIMD override, no
+/// SetCsrKernel) and dispatch runs the per-graph mean-row-length
+/// heuristic.
+bool CsrKernelIsAuto();
+
+/// Forces the active kernel (falls back to portable when `kind` is
+/// unavailable), disabling the auto heuristic, and returns what is
+/// actually active now. Not synchronized with in-flight mat-vecs —
+/// switch between solves only (tests and benchmarks do).
 CsrKernelKind SetCsrKernel(CsrKernelKind kind);
+
+/// Re-enables heuristic dispatch (the unforced default), overriding
+/// any prior SetCsrKernel or OCA_SIMD resolution.
+void SetCsrKernelAuto();
+
+/// Mean row length at or above which the auto heuristic picks the AVX2
+/// kernel (when available). PR 6 measured the portable chains winning
+/// at mean degree ~20; gathers need substantially longer rows before
+/// their wider loads amortize, hence the conservative threshold.
+inline constexpr double kAvx2MeanRowThreshold = 32.0;
+
+/// The heuristic's choice for a graph with the given mean row length:
+/// kAvx2 iff mean_row >= kAvx2MeanRowThreshold and AVX2 is available.
+/// Pure — exposed so the policy is unit-testable.
+CsrKernelKind CsrKernelForMeanDegree(double mean_row);
+
+/// The kernel a mat-vec over `graph` dispatches to right now: the
+/// forced kernel if one is active, otherwise the heuristic applied to
+/// the graph's mean row length (edges/nodes — O(1) from the CSR
+/// spans, constant per graph).
+CsrKernelKind CsrKernelFor(const Graph& graph);
 
 /// y[u] = sum_{v in N(u)} x[v] for u in [begin, end): one block of
 /// rows of the adjacency mat-vec. See the contract above.
@@ -80,6 +127,22 @@ void AdjacencyMatVecRows(const Graph& graph, size_t begin, size_t end,
 /// traversal yields both the product and the alpha coefficient.
 double AdjacencyMatVecRowsFused(const Graph& graph, size_t begin, size_t end,
                                 const double* x, double* y);
+
+/// Multi-vector (SpMM) rows: y_j[u] = sum_{v in N(u)} x_j[v] for all k
+/// interleaved columns j in one CSR sweep. x and y hold n * k entries
+/// in node-major layout (column j of node v at x[v * k + j]);
+/// 1 <= k <= kMaxMatVecBatch. Column j is bit-identical to a
+/// single-vector AdjacencyMatVecRows call on that column.
+void AdjacencyMatVecMultiRows(const Graph& graph, size_t begin, size_t end,
+                              const double* x, double* y, size_t k);
+
+/// AdjacencyMatVecMultiRows plus the per-column Rayleigh partials:
+/// alpha[j] = sum_{u in [begin, end)} y_j[u] * x_j[u], accumulated in
+/// row order — bitwise the partial AdjacencyMatVecRowsFused returns
+/// for column j. alpha holds k entries and is overwritten.
+void AdjacencyMatVecMultiRowsFused(const Graph& graph, size_t begin,
+                                   size_t end, const double* x, double* y,
+                                   size_t k, double* alpha);
 
 /// Deterministic row-block width for an n-node mat-vec: a pure
 /// function of n alone (never of thread count or kernel), so the block

@@ -44,6 +44,110 @@ struct Avx2Body {
   }
 };
 
+// Multi-vector (SpMM) bodies. The node-major interleaved layout turns
+// each lane's per-edge access into one CONTIGUOUS k-wide load — no
+// gather at all, which is why the multi kernel scales past the scalar
+// path even on short community-graph rows. Bit-identity per column:
+// lane l's vector accumulator holds column j of the portable kernel's
+// acc[l][j] (same elements, same order — vector lanes are independent
+// adds), and the combine (acc0 + acc2) + (acc1 + acc3) is the portable
+// per-column combine applied lanewise.
+
+/// k = 2: four __m128d accumulators, one 16-byte load per edge.
+struct Avx2MultiBody2 {
+  void operator()(const NodeId* nbr, uint64_t b, uint64_t body_end,
+                  const double* x, double* out) const {
+    __m128d a0 = _mm_setzero_pd(), a1 = _mm_setzero_pd();
+    __m128d a2 = _mm_setzero_pd(), a3 = _mm_setzero_pd();
+    for (uint64_t p = b; p < body_end; p += 4) {
+      a0 = _mm_add_pd(a0, _mm_loadu_pd(x + static_cast<size_t>(nbr[p]) * 2));
+      a1 = _mm_add_pd(a1,
+                      _mm_loadu_pd(x + static_cast<size_t>(nbr[p + 1]) * 2));
+      a2 = _mm_add_pd(a2,
+                      _mm_loadu_pd(x + static_cast<size_t>(nbr[p + 2]) * 2));
+      a3 = _mm_add_pd(a3,
+                      _mm_loadu_pd(x + static_cast<size_t>(nbr[p + 3]) * 2));
+    }
+    _mm_storeu_pd(out, _mm_add_pd(_mm_add_pd(a0, a2), _mm_add_pd(a1, a3)));
+  }
+};
+
+/// k = 4: four __m256d accumulators, one 32-byte load per edge.
+struct Avx2MultiBody4 {
+  void operator()(const NodeId* nbr, uint64_t b, uint64_t body_end,
+                  const double* x, double* out) const {
+    __m256d a0 = _mm256_setzero_pd(), a1 = _mm256_setzero_pd();
+    __m256d a2 = _mm256_setzero_pd(), a3 = _mm256_setzero_pd();
+    for (uint64_t p = b; p < body_end; p += 4) {
+      a0 = _mm256_add_pd(a0,
+                         _mm256_loadu_pd(x + static_cast<size_t>(nbr[p]) * 4));
+      a1 = _mm256_add_pd(
+          a1, _mm256_loadu_pd(x + static_cast<size_t>(nbr[p + 1]) * 4));
+      a2 = _mm256_add_pd(
+          a2, _mm256_loadu_pd(x + static_cast<size_t>(nbr[p + 2]) * 4));
+      a3 = _mm256_add_pd(
+          a3, _mm256_loadu_pd(x + static_cast<size_t>(nbr[p + 3]) * 4));
+    }
+    _mm256_storeu_pd(
+        out, _mm256_add_pd(_mm256_add_pd(a0, a2), _mm256_add_pd(a1, a3)));
+  }
+};
+
+/// k = 8: the k = 4 body over two 256-bit halves (columns 0-3, 4-7);
+/// eight ymm accumulators still leave registers for the loads.
+struct Avx2MultiBody8 {
+  void operator()(const NodeId* nbr, uint64_t b, uint64_t body_end,
+                  const double* x, double* out) const {
+    __m256d lo0 = _mm256_setzero_pd(), lo1 = _mm256_setzero_pd();
+    __m256d lo2 = _mm256_setzero_pd(), lo3 = _mm256_setzero_pd();
+    __m256d hi0 = _mm256_setzero_pd(), hi1 = _mm256_setzero_pd();
+    __m256d hi2 = _mm256_setzero_pd(), hi3 = _mm256_setzero_pd();
+    for (uint64_t p = b; p < body_end; p += 4) {
+      const double* v0 = x + static_cast<size_t>(nbr[p]) * 8;
+      const double* v1 = x + static_cast<size_t>(nbr[p + 1]) * 8;
+      const double* v2 = x + static_cast<size_t>(nbr[p + 2]) * 8;
+      const double* v3 = x + static_cast<size_t>(nbr[p + 3]) * 8;
+      lo0 = _mm256_add_pd(lo0, _mm256_loadu_pd(v0));
+      hi0 = _mm256_add_pd(hi0, _mm256_loadu_pd(v0 + 4));
+      lo1 = _mm256_add_pd(lo1, _mm256_loadu_pd(v1));
+      hi1 = _mm256_add_pd(hi1, _mm256_loadu_pd(v1 + 4));
+      lo2 = _mm256_add_pd(lo2, _mm256_loadu_pd(v2));
+      hi2 = _mm256_add_pd(hi2, _mm256_loadu_pd(v2 + 4));
+      lo3 = _mm256_add_pd(lo3, _mm256_loadu_pd(v3));
+      hi3 = _mm256_add_pd(hi3, _mm256_loadu_pd(v3 + 4));
+    }
+    _mm256_storeu_pd(
+        out, _mm256_add_pd(_mm256_add_pd(lo0, lo2), _mm256_add_pd(lo1, lo3)));
+    _mm256_storeu_pd(out + 4, _mm256_add_pd(_mm256_add_pd(hi0, hi2),
+                                            _mm256_add_pd(hi1, hi3)));
+  }
+};
+
+template <bool kFused>
+void Avx2MultiDispatch(const uint64_t* offs, const NodeId* nbr, size_t begin,
+                       size_t end, const double* x, double* y, size_t k,
+                       double* fused_acc) {
+  switch (k) {
+    case 2:
+      CsrMultiRowLoop<kFused, 2>(offs, nbr, begin, end, x, y, fused_acc,
+                                 Avx2MultiBody2{});
+      return;
+    case 4:
+      CsrMultiRowLoop<kFused, 4>(offs, nbr, begin, end, x, y, fused_acc,
+                                 Avx2MultiBody4{});
+      return;
+    case 8:
+      CsrMultiRowLoop<kFused, 8>(offs, nbr, begin, end, x, y, fused_acc,
+                                 Avx2MultiBody8{});
+      return;
+    default:
+      // Odd widths reuse the shared portable body — same bits (the
+      // contract), no vector win worth a bespoke shuffle sequence.
+      PortableMultiRows<kFused>(offs, nbr, begin, end, x, y, k, fused_acc);
+      return;
+  }
+}
+
 }  // namespace
 
 void Avx2Rows(const uint64_t* offs, const NodeId* nbr, size_t begin,
@@ -54,6 +158,17 @@ void Avx2Rows(const uint64_t* offs, const NodeId* nbr, size_t begin,
 double Avx2RowsFused(const uint64_t* offs, const NodeId* nbr, size_t begin,
                      size_t end, const double* x, double* y) {
   return CsrRowLoop<true>(offs, nbr, begin, end, x, y, Avx2Body{});
+}
+
+void Avx2MultiRows(const uint64_t* offs, const NodeId* nbr, size_t begin,
+                   size_t end, const double* x, double* y, size_t k) {
+  Avx2MultiDispatch<false>(offs, nbr, begin, end, x, y, k, nullptr);
+}
+
+void Avx2MultiRowsFused(const uint64_t* offs, const NodeId* nbr, size_t begin,
+                        size_t end, const double* x, double* y, size_t k,
+                        double* fused_acc) {
+  Avx2MultiDispatch<true>(offs, nbr, begin, end, x, y, k, fused_acc);
 }
 
 }  // namespace internal

@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "graph/graph.h"
+#include "spectral/csr_matvec.h"
 
 namespace oca {
 namespace internal {
@@ -44,6 +45,114 @@ inline double CsrRowLoop(const uint64_t* offs, const NodeId* nbr,
   return block_acc;
 }
 
+/// Multi-vector (SpMM) row loop: k interleaved right-hand sides in one
+/// CSR sweep. Layout is node-major — column j of node v lives at
+/// x[v * k + j] — so one edge visit touches one contiguous k-wide
+/// strip, which is what turns per-edge gathers into contiguous loads.
+///
+/// Column-wise bit-identity with k single CsrRowLoop passes holds by
+/// the same construction as the scalar kernel: a multi body keeps the
+/// four striped accumulators PER COLUMN, combines each column as
+/// (a0 + a2) + (a1 + a3), and the scalar tail + fused Rayleigh partial
+/// below append to every column in the same order the single-vector
+/// loop would. `MultiBody(nbr, b, body_end, x, sums)` fills sums[0..k)
+/// with the striped body sum of its column.
+///
+/// When kFused, fused_acc[j] accumulates sum_u y_j[u] * x_j[u] over the
+/// row range in row order — the same addition sequence the scalar fused
+/// kernel produces for column j (fused_acc must be zeroed or carry the
+/// caller's running partial).
+template <bool kFused, size_t kWidth, typename MultiBody>
+inline void CsrMultiRowLoop(const uint64_t* offs, const NodeId* nbr,
+                            size_t begin, size_t end, const double* x,
+                            double* y, double* fused_acc, MultiBody body) {
+  static_assert(kWidth >= 1 && kWidth <= kMaxMatVecBatch);
+  double sums[kWidth];
+  for (size_t u = begin; u < end; ++u) {
+    const uint64_t b = offs[u];
+    const uint64_t e = offs[u + 1];
+    const uint64_t body_end = b + ((e - b) & ~uint64_t{3});
+    body(nbr, b, body_end, x, sums);
+    for (uint64_t p = body_end; p < e; ++p) {
+      const double* xv = x + static_cast<size_t>(nbr[p]) * kWidth;
+      for (size_t j = 0; j < kWidth; ++j) sums[j] += xv[j];
+    }
+    double* yu = y + u * kWidth;
+    for (size_t j = 0; j < kWidth; ++j) yu[j] = sums[j];
+    if constexpr (kFused) {
+      const double* xu = x + u * kWidth;
+      for (size_t j = 0; j < kWidth; ++j) fused_acc[j] += sums[j] * xu[j];
+    }
+  }
+}
+
+/// Portable multi body: the scalar kernel's four striped accumulator
+/// chains, kept independently per column. acc[lane][j] adds exactly the
+/// elements the single-vector kernel's lane accumulator adds for column
+/// j, in the same order, and the combine is the same
+/// (a0 + a2) + (a1 + a3) per column — bit-identity by construction.
+/// Lives here (not in csr_matvec.cc) because the AVX2 TU reuses it as
+/// the fallback body for widths without a vector specialization.
+template <size_t kWidth>
+struct PortableMultiBody {
+  void operator()(const NodeId* nbr, uint64_t b, uint64_t body_end,
+                  const double* x, double* out) const {
+    double acc[4][kWidth] = {};
+    for (uint64_t p = b; p < body_end; p += 4) {
+      for (int lane = 0; lane < 4; ++lane) {
+        const double* xv = x + static_cast<size_t>(nbr[p + lane]) * kWidth;
+        for (size_t j = 0; j < kWidth; ++j) acc[lane][j] += xv[j];
+      }
+    }
+    for (size_t j = 0; j < kWidth; ++j) {
+      out[j] = (acc[0][j] + acc[2][j]) + (acc[1][j] + acc[3][j]);
+    }
+  }
+};
+
+/// Runs the portable multi loop at compile-time width `k`. Shared by
+/// both TUs: the portable dispatcher uses it for every width, the AVX2
+/// one for widths without a gather-free specialization.
+template <bool kFused>
+inline void PortableMultiRows(const uint64_t* offs, const NodeId* nbr,
+                              size_t begin, size_t end, const double* x,
+                              double* y, size_t k, double* fused_acc) {
+  switch (k) {
+    case 2:
+      CsrMultiRowLoop<kFused, 2>(offs, nbr, begin, end, x, y, fused_acc,
+                                 PortableMultiBody<2>{});
+      return;
+    case 3:
+      CsrMultiRowLoop<kFused, 3>(offs, nbr, begin, end, x, y, fused_acc,
+                                 PortableMultiBody<3>{});
+      return;
+    case 4:
+      CsrMultiRowLoop<kFused, 4>(offs, nbr, begin, end, x, y, fused_acc,
+                                 PortableMultiBody<4>{});
+      return;
+    case 5:
+      CsrMultiRowLoop<kFused, 5>(offs, nbr, begin, end, x, y, fused_acc,
+                                 PortableMultiBody<5>{});
+      return;
+    case 6:
+      CsrMultiRowLoop<kFused, 6>(offs, nbr, begin, end, x, y, fused_acc,
+                                 PortableMultiBody<6>{});
+      return;
+    case 7:
+      CsrMultiRowLoop<kFused, 7>(offs, nbr, begin, end, x, y, fused_acc,
+                                 PortableMultiBody<7>{});
+      return;
+    case 8:
+      CsrMultiRowLoop<kFused, 8>(offs, nbr, begin, end, x, y, fused_acc,
+                                 PortableMultiBody<8>{});
+      return;
+    default:
+      CsrMultiRowLoop<kFused, 1>(offs, nbr, begin, end, x, y, fused_acc,
+                                 PortableMultiBody<1>{});
+      return;
+  }
+}
+
 #if defined(OCA_HAVE_AVX2)
 // Defined in csr_matvec_avx2.cc (compiled with -mavx2); called by the
 // dispatcher in csr_matvec.cc only after a runtime CPU check.
@@ -51,6 +160,11 @@ void Avx2Rows(const uint64_t* offs, const NodeId* nbr, size_t begin,
               size_t end, const double* x, double* y);
 double Avx2RowsFused(const uint64_t* offs, const NodeId* nbr, size_t begin,
                      size_t end, const double* x, double* y);
+void Avx2MultiRows(const uint64_t* offs, const NodeId* nbr, size_t begin,
+                   size_t end, const double* x, double* y, size_t k);
+void Avx2MultiRowsFused(const uint64_t* offs, const NodeId* nbr, size_t begin,
+                        size_t end, const double* x, double* y, size_t k,
+                        double* fused_acc);
 #endif
 
 }  // namespace internal

@@ -46,6 +46,21 @@ void ShiftedAdjacencyMatVec(const Graph& graph, double shift,
   }
 }
 
+void AdjacencyMatVecMulti(const Graph& graph, const std::vector<double>& x,
+                          std::vector<double>* y, size_t k) {
+  const size_t n = graph.num_nodes();
+  if (k < 1 || x.size() != n * k) {
+    internal::KernelContractViolation(
+        "AdjacencyMatVecMulti: x.size() != graph.num_nodes() * k");
+  }
+  if (y == nullptr || y == &x) {
+    internal::KernelContractViolation(
+        "AdjacencyMatVecMulti: output vector is null or aliases x");
+  }
+  y->resize(n * k);
+  AdjacencyMatVecMultiRows(graph, 0, n, x.data(), y->data(), k);
+}
+
 double RayleighQuotient(const Graph& graph, const std::vector<double>& x,
                         std::vector<double>* workspace) {
   CheckVectorArgs("RayleighQuotient", graph, x, workspace);

@@ -54,9 +54,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  Submit(0, std::move(task));
+}
+
+void ThreadPool::Submit(int priority, std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    queue_.push(std::move(task));
+    queue_[priority].push_back(std::move(task));
+    ++num_queued_;
     ++in_flight_;
   }
   work_ready_.notify_one();
@@ -73,13 +78,18 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) {
+      work_ready_.wait(lock, [this] { return shutdown_ || num_queued_ > 0; });
+      if (num_queued_ == 0) {
         if (shutdown_) return;
         continue;
       }
-      task = std::move(queue_.front());
-      queue_.pop();
+      // Highest priority bucket first (map is ordered by std::greater),
+      // FIFO within the bucket.
+      auto bucket = queue_.begin();
+      task = std::move(bucket->second.front());
+      bucket->second.pop_front();
+      if (bucket->second.empty()) queue_.erase(bucket);
+      --num_queued_;
     }
     task();
     {

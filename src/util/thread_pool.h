@@ -6,9 +6,10 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
@@ -33,6 +34,16 @@ class ThreadPool {
   /// themselves — only blocking from off-pool threads is supported.
   void Submit(std::function<void()> task);
 
+  /// Priority-aware Submit: among pending tasks, workers always pop the
+  /// highest `priority` first; within one priority level order stays
+  /// FIFO. The plain overload above enqueues at priority 0, so existing
+  /// call sites are unaffected. Priorities only order the *pending*
+  /// queue — they never preempt a running task. The recursive hierarchy
+  /// submits with priority = node depth so workers drive one subtree to
+  /// its leaves (releasing its interior eigenvectors) before fanning
+  /// across siblings.
+  void Submit(int priority, std::function<void()> task);
+
   /// Blocks until all submitted tasks have completed.
   void Wait();
 
@@ -55,7 +66,11 @@ class ThreadPool {
   void WorkerLoop(size_t worker_index);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  /// Pending tasks bucketed by priority, highest first (std::greater);
+  /// each bucket is FIFO. `num_queued_` mirrors the total size so the
+  /// worker wait predicate stays O(1).
+  std::map<int, std::deque<std::function<void()>>, std::greater<int>> queue_;
+  size_t num_queued_ = 0;
   std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable all_done_;

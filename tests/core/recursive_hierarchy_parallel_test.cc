@@ -82,6 +82,7 @@ void ExpectTreesIdentical(const RecursiveHierarchy& a,
     EXPECT_EQ(x.subgraph_lambda_min, y.subgraph_lambda_min) << "node " << i;
     EXPECT_EQ(x.spectral_iterations, y.spectral_iterations) << "node " << i;
     EXPECT_EQ(x.warm_started, y.warm_started) << "node " << i;
+    EXPECT_EQ(x.warm_start_distance, y.warm_start_distance) << "node " << i;
     EXPECT_EQ(x.split_stats.coupling_constant,
               y.split_stats.coupling_constant)
         << "node " << i;

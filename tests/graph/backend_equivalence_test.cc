@@ -108,10 +108,17 @@ std::vector<CsrKernelKind> KernelMatrix() {
 
 class KernelRestorer {
  public:
-  KernelRestorer() : saved_(ActiveCsrKernel()) {}
-  ~KernelRestorer() { SetCsrKernel(saved_); }
+  KernelRestorer() : was_auto_(CsrKernelIsAuto()), saved_(ActiveCsrKernel()) {}
+  ~KernelRestorer() {
+    if (was_auto_) {
+      SetCsrKernelAuto();
+    } else {
+      SetCsrKernel(saved_);
+    }
+  }
 
  private:
+  bool was_auto_;
   CsrKernelKind saved_;
 };
 

@@ -26,17 +26,26 @@
 namespace oca {
 namespace {
 
-/// Scoped kernel override; restores the previously active kernel so a
-/// test cannot leak its choice into later tests in the same process.
+/// Scoped kernel override; restores the previous dispatch state —
+/// including per-graph auto mode — so a test cannot leak its choice
+/// into later tests in the same process.
 class KernelGuard {
  public:
-  explicit KernelGuard(CsrKernelKind kind) : prev_(ActiveCsrKernel()) {
+  explicit KernelGuard(CsrKernelKind kind)
+      : was_auto_(CsrKernelIsAuto()), prev_(ActiveCsrKernel()) {
     active_ = SetCsrKernel(kind);
   }
-  ~KernelGuard() { SetCsrKernel(prev_); }
+  ~KernelGuard() {
+    if (was_auto_) {
+      SetCsrKernelAuto();
+    } else {
+      SetCsrKernel(prev_);
+    }
+  }
   CsrKernelKind active() const { return active_; }
 
  private:
+  bool was_auto_;
   CsrKernelKind prev_;
   CsrKernelKind active_;
 };
@@ -67,6 +76,7 @@ TEST(CsrKernelTest, NamesAndAvailability) {
   EXPECT_STREQ(CsrKernelName(CsrKernelKind::kAvx2), "avx2");
   EXPECT_TRUE(CsrKernelAvailable(CsrKernelKind::kPortable));
   // Requesting an unavailable kernel falls back to portable.
+  const bool was_auto = CsrKernelIsAuto();
   CsrKernelKind prev = ActiveCsrKernel();
   CsrKernelKind got = SetCsrKernel(CsrKernelKind::kAvx2);
   if (!CsrKernelAvailable(CsrKernelKind::kAvx2)) {
@@ -74,7 +84,11 @@ TEST(CsrKernelTest, NamesAndAvailability) {
   } else {
     EXPECT_EQ(got, CsrKernelKind::kAvx2);
   }
-  SetCsrKernel(prev);
+  if (was_auto) {
+    SetCsrKernelAuto();
+  } else {
+    SetCsrKernel(prev);
+  }
 }
 
 // Every kernel variant, on random graphs and random vectors, produces
@@ -259,18 +273,23 @@ TEST(CsrKernelTest, TreeDigestInvariantAcrossKernelsAndThreads) {
     for (CsrKernelKind kind : AvailableKernels()) {
       KernelGuard guard(kind);
       for (size_t threads : {size_t{0}, size_t{2}}) {
-        auto tree =
-            BuildRecursiveHierarchy(g, TreeOptions(21, threads)).value();
-        tree.MapToOriginalIds(g);
-        if (!have_reference) {
-          reference_digest = tree.Digest();
-          have_reference = true;
-          ASSERT_GT(tree.nodes.size(), tree.roots.size())
-              << "workload must genuinely recurse";
-        } else {
-          EXPECT_EQ(tree.Digest(), reference_digest)
-              << "kernel " << CsrKernelName(kind) << " threads " << threads
-              << " reordered " << reordered;
+        // The full acceptance matrix: block-Lanczos width must be a
+        // pure perf knob — probes never feed back into the recurrence.
+        for (size_t block : {size_t{1}, size_t{2}, size_t{4}}) {
+          RecursiveHierarchyOptions opt = TreeOptions(21, threads);
+          opt.base.power_method.block_size = block;
+          auto tree = BuildRecursiveHierarchy(g, opt).value();
+          tree.MapToOriginalIds(g);
+          if (!have_reference) {
+            reference_digest = tree.Digest();
+            have_reference = true;
+            ASSERT_GT(tree.nodes.size(), tree.roots.size())
+                << "workload must genuinely recurse";
+          } else {
+            EXPECT_EQ(tree.Digest(), reference_digest)
+                << "kernel " << CsrKernelName(kind) << " threads " << threads
+                << " block " << block << " reordered " << reordered;
+          }
         }
       }
     }

@@ -1,0 +1,411 @@
+// The multi-vector (SpMM) CSR kernel contract (spectral/csr_matvec.h):
+// AdjacencyMatVecMulti computes k products in ONE adjacency sweep, and
+// column j is BIT-IDENTICAL to the single-vector kernel applied to that
+// column — across portable/AVX2, owned/mmap backends, ragged degree
+// mixes, and every width 1..kMaxMatVecBatch. Plus the per-graph kernel
+// dispatch heuristic (mean row length vs the AVX2 gather threshold,
+// with forced overrides authoritative) and the block-Lanczos mode built
+// on the fused multi kernel: the primary recurrence's results are
+// bit-invariant in block_size, probes only add diagnostics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gen/erdos_renyi.h"
+#include "gen/nested_partition.h"
+#include "graph/graph_builder.h"
+#include "graph/mmap_graph.h"
+#include "io/graph_serialize.h"
+#include "spectral/csr_matvec.h"
+#include "spectral/power_method.h"
+#include "spectral/spectral_engine.h"
+#include "util/random.h"
+
+namespace oca {
+namespace {
+
+/// Scoped kernel override that restores the full dispatch state,
+/// including per-graph auto mode.
+class KernelGuard {
+ public:
+  explicit KernelGuard(CsrKernelKind kind)
+      : was_auto_(CsrKernelIsAuto()), prev_(ActiveCsrKernel()) {
+    SetCsrKernel(kind);
+  }
+  ~KernelGuard() {
+    if (was_auto_) {
+      SetCsrKernelAuto();
+    } else {
+      SetCsrKernel(prev_);
+    }
+  }
+
+ private:
+  bool was_auto_;
+  CsrKernelKind prev_;
+};
+
+std::vector<CsrKernelKind> AvailableKernels() {
+  std::vector<CsrKernelKind> kinds = {CsrKernelKind::kPortable};
+  if (CsrKernelAvailable(CsrKernelKind::kAvx2)) {
+    kinds.push_back(CsrKernelKind::kAvx2);
+  }
+  return kinds;
+}
+
+std::vector<double> RandomVector(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.NextGaussian();
+  return x;
+}
+
+/// Interleaves k column vectors into the node-major multi layout.
+std::vector<double> Interleave(const std::vector<std::vector<double>>& cols) {
+  const size_t k = cols.size();
+  const size_t n = cols.empty() ? 0 : cols[0].size();
+  std::vector<double> x(n * k);
+  for (size_t j = 0; j < k; ++j) {
+    for (size_t i = 0; i < n; ++i) x[i * k + j] = cols[j][i];
+  }
+  return x;
+}
+
+/// Extracts column j from the node-major multi layout.
+std::vector<double> Column(const std::vector<double>& y, size_t n, size_t k,
+                           size_t j) {
+  std::vector<double> col(n);
+  for (size_t i = 0; i < n; ++i) col[i] = y[i * k + j];
+  return col;
+}
+
+bool BitIdentical(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+/// Ragged degree mix: a full hub row, degree-2 chain rows, a clique of
+/// uniform mid-size rows, and near-isolated tails — every body/tail
+/// split of the 4-wide striped loop.
+Graph RaggedGraph() {
+  const NodeId n = 160;
+  GraphBuilder builder(n);
+  for (NodeId v = 1; v < n; ++v) builder.AddEdge(0, v);
+  for (NodeId v = 1; v + 1 < 60; ++v) builder.AddEdge(v, v + 1);
+  for (NodeId u = 100; u < 124; ++u) {
+    for (NodeId v = u + 1; v < 124; ++v) builder.AddEdge(u, v);
+  }
+  return builder.Build().value();
+}
+
+// --------------------------------------------------------------------
+// Multi-vector kernel: column j == the single-vector call, bit for bit.
+// --------------------------------------------------------------------
+
+TEST(MatVecMultiTest, ColumnsMatchSingleCallsBitIdentical) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    Graph g = ErdosRenyi(300 + 100 * seed, 0.03, &rng).value();
+    const size_t n = g.num_nodes();
+    for (size_t k : {size_t{1}, size_t{2}, size_t{3}, size_t{4}, size_t{5},
+                     size_t{8}}) {
+      std::vector<std::vector<double>> cols(k);
+      for (size_t j = 0; j < k; ++j) {
+        cols[j] = RandomVector(n, seed * 100 + j);
+      }
+      const std::vector<double> x = Interleave(cols);
+      for (CsrKernelKind kind : AvailableKernels()) {
+        KernelGuard guard(kind);
+        std::vector<double> y;
+        AdjacencyMatVecMulti(g, x, &y, k);
+        ASSERT_EQ(y.size(), n * k);
+        for (size_t j = 0; j < k; ++j) {
+          std::vector<double> single;
+          AdjacencyMatVec(g, cols[j], &single);
+          EXPECT_TRUE(BitIdentical(Column(y, n, k, j), single))
+              << "kernel " << CsrKernelName(kind) << " k " << k << " col "
+              << j << " seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(MatVecMultiTest, RaggedRowsMatchAcrossWidthsAndKernels) {
+  Graph g = RaggedGraph();
+  const size_t n = g.num_nodes();
+  for (size_t k = 1; k <= kMaxMatVecBatch; ++k) {
+    std::vector<std::vector<double>> cols(k);
+    for (size_t j = 0; j < k; ++j) cols[j] = RandomVector(n, 40 + j);
+    const std::vector<double> x = Interleave(cols);
+
+    // Portable single-vector reference per column.
+    KernelGuard base(CsrKernelKind::kPortable);
+    std::vector<std::vector<double>> refs(k);
+    for (size_t j = 0; j < k; ++j) AdjacencyMatVec(g, cols[j], &refs[j]);
+
+    for (CsrKernelKind kind : AvailableKernels()) {
+      KernelGuard guard(kind);
+      std::vector<double> y;
+      AdjacencyMatVecMulti(g, x, &y, k);
+      for (size_t j = 0; j < k; ++j) {
+        EXPECT_TRUE(BitIdentical(Column(y, n, k, j), refs[j]))
+            << "kernel " << CsrKernelName(kind) << " k " << k << " col " << j;
+      }
+    }
+  }
+}
+
+TEST(MatVecMultiTest, MmapBackendMatchesOwnedBitIdentical) {
+  Rng rng(17);
+  Graph owned = ErdosRenyi(400, 0.03, &rng).value();
+  const std::string path = ::testing::TempDir() + "/oca_matvec_multi.ocag";
+  ASSERT_TRUE(WriteGraphBinaryFile(owned, path).ok());
+  auto mapped = OpenMmapGraph(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  const Graph& mm = mapped.value();
+  ASSERT_TRUE(mm.is_mapped());
+
+  const size_t n = owned.num_nodes();
+  for (size_t k : {size_t{2}, size_t{4}, size_t{8}}) {
+    std::vector<std::vector<double>> cols(k);
+    for (size_t j = 0; j < k; ++j) cols[j] = RandomVector(n, 70 + j);
+    const std::vector<double> x = Interleave(cols);
+    for (CsrKernelKind kind : AvailableKernels()) {
+      KernelGuard guard(kind);
+      std::vector<double> y_owned, y_mapped;
+      AdjacencyMatVecMulti(owned, x, &y_owned, k);
+      AdjacencyMatVecMulti(mm, x, &y_mapped, k);
+      EXPECT_TRUE(BitIdentical(y_owned, y_mapped))
+          << "kernel " << CsrKernelName(kind) << " k " << k;
+    }
+  }
+}
+
+// The fused multi variant: per-column alphas equal the single fused
+// kernel's alpha on the same row range, bit for bit, and the products
+// agree with the plain multi pass.
+TEST(MatVecMultiTest, FusedAlphasMatchSingleFusedPerColumn) {
+  Rng rng(23);
+  Graph g = ErdosRenyi(500, 0.03, &rng).value();
+  const size_t n = g.num_nodes();
+  for (size_t k : {size_t{2}, size_t{4}, size_t{8}}) {
+    std::vector<std::vector<double>> cols(k);
+    for (size_t j = 0; j < k; ++j) cols[j] = RandomVector(n, 80 + j);
+    const std::vector<double> x = Interleave(cols);
+    for (CsrKernelKind kind : AvailableKernels()) {
+      KernelGuard guard(kind);
+      // Partial range too: the shape the engine's blocked reduction uses.
+      for (auto [begin, end] : {std::pair<size_t, size_t>{0, n},
+                                std::pair<size_t, size_t>{n / 3, n}}) {
+        std::vector<double> y(n * k, 0.0);
+        std::vector<double> alphas(k, -1.0);
+        AdjacencyMatVecMultiRowsFused(g, begin, end, x.data(), y.data(), k,
+                                      alphas.data());
+        for (size_t j = 0; j < k; ++j) {
+          std::vector<double> y_single(n, 0.0);
+          const double alpha_single = AdjacencyMatVecRowsFused(
+              g, begin, end, cols[j].data(), y_single.data());
+          EXPECT_EQ(alphas[j], alpha_single)
+              << "kernel " << CsrKernelName(kind) << " k " << k << " col "
+              << j;
+          for (size_t i = begin; i < end; ++i) {
+            ASSERT_EQ(y[i * k + j], y_single[i])
+                << "kernel " << CsrKernelName(kind) << " k " << k << " col "
+                << j << " row " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------
+// Kernel dispatch heuristic: mean row length decides in auto mode;
+// forced choices and OCA_SIMD stay authoritative.
+// --------------------------------------------------------------------
+
+TEST(KernelDispatchTest, MeanDegreeHeuristicPicksByThreshold) {
+  const CsrKernelKind wide_pick = CsrKernelForMeanDegree(
+      kAvx2MeanRowThreshold + 1.0);
+  const CsrKernelKind narrow_pick = CsrKernelForMeanDegree(
+      kAvx2MeanRowThreshold - 1.0);
+  EXPECT_EQ(narrow_pick, CsrKernelKind::kPortable);
+  if (CsrKernelAvailable(CsrKernelKind::kAvx2)) {
+    EXPECT_EQ(wide_pick, CsrKernelKind::kAvx2);
+  } else {
+    EXPECT_EQ(wide_pick, CsrKernelKind::kPortable);
+  }
+}
+
+TEST(KernelDispatchTest, PerGraphChoiceFollowsMeanRowLength) {
+  // Narrow: mean degree ~6, far below the gather threshold.
+  Rng rng1(5);
+  Graph narrow = ErdosRenyi(500, 0.012, &rng1).value();
+  // Wide: mean degree ~80, far above it.
+  Rng rng2(6);
+  Graph wide = ErdosRenyi(400, 0.2, &rng2).value();
+
+  const bool was_auto = CsrKernelIsAuto();
+  const CsrKernelKind prev = ActiveCsrKernel();
+  SetCsrKernelAuto();
+  ASSERT_TRUE(CsrKernelIsAuto());
+  EXPECT_EQ(CsrKernelFor(narrow), CsrKernelKind::kPortable);
+  EXPECT_EQ(CsrKernelFor(wide),
+            CsrKernelAvailable(CsrKernelKind::kAvx2)
+                ? CsrKernelKind::kAvx2
+                : CsrKernelKind::kPortable);
+
+  // A forced kernel overrides the per-graph heuristic entirely.
+  SetCsrKernel(CsrKernelKind::kPortable);
+  EXPECT_FALSE(CsrKernelIsAuto());
+  EXPECT_EQ(CsrKernelFor(wide), CsrKernelKind::kPortable);
+  if (CsrKernelAvailable(CsrKernelKind::kAvx2)) {
+    SetCsrKernel(CsrKernelKind::kAvx2);
+    EXPECT_EQ(CsrKernelFor(narrow), CsrKernelKind::kAvx2);
+  }
+
+  if (was_auto) {
+    SetCsrKernelAuto();
+  } else {
+    SetCsrKernel(prev);
+  }
+}
+
+// Auto dispatch can never change results: whatever the heuristic picks
+// is one of the bit-identical kernel variants.
+TEST(KernelDispatchTest, AutoModeProductsMatchForcedPortable) {
+  Rng rng(31);
+  Graph wide = ErdosRenyi(300, 0.3, &rng).value();
+  std::vector<double> x = RandomVector(wide.num_nodes(), 31);
+
+  std::vector<double> y_ref;
+  {
+    KernelGuard guard(CsrKernelKind::kPortable);
+    AdjacencyMatVec(wide, x, &y_ref);
+  }
+  const bool was_auto = CsrKernelIsAuto();
+  const CsrKernelKind prev = ActiveCsrKernel();
+  SetCsrKernelAuto();
+  std::vector<double> y_auto;
+  AdjacencyMatVec(wide, x, &y_auto);
+  EXPECT_TRUE(BitIdentical(y_auto, y_ref));
+  if (was_auto) {
+    SetCsrKernelAuto();
+  } else {
+    SetCsrKernel(prev);
+  }
+}
+
+// --------------------------------------------------------------------
+// Block Lanczos: the primary recurrence is bit-invariant in block_size;
+// probes are diagnostics riding the same fused SpMM pass.
+// --------------------------------------------------------------------
+
+TEST(BlockLanczosTest, CouplingResultsBitIdenticalAcrossBlockSizes) {
+  for (uint64_t seed : {3u, 9u}) {
+    Rng rng(seed);
+    Graph g = ErdosRenyi(400, 0.03, &rng).value();
+    for (CsrKernelKind kind : AvailableKernels()) {
+      KernelGuard guard(kind);
+      double c_ref = 0.0, lambda_ref = 0.0;
+      size_t iters_ref = 0;
+      std::vector<double> vec_ref;
+      bool have_ref = false;
+      for (size_t block : {size_t{1}, size_t{2}, size_t{4}}) {
+        SpectralEngineOptions opt;
+        opt.seed = seed;
+        opt.block_size = block;
+        SpectralEngine engine(opt);
+        std::vector<double> vec;
+        CouplingResult r = engine.CouplingConstantWithVector(g, &vec).value();
+        if (!have_ref) {
+          c_ref = r.c;
+          lambda_ref = r.lambda_min;
+          iters_ref = r.iterations;
+          vec_ref = vec;
+          have_ref = true;
+        } else {
+          // Bit-equality, not tolerance: the probes must never feed
+          // back into the primary recurrence.
+          EXPECT_EQ(r.c, c_ref) << "block " << block;
+          EXPECT_EQ(r.lambda_min, lambda_ref) << "block " << block;
+          EXPECT_EQ(r.iterations, iters_ref) << "block " << block;
+          EXPECT_TRUE(BitIdentical(vec, vec_ref)) << "block " << block;
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockLanczosTest, ProbesConfirmLambdaMinFromIndependentStarts) {
+  Rng rng(7);
+  Graph g = ErdosRenyi(500, 0.04, &rng).value();
+  SpectralEngineOptions opt;
+  opt.block_size = 4;
+  SpectralEngine engine(opt);
+  CouplingResult r = engine.CouplingConstant(g).value();
+  ASSERT_TRUE(r.converged);
+
+  const BlockProbeStats& probes = engine.last_block_probes();
+  ASSERT_TRUE(probes.valid);
+  EXPECT_EQ(probes.block_size, 4u);
+  ASSERT_EQ(probes.probe_lambda_min.size(), 3u);
+  EXPECT_GT(probes.steps, 0u);
+  // Probes run the same Lanczos recurrence from independent random
+  // starts; at the primary's stopping point each extreme Ritz value is
+  // a lower-accuracy estimate of the same lambda_min — same sign, same
+  // ballpark, and never meaningfully BELOW the true extreme.
+  for (size_t j = 0; j < probes.probe_lambda_min.size(); ++j) {
+    const double theta = probes.probe_lambda_min[j];
+    EXPECT_LT(theta, 0.0) << "probe " << j;
+    EXPECT_NEAR(theta, r.lambda_min, 0.25 * std::fabs(r.lambda_min))
+        << "probe " << j;
+  }
+  // The block minimum aggregates the primary's RAW pass-1 Ritz value
+  // and every probe; the reported lambda_min is further refined, so the
+  // two agree closely but not bitwise.
+  EXPECT_NEAR(probes.block_lambda_min, r.lambda_min,
+              1e-3 * std::fabs(r.lambda_min));
+
+  // block_size == 1 must not report probes.
+  SpectralEngineOptions scalar_opt;
+  SpectralEngine scalar(scalar_opt);
+  (void)scalar.CouplingConstant(g).value();
+  EXPECT_FALSE(scalar.last_block_probes().valid);
+}
+
+TEST(BlockLanczosTest, DominantEigenpairUnaffectedByBlockSize) {
+  Rng rng(13);
+  Graph g = ErdosRenyi(300, 0.04, &rng).value();
+  PowerMethodOptions pm;
+  pm.seed = 99;
+  EigenEstimate a = DominantEigenpair(g, pm).value();
+  pm.block_size = 4;
+  EigenEstimate b = DominantEigenpair(g, pm).value();
+  EXPECT_EQ(a.eigenvalue, b.eigenvalue);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_TRUE(BitIdentical(a.eigenvector, b.eigenvector));
+}
+
+// Out-of-range and degenerate widths clamp instead of misbehaving.
+TEST(BlockLanczosTest, OversizedBlockClampsToMaxBatch) {
+  Rng rng(19);
+  Graph g = ErdosRenyi(200, 0.05, &rng).value();
+  SpectralEngineOptions opt;
+  opt.block_size = 64;  // clamped to kMaxMatVecBatch
+  SpectralEngine engine(opt);
+  CouplingResult r = engine.CouplingConstant(g).value();
+  ASSERT_TRUE(r.converged);
+  const BlockProbeStats& probes = engine.last_block_probes();
+  ASSERT_TRUE(probes.valid);
+  EXPECT_EQ(probes.block_size, kMaxMatVecBatch);
+}
+
+}  // namespace
+}  // namespace oca

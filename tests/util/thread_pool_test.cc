@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <vector>
 
@@ -17,6 +19,69 @@ TEST(ThreadPoolTest, RunsSubmittedTasks) {
   }
   pool.Wait();
   EXPECT_EQ(counter.load(), 100);
+}
+
+// Priority ordering: with the single worker blocked, a mix of
+// priorities enqueued out of order must drain highest-priority first,
+// FIFO within equal priorities. The blocker guarantees every task is
+// pending before the worker picks anything, so the observed order is
+// the queue's, not the race's.
+TEST(ThreadPoolTest, HigherPriorityTasksRunFirst) {
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  std::vector<int> order;
+  auto record = [&](int tag) {
+    return [&order, tag] { order.push_back(tag); };
+  };
+  // Enqueued shuffled: two at priority 0, two at 2, one at 1, and a
+  // negative priority that must come dead last.
+  pool.Submit(0, record(100));
+  pool.Submit(2, record(200));
+  pool.Submit(-1, record(-100));
+  pool.Submit(1, record(10));
+  pool.Submit(2, record(201));
+  pool.Submit(0, record(101));
+
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Wait();
+  EXPECT_EQ(order, (std::vector<int>{200, 201, 10, 100, 101, -100}));
+}
+
+// The plain Submit overload is priority 0 — interleaving it with the
+// priority overload keeps FIFO order among equals.
+TEST(ThreadPoolTest, PlainSubmitIsPriorityZero) {
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  std::vector<int> order;
+  pool.Submit([&order] { order.push_back(1); });
+  pool.Submit(0, [&order] { order.push_back(2); });
+  pool.Submit([&order] { order.push_back(3); });
+
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Wait();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
