@@ -18,6 +18,7 @@
 #include "gen/erdos_renyi.h"
 #include "gen/lfr.h"
 #include "gen/nested_partition.h"
+#include "gen/weight_assign.h"
 #include "graph/graph_builder.h"
 #include "spectral/csr_matvec.h"
 #include "spectral/extreme_eigen.h"
@@ -357,6 +358,90 @@ void BM_GreedyLocalSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GreedyLocalSearch);
+
+// Weighted mat-vec through each compiled-in kernel (same args as
+// BM_MatVecKernel; the graphs carry deterministic hash weights). The
+// delta against the unweighted rows is the cost of the third CSR
+// stream: one extra 8-byte load per edge, a mul instead of nothing.
+void BM_MatVecWeighted(benchmark::State& state) {
+  KernelScope scope;
+  static const oca::Graph* narrow = [] {
+    return new oca::Graph(oca::AssignWeights(LfrGraph()).value());
+  }();
+  static const oca::Graph* wide = [] {
+    return new oca::Graph(oca::AssignWeights(WideErGraph()).value());
+  }();
+  const oca::Graph& g = state.range(1) == 0 ? *narrow : *wide;
+  std::string label = state.range(1) == 0 ? "narrow/" : "wide/";
+  if (state.range(0) == 2) {
+    oca::SetCsrKernelAuto();
+    label += std::string("auto->") + oca::CsrKernelName(oca::CsrKernelFor(g));
+  } else {
+    const auto kind = static_cast<oca::CsrKernelKind>(state.range(0));
+    if (!oca::CsrKernelAvailable(kind)) {
+      state.SkipWithError("kernel not available on this build/CPU");
+      return;
+    }
+    oca::SetCsrKernel(kind);
+    label += oca::CsrKernelName(kind);
+  }
+  std::vector<double> x(g.num_nodes(), 1.0), y(g.num_nodes());
+  for (auto _ : state) {
+    oca::AdjacencyMatVecRows(g, 0, g.num_nodes(), x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_edges() * 2));
+  state.SetLabel(label);
+}
+BENCHMARK(BM_MatVecWeighted)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({2, 1});
+
+// Local search on the 960-node nested graph, one climb per node. Arg:
+// 0 = unweighted graph, integer fast path (bucket-queue climber) — the
+// baseline inside the ~81ms hierarchy profile; 1 = all-1.0 weights
+// with use_weights (same covers by the equivalence invariant, but the
+// weighted fitness routes to the generic climber — this row prices
+// that detour); 2 = hash weights (genuinely weighted search).
+void BM_LocalSearchWeighted(benchmark::State& state) {
+  const oca::Graph& base = NestedBenchGraph();
+  static const oca::Graph* unit = [] {
+    oca::WeightAssignOptions opt;
+    opt.scheme = oca::WeightScheme::kUnit;
+    return new oca::Graph(oca::AssignWeights(NestedBenchGraph(), opt).value());
+  }();
+  static const oca::Graph* hashed = [] {
+    return new oca::Graph(oca::AssignWeights(NestedBenchGraph()).value());
+  }();
+  const oca::Graph& g = state.range(0) == 0   ? base
+                        : state.range(0) == 1 ? *unit
+                                              : *hashed;
+  static const double c = oca::ComputeCouplingConstant(base).value();
+  oca::LocalSearchOptions opt;
+  opt.fitness.c = c;
+  opt.fitness.use_weights = state.range(0) != 0;
+  for (auto _ : state) {
+    for (oca::NodeId v = 0; v < g.num_nodes(); ++v) {
+      auto result = oca::GreedyLocalSearch(g, {v}, opt);
+      benchmark::DoNotOptimize(result);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_nodes()));
+  state.SetLabel(state.range(0) == 0   ? "unweighted/fast"
+                 : state.range(0) == 1 ? "unit-weights/generic"
+                                       : "hash-weights/generic");
+}
+BENCHMARK(BM_LocalSearchWeighted)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_BronKerbosch(benchmark::State& state) {
   oca::Rng rng(11);

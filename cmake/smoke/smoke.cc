@@ -1,0 +1,33 @@
+// Minimal consumer of the installed oca package: builds a weighted
+// triangle, runs the weighted fitness evaluation, and prints one line.
+// Exit code 0 means the installed headers, archive, and export set all
+// line up.
+
+#include <cstdio>
+
+#include "core/community_state.h"
+#include "core/fitness.h"
+#include "graph/graph_builder.h"
+
+int main() {
+  oca::GraphBuilder builder(3);
+  builder.AddEdge(0, 1, 2.0);
+  builder.AddEdge(1, 2, 0.5);
+  builder.AddEdge(0, 2, 1.5);
+  auto graph = builder.Build();
+  if (!graph.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 std::string(graph.status().message()).c_str());
+    return 1;
+  }
+  oca::FitnessParams params;
+  params.use_weights = true;
+  const oca::SubsetStats stats =
+      oca::ComputeSubsetStats(*graph, oca::Community{0, 1, 2});
+  const double fitness = oca::EvaluateFitness(stats, params);
+  std::printf("oca smoke: n=%zu m=%zu weighted=%d L=%.6f\n",
+              static_cast<size_t>(graph->num_nodes()),
+              static_cast<size_t>(graph->num_edges()),
+              graph->is_weighted() ? 1 : 0, fitness);
+  return fitness > 0.0 ? 0 : 2;
+}

@@ -15,6 +15,22 @@ void CommunityState::Add(NodeId v) {
   stats_.ein += info.count;  // v's in-neighbors become internal edges
   stats_.volume += graph_->Degree(v);
 
+  if (graph_->is_weighted()) {
+    stats_.w_in += info.wcount;
+    stats_.w_volume += graph_->WeightedDegree(v);
+    auto nbrs = graph_->Neighbors(v);
+    auto wts = graph_->Weights(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      NodeInfo& ni = deg_in_[nbrs[i]];
+      ++ni.count;
+      ni.wcount += wts[i];
+    }
+    return;
+  }
+  // Unweighted: the historical loop, with the weighted stats mirroring
+  // the integer counters (exact — they are integer-valued doubles).
+  stats_.w_in = static_cast<double>(stats_.ein);
+  stats_.w_volume = static_cast<double>(stats_.volume);
   for (NodeId u : graph_->Neighbors(v)) {
     ++deg_in_[u].count;
   }
@@ -29,6 +45,15 @@ void CommunityState::Remove(NodeId v) {
   stats_.ein -= it->second.count;
   stats_.volume -= graph_->Degree(v);
 
+  const bool weighted = graph_->is_weighted();
+  if (weighted) {
+    stats_.w_in -= it->second.wcount;
+    stats_.w_volume -= graph_->WeightedDegree(v);
+  } else {
+    stats_.w_in = static_cast<double>(stats_.ein);
+    stats_.w_volume = static_cast<double>(stats_.volume);
+  }
+
   auto pos = std::find(members_.begin(), members_.end(), v);
   assert(pos != members_.end());
   // Order-preserving erase keeps Frontier() deterministic across
@@ -36,12 +61,16 @@ void CommunityState::Remove(NodeId v) {
   // neighbor scans so the O(|S|) erase is immaterial.
   members_.erase(pos);
 
-  for (NodeId u : graph_->Neighbors(v)) {
-    auto uit = deg_in_.find(u);
+  auto nbrs = graph_->Neighbors(v);
+  auto wts = graph_->Weights(v);  // empty when unweighted
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    auto uit = deg_in_.find(nbrs[i]);
     assert(uit != deg_in_.end() && uit->second.count > 0);
     --uit->second.count;
+    if (weighted) uit->second.wcount -= wts[i];
     // Garbage-collect empty non-member entries to keep the map small on
-    // long add/remove sequences.
+    // long add/remove sequences. (count == 0 means no edges into S, so
+    // any weighted residue left by float cancellation is dropped too.)
     if (uit->second.count == 0 && !uit->second.member) {
       deg_in_.erase(uit);
     }
@@ -100,12 +129,31 @@ SubsetStats ComputeSubsetStats(const Graph& graph, const Community& nodes) {
   }
   SubsetStats stats;
   stats.size = nodes.size();
+  if (graph.is_weighted()) {
+    for (NodeId v : nodes) {
+      stats.volume += graph.Degree(v);
+      stats.w_volume += graph.WeightedDegree(v);
+      auto nbrs = graph.Neighbors(v);
+      auto wts = graph.Weights(v);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        if (nbrs[i] > v && mark[nbrs[i]] == epoch) {
+          ++stats.ein;
+          stats.w_in += wts[i];
+        }
+      }
+    }
+    return stats;
+  }
   for (NodeId v : nodes) {
     stats.volume += graph.Degree(v);
     for (NodeId u : graph.Neighbors(v)) {
       if (u > v && mark[u] == epoch) ++stats.ein;
     }
   }
+  // Exact mirrors (see SubsetStats): all-1.0 weights and no weights
+  // must be indistinguishable to weighted fitness evaluation.
+  stats.w_in = static_cast<double>(stats.ein);
+  stats.w_volume = static_cast<double>(stats.volume);
   return stats;
 }
 

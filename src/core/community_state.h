@@ -37,6 +37,16 @@ class CommunityState {
     return it == deg_in_.end() ? 0 : it->second.count;
   }
 
+  /// Total weight of v's edges into S. On an unweighted graph this is
+  /// DegIn(v) (each edge counts 1.0), kept exact by mirroring the
+  /// integer counter instead of accumulating.
+  double WDegIn(NodeId v) const {
+    auto it = deg_in_.find(v);
+    if (it == deg_in_.end()) return 0.0;
+    return graph_->is_weighted() ? it->second.wcount
+                                 : static_cast<double>(it->second.count);
+  }
+
   /// Adds v to S. Must not already be a member. O(deg(v)).
   void Add(NodeId v);
 
@@ -58,8 +68,9 @@ class CommunityState {
 
  private:
   struct NodeInfo {
-    uint32_t count = 0;  // neighbors inside S
+    uint32_t count = 0;    // neighbors inside S
     bool member = false;
+    double wcount = 0.0;   // weight of edges into S (weighted graphs only)
   };
 
   const Graph* graph_;

@@ -28,6 +28,14 @@ double DirectedLaplacianFitness(size_t s, size_t ein, double c) {
          2.0 * c * static_cast<double>(ein) * (1.0 - (sd - 2.0) / root);
 }
 
+double WeightedDirectedLaplacianFitness(size_t s, double win, double c) {
+  if (s == 0) return 0.0;
+  if (s == 1) return 1.0;
+  double sd = static_cast<double>(s);
+  double root = std::sqrt(sd * (sd - 1.0));
+  return sd - root + 2.0 * c * win * (1.0 - (sd - 2.0) / root);
+}
+
 double LfkFitness(size_t ein, size_t eout, double alpha) {
   double kin = 2.0 * static_cast<double>(ein);
   double kout = static_cast<double>(eout);
@@ -36,7 +44,30 @@ double LfkFitness(size_t ein, size_t eout, double alpha) {
   return kin / std::pow(denom, alpha);
 }
 
+double WeightedLfkFitness(double win, double wout, double alpha) {
+  double kin = 2.0 * win;
+  double denom = kin + wout;
+  if (denom <= 0.0) return 0.0;
+  return kin / std::pow(denom, alpha);
+}
+
 double EvaluateFitness(const SubsetStats& stats, const FitnessParams& params) {
+  if (params.use_weights) {
+    switch (params.kind) {
+      case FitnessKind::kDirectedLaplacian:
+        return WeightedDirectedLaplacianFitness(stats.size, stats.w_in,
+                                                params.c);
+      case FitnessKind::kRawPhi:
+        return static_cast<double>(stats.size) + 2.0 * params.c * stats.w_in;
+      case FitnessKind::kConductanceLike: {
+        double denom = stats.w_in + stats.WOut();
+        return denom > 0.0 ? stats.w_in / denom : 0.0;
+      }
+      case FitnessKind::kLfk:
+        return WeightedLfkFitness(stats.w_in, stats.WOut(), params.alpha);
+    }
+    return 0.0;
+  }
   switch (params.kind) {
     case FitnessKind::kDirectedLaplacian:
       return DirectedLaplacianFitness(stats.size, stats.ein, params.c);
@@ -74,6 +105,30 @@ double FitnessGainRemove(const SubsetStats& stats, size_t deg_in, size_t deg,
   after.size -= 1;
   after.ein -= deg_in;
   after.volume -= deg;
+  return EvaluateFitness(after, params) - EvaluateFitness(stats, params);
+}
+
+double WeightedFitnessGainAdd(const SubsetStats& stats, double w_deg_in,
+                              double w_deg, const FitnessParams& params) {
+  assert(params.use_weights);
+  assert(w_deg_in <= w_deg);
+  // The weighted evaluation reads only (size, w_in, w_volume); the
+  // integer fields pass through unchanged.
+  SubsetStats after = stats;
+  after.size += 1;
+  after.w_in += w_deg_in;
+  after.w_volume += w_deg;
+  return EvaluateFitness(after, params) - EvaluateFitness(stats, params);
+}
+
+double WeightedFitnessGainRemove(const SubsetStats& stats, double w_deg_in,
+                                 double w_deg, const FitnessParams& params) {
+  assert(params.use_weights);
+  assert(stats.size >= 1);
+  SubsetStats after = stats;
+  after.size -= 1;
+  after.w_in -= w_deg_in;
+  after.w_volume -= w_deg;
   return EvaluateFitness(after, params) - EvaluateFitness(stats, params);
 }
 

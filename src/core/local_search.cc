@@ -27,10 +27,14 @@ constexpr NodeId kNoNode = UINT32_MAX;
 // flat in community size (paper Fig. 6).
 // ---------------------------------------------------------------------
 
-/// Monotone-in-deg-in fitness kinds eligible for the fast path.
-bool DegInRanked(FitnessKind kind) {
-  return kind == FitnessKind::kDirectedLaplacian ||
-         kind == FitnessKind::kRawPhi;
+/// Monotone-in-deg-in fitness kinds eligible for the fast path. The
+/// bucket queues key on the INTEGER deg-in, so weighted fitness — whose
+/// argmax ranks by the weighted deg-in, a double — always takes the
+/// generic climber instead.
+bool DegInRanked(const FitnessParams& params) {
+  if (params.use_weights) return false;
+  return params.kind == FitnessKind::kDirectedLaplacian ||
+         params.kind == FitnessKind::kRawPhi;
 }
 
 /// Bucket queue over nodes keyed by small non-negative integers
@@ -247,6 +251,11 @@ LocalSearchResult FastClimb(const Graph& graph, const Community& seed,
       [&result](NodeId v, uint32_t) { result.community.push_back(v); });
   std::sort(result.community.begin(), result.community.end());
   scratch.Reset();
+  // The fast path never evaluates weighted fitness (DegInRanked rejects
+  // use_weights); fill the weighted stats as integer mirrors so the
+  // returned SubsetStats is self-consistent.
+  stats.w_in = static_cast<double>(stats.ein);
+  stats.w_volume = static_cast<double>(stats.volume);
   result.stats = stats;
   result.fitness = EvaluateFitness(stats, options.fitness);
   return result;
@@ -260,6 +269,19 @@ LocalSearchResult GenericClimb(const Graph& graph, const Community& seed,
                                const LocalSearchOptions& options) {
   CommunityState state(graph);
   for (NodeId v : seed) state.Add(v);
+
+  // Weighted scoring needs each candidate's weighted degree, an O(deg)
+  // scan of its weight row; memoize it — candidates are rescored every
+  // step, and a node's weighted degree never changes.
+  const bool weighted = options.fitness.use_weights;
+  std::unordered_map<NodeId, double> wdeg_memo;
+  auto weighted_degree = [&](NodeId v) {
+    auto it = wdeg_memo.find(v);
+    if (it != wdeg_memo.end()) return it->second;
+    const double d = graph.WeightedDegree(v);
+    wdeg_memo.emplace(v, d);
+    return d;
+  };
 
   LocalSearchResult result;
   for (;;) {
@@ -276,7 +298,11 @@ LocalSearchResult GenericClimb(const Graph& graph, const Community& seed,
         stats.size < options.max_community_size) {
       for (const auto& [node, deg_in] : state.Frontier()) {
         double gain =
-            FitnessGainAdd(stats, deg_in, graph.Degree(node), options.fitness);
+            weighted
+                ? WeightedFitnessGainAdd(stats, state.WDegIn(node),
+                                         weighted_degree(node), options.fitness)
+                : FitnessGainAdd(stats, deg_in, graph.Degree(node),
+                                 options.fitness);
         if (gain > best_gain) {
           best_gain = gain;
           best_node = node;
@@ -287,8 +313,12 @@ LocalSearchResult GenericClimb(const Graph& graph, const Community& seed,
 
     if (options.allow_remove && stats.size > 1) {
       for (NodeId v : state.members()) {
-        double gain = FitnessGainRemove(stats, state.DegIn(v),
-                                        graph.Degree(v), options.fitness);
+        double gain =
+            weighted
+                ? WeightedFitnessGainRemove(stats, state.WDegIn(v),
+                                            weighted_degree(v), options.fitness)
+                : FitnessGainRemove(stats, state.DegIn(v), graph.Degree(v),
+                                    options.fitness);
         if (gain > best_gain) {
           best_gain = gain;
           best_node = v;
@@ -329,7 +359,7 @@ Result<LocalSearchResult> GreedyLocalSearch(
     return Status::InvalidArgument("seed node " + std::to_string(seed.back()) +
                                    " out of range");
   }
-  if (DegInRanked(options.fitness.kind)) {
+  if (!options.force_generic_climber && DegInRanked(options.fitness)) {
     return FastClimb(graph, seed, options);
   }
   return GenericClimb(graph, seed, options);

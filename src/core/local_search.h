@@ -29,6 +29,13 @@ struct LocalSearchOptions {
   size_t max_community_size = 0;
   /// Allow the removal move (the paper's search uses both directions).
   bool allow_remove = true;
+  /// Testing/ablation escape hatch: skip the bucket-queue fast path
+  /// even when the fitness is deg-in-ranked, forcing the generic
+  /// climber. The two climbers reach local maxima of the same quality
+  /// but break exact ties differently (most-recently-touched vs
+  /// smallest-id), so differential suites that compare against the
+  /// generic weighted path set this to compare like for like.
+  bool force_generic_climber = false;
 };
 
 /// Outcome of one climb.

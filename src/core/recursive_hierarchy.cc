@@ -541,7 +541,9 @@ std::vector<std::vector<double>> BatchRestrictionSeeds(
   std::vector<std::vector<double>> seeds(children.size());
   const size_t n = graph.num_nodes();
   if (n == 0 || eigenvector.size() != n) return seeds;
-  const double sigma = static_cast<double>(graph.MaxDegree());
+  // Weighted graphs shift by the weighted Gershgorin bound (identical
+  // to MaxDegree when weightless, so unweighted seeds are unchanged).
+  const double sigma = graph.MaxWeightedDegree();
 
   // Graph-local indices of each child's nodes, in the child's
   // sorted-original order — exactly the local order InducedSubgraph

@@ -1,0 +1,55 @@
+#include "gen/weight_assign.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+
+namespace oca {
+
+double HashedEdgeWeight(NodeId u, NodeId v,
+                        const WeightAssignOptions& options) {
+  if (options.scheme == WeightScheme::kUnit) return 1.0;
+  if (u > v) std::swap(u, v);
+  // One SplitMix64 round over (seed, u, v) packed into the state. The
+  // golden-ratio offset keeps seed 0 from collapsing to a raw pair
+  // hash; SplitMix64's finalizer is a full-avalanche mix, which is all
+  // a weight assignment needs.
+  uint64_t state = options.seed * 0x9E3779B97F4A7C15ull +
+                   (static_cast<uint64_t>(u) << 32 | v);
+  const uint64_t bits = SplitMix64(&state);
+  const double unit = static_cast<double>(bits >> 11) * 0x1.0p-53;
+  return options.min_weight +
+         unit * (options.max_weight - options.min_weight);
+}
+
+Result<Graph> AssignWeights(const Graph& graph,
+                            const WeightAssignOptions& options) {
+  if (options.scheme == WeightScheme::kUniformHash) {
+    if (!std::isfinite(options.min_weight) ||
+        !std::isfinite(options.max_weight) ||
+        !(options.min_weight < options.max_weight) ||
+        options.min_weight <= 0.0) {
+      return Status::InvalidArgument(
+          "weight range must satisfy 0 < min_weight < max_weight and be "
+          "finite");
+    }
+  }
+  auto offs = graph.offsets();
+  auto nbrs = graph.neighbor_array();
+  std::vector<uint64_t> offsets(offs.begin(), offs.end());
+  std::vector<NodeId> neighbors(nbrs.begin(), nbrs.end());
+  std::vector<double> weights(neighbors.size());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (uint64_t p = offsets[v]; p < offsets[v + 1]; ++p) {
+      // Orientation-insensitive hash: both CSR directions of an edge
+      // compute the identical double, so symmetry holds bitwise.
+      weights[p] = HashedEdgeWeight(v, neighbors[p], options);
+    }
+  }
+  return Graph(std::move(offsets), std::move(neighbors), std::move(weights),
+               graph.original_ids());
+}
+
+}  // namespace oca

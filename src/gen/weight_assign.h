@@ -1,0 +1,54 @@
+// Deterministic synthetic edge weights for tests and benchmarks.
+//
+// The weight of an edge is a pure function of (seed, u, v) — a
+// SplitMix64 hash of the canonical endpoint pair, NOT a sequential RNG
+// draw — so the assignment is independent of edge iteration order,
+// build path (in-memory vs chunked file build), and backend. Every
+// differential test in the weighted suite leans on this: the same
+// (graph, seed) yields bitwise-identical weights no matter how the
+// graph was materialized.
+//
+// Schemes:
+//   kUnit        — every edge weighs exactly 1.0. The graph becomes
+//                  weighted (is_weighted() true) but is semantically
+//                  the unweighted graph; used to pin the all-ones
+//                  equivalence invariant.
+//   kUniformHash — uniform in [min_weight, max_weight), hashed per
+//                  edge as above.
+
+#ifndef OCA_GEN_WEIGHT_ASSIGN_H_
+#define OCA_GEN_WEIGHT_ASSIGN_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace oca {
+
+enum class WeightScheme {
+  kUnit,
+  kUniformHash,
+};
+
+struct WeightAssignOptions {
+  WeightScheme scheme = WeightScheme::kUniformHash;
+  uint64_t seed = 42;
+  double min_weight = 0.5;   // inclusive
+  double max_weight = 2.0;   // exclusive; must exceed min_weight
+};
+
+/// The weight AssignWeights gives edge {u, v} (orientation-insensitive).
+/// Exposed so file-build pipelines can stamp the same weights edge by
+/// edge without materializing the in-memory graph first.
+double HashedEdgeWeight(NodeId u, NodeId v, const WeightAssignOptions& options);
+
+/// Returns a weighted copy of `graph` (same topology, same original-id
+/// mapping) with per-edge weights drawn by `options.scheme`. Errors if
+/// the weight range is empty or non-finite.
+Result<Graph> AssignWeights(const Graph& graph,
+                            const WeightAssignOptions& options = {});
+
+}  // namespace oca
+
+#endif  // OCA_GEN_WEIGHT_ASSIGN_H_

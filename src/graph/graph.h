@@ -21,6 +21,16 @@
 // bit-identical — on both backends. The backend choice is a memory/IO
 // trade, never an observable one (tests/graph/backend_equivalence_test
 // enforces this).
+//
+// Weights. A Graph may additionally carry one per-edge double weight as
+// a THIRD CSR array aligned with `neighbors` (entry e weights the edge
+// `neighbors[e]` of its row; the two directions of an undirected edge
+// carry the same value). Like the other two arrays it is a span over
+// either owned storage or the mmap backing (.ocag format v2), with zero
+// dispatch on the hot path. A weightless graph has an EMPTY weight view
+// and takes exactly the unweighted code path everywhere — kernels,
+// fitness, serialization — so every unweighted digest pin is untouched
+// by this axis (tests/core/weighted_differential_test enforces this).
 
 #ifndef OCA_GRAPH_GRAPH_H_
 #define OCA_GRAPH_GRAPH_H_
@@ -38,6 +48,13 @@ using NodeId = uint32_t;
 
 /// Undirected edge as an (u, v) pair; canonical form has u < v.
 using Edge = std::pair<NodeId, NodeId>;
+
+/// Undirected weighted edge in canonical (u < v) orientation.
+struct WeightedEdge {
+  NodeId u = 0;
+  NodeId v = 0;
+  double weight = 1.0;
+};
 
 /// Immutable simple undirected graph in CSR form.
 ///
@@ -63,6 +80,18 @@ class Graph {
     RebindOwnedViews();
   }
 
+  /// Weighted owning constructor: `weights` must either be empty
+  /// (unweighted) or have exactly neighbors.size() entries, symmetric
+  /// across edge directions, each finite and > 0 (ValidateGraph checks).
+  Graph(std::vector<uint64_t> offsets, std::vector<NodeId> neighbors,
+        std::vector<double> weights, std::vector<NodeId> original_ids)
+      : offsets_(std::move(offsets)),
+        neighbors_(std::move(neighbors)),
+        weights_(std::move(weights)),
+        original_ids_(std::move(original_ids)) {
+    RebindOwnedViews();
+  }
+
   /// Non-owning backend: views into storage kept alive by `backing`
   /// (an mmap'd graph file; see graph/mmap_graph.h). The views must
   /// satisfy the same CSR invariants as the owning constructor and must
@@ -72,12 +101,25 @@ class Graph {
                             std::span<const NodeId> neighbors,
                             std::shared_ptr<const void> backing,
                             std::vector<NodeId> original_ids = {}) {
+    return FromExternal(offsets, neighbors, {}, std::move(backing),
+                        std::move(original_ids));
+  }
+
+  /// Weighted external backend (an .ocag v2 mapping): `weights` must be
+  /// empty or neighbors.size() long, same invariants as the owning
+  /// weighted constructor.
+  static Graph FromExternal(std::span<const uint64_t> offsets,
+                            std::span<const NodeId> neighbors,
+                            std::span<const double> weights,
+                            std::shared_ptr<const void> backing,
+                            std::vector<NodeId> original_ids = {}) {
     Graph g;
     g.offsets_.clear();
     g.original_ids_ = std::move(original_ids);
     g.backing_ = std::move(backing);
     g.offsets_view_ = offsets;
     g.neighbors_view_ = neighbors;
+    g.weights_view_ = weights;
     return g;
   }
 
@@ -88,20 +130,24 @@ class Graph {
   Graph(const Graph& other)
       : offsets_(other.offsets_),
         neighbors_(other.neighbors_),
+        weights_(other.weights_),
         original_ids_(other.original_ids_),
         backing_(other.backing_),
         offsets_view_(other.offsets_view_),
-        neighbors_view_(other.neighbors_view_) {
+        neighbors_view_(other.neighbors_view_),
+        weights_view_(other.weights_view_) {
     if (!backing_) RebindOwnedViews();
   }
   Graph& operator=(const Graph& other) {
     if (this != &other) {
       offsets_ = other.offsets_;
       neighbors_ = other.neighbors_;
+      weights_ = other.weights_;
       original_ids_ = other.original_ids_;
       backing_ = other.backing_;
       offsets_view_ = other.offsets_view_;
       neighbors_view_ = other.neighbors_view_;
+      weights_view_ = other.weights_view_;
       if (!backing_) RebindOwnedViews();
     }
     return *this;
@@ -109,10 +155,12 @@ class Graph {
   Graph(Graph&& other) noexcept
       : offsets_(std::move(other.offsets_)),
         neighbors_(std::move(other.neighbors_)),
+        weights_(std::move(other.weights_)),
         original_ids_(std::move(other.original_ids_)),
         backing_(std::move(other.backing_)),
         offsets_view_(other.offsets_view_),
-        neighbors_view_(other.neighbors_view_) {
+        neighbors_view_(other.neighbors_view_),
+        weights_view_(other.weights_view_) {
     if (!backing_) RebindOwnedViews();
     other.ResetToEmpty();
   }
@@ -120,10 +168,12 @@ class Graph {
     if (this != &other) {
       offsets_ = std::move(other.offsets_);
       neighbors_ = std::move(other.neighbors_);
+      weights_ = std::move(other.weights_);
       original_ids_ = std::move(other.original_ids_);
       backing_ = std::move(other.backing_);
       offsets_view_ = other.offsets_view_;
       neighbors_view_ = other.neighbors_view_;
+      weights_view_ = other.weights_view_;
       if (!backing_) RebindOwnedViews();
       other.ResetToEmpty();
     }
@@ -149,6 +199,37 @@ class Graph {
             neighbors_view_.data() + offsets_view_[v + 1]};
   }
 
+  /// True when this graph carries per-edge weights. Weightless graphs
+  /// take the unweighted code path everywhere — this predicate is the
+  /// only dispatch the weighted axis adds.
+  bool is_weighted() const { return !weights_view_.empty(); }
+
+  /// Weights of v's incident edges, aligned with Neighbors(v) entry for
+  /// entry. EMPTY when the graph is unweighted — callers on a possibly
+  /// unweighted graph must branch on is_weighted() first.
+  std::span<const double> Weights(NodeId v) const {
+    if (weights_view_.empty()) return {};
+    return {weights_view_.data() + offsets_view_[v],
+            weights_view_.data() + offsets_view_[v + 1]};
+  }
+
+  /// Weight of the edge {u, v}: the stored weight when weighted, 1.0
+  /// for an unweighted graph, 0.0 when {u, v} is not an edge.
+  /// O(log deg(u)).
+  double EdgeWeight(NodeId u, NodeId v) const;
+
+  /// Weighted degree of v: sum of incident edge weights in neighbor
+  /// order (deterministic). Equals Degree(v) exactly when unweighted.
+  /// O(deg).
+  double WeightedDegree(NodeId v) const;
+
+  /// Maximum weighted degree (the weighted Gershgorin row-sum bound for
+  /// the adjacency spectrum). Equals MaxDegree() when unweighted. O(m).
+  double MaxWeightedDegree() const;
+
+  /// Total weight of all undirected edges (= m when unweighted). O(m).
+  double TotalWeight() const;
+
   /// True when {u, v} is an edge. O(log deg) via binary search on the
   /// smaller endpoint's list.
   bool HasEdge(NodeId u, NodeId v) const;
@@ -169,8 +250,28 @@ class Graph {
     }
   }
 
+  /// Calls fn(u, v, w) once per undirected edge with its weight (1.0
+  /// throughout when unweighted), u < v, ascending order.
+  template <typename Fn>
+  void ForEachWeightedEdge(Fn&& fn) const {
+    const bool weighted = is_weighted();
+    for (NodeId u = 0; u < num_nodes(); ++u) {
+      auto nbrs = Neighbors(u);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        if (nbrs[i] > u) {
+          fn(u, nbrs[i],
+             weighted ? weights_view_[offsets_view_[u] + i] : 1.0);
+        }
+      }
+    }
+  }
+
   /// Materializes the canonical (u < v) edge list.
   std::vector<Edge> Edges() const;
+
+  /// Materializes the canonical weighted edge list (weights 1.0 when
+  /// unweighted).
+  std::vector<WeightedEdge> WeightedEdges() const;
 
   /// True when this graph's node ids were relabeled at build time (a
   /// cache-aware reordering pass, see GraphBuilder/ReorderGraph). All
@@ -196,6 +297,10 @@ class Graph {
   std::span<const uint64_t> offsets() const { return offsets_view_; }
   std::span<const NodeId> neighbor_array() const { return neighbors_view_; }
 
+  /// Raw per-edge weight array aligned with neighbor_array(); empty for
+  /// unweighted graphs.
+  std::span<const double> weight_array() const { return weights_view_; }
+
   /// True when the CSR arrays live in externally-backed storage (an
   /// mmap'd graph file) instead of owned heap vectors.
   bool is_mapped() const { return backing_ != nullptr; }
@@ -206,6 +311,7 @@ class Graph {
   size_t MemoryBytes() const {
     return offsets_.capacity() * sizeof(uint64_t) +
            neighbors_.capacity() * sizeof(NodeId) +
+           weights_.capacity() * sizeof(double) +
            original_ids_.capacity() * sizeof(NodeId);
   }
 
@@ -213,10 +319,12 @@ class Graph {
   void RebindOwnedViews() {
     offsets_view_ = {offsets_.data(), offsets_.size()};
     neighbors_view_ = {neighbors_.data(), neighbors_.size()};
+    weights_view_ = {weights_.data(), weights_.size()};
   }
   void ResetToEmpty() {
     offsets_.assign(1, 0);
     neighbors_.clear();
+    weights_.clear();
     original_ids_.clear();
     backing_.reset();
     RebindOwnedViews();
@@ -224,10 +332,12 @@ class Graph {
 
   std::vector<uint64_t> offsets_;   // n+1 prefix offsets (in-memory backend)
   std::vector<NodeId> neighbors_;   // concatenated sorted adjacency lists
+  std::vector<double> weights_;     // per-edge weights; empty = unweighted
   std::vector<NodeId> original_ids_;  // new -> original; empty = identity
   std::shared_ptr<const void> backing_;  // keep-alive for external storage
   std::span<const uint64_t> offsets_view_;   // the arrays every accessor reads
   std::span<const NodeId> neighbors_view_;
+  std::span<const double> weights_view_;
 };
 
 }  // namespace oca

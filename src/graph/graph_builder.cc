@@ -1,6 +1,7 @@
 #include "graph/graph_builder.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <string>
 
@@ -83,18 +84,40 @@ Result<Graph> ReorderGraph(const Graph& graph,
     old_to_new[old_id] = static_cast<NodeId>(i);
   }
 
+  const bool weighted = graph.is_weighted();
   std::vector<uint64_t> offsets(n + 1, 0);
   for (size_t i = 0; i < n; ++i) {
     offsets[i + 1] = offsets[i] + graph.Degree(new_to_old[i]);
   }
   std::vector<NodeId> neighbors(graph.neighbor_array().size());
+  std::vector<double> weights(weighted ? neighbors.size() : 0);
+  // Scratch of (relabeled neighbor, weight) pairs so the joint sort
+  // keeps each weight glued to its edge; plain neighbor sort otherwise.
+  std::vector<std::pair<NodeId, double>> row;
   for (size_t i = 0; i < n; ++i) {
+    const NodeId old_id = new_to_old[i];
     uint64_t cursor = offsets[i];
-    for (NodeId v : graph.Neighbors(new_to_old[i])) {
-      neighbors[cursor++] = old_to_new[v];
+    if (!weighted) {
+      for (NodeId v : graph.Neighbors(old_id)) {
+        neighbors[cursor++] = old_to_new[v];
+      }
+      std::sort(neighbors.begin() + static_cast<ptrdiff_t>(offsets[i]),
+                neighbors.begin() + static_cast<ptrdiff_t>(cursor));
+    } else {
+      auto nbrs = graph.Neighbors(old_id);
+      auto wts = graph.Weights(old_id);
+      row.clear();
+      for (size_t e = 0; e < nbrs.size(); ++e) {
+        row.emplace_back(old_to_new[nbrs[e]], wts[e]);
+      }
+      std::sort(row.begin(), row.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (const auto& [nbr, w] : row) {
+        neighbors[cursor] = nbr;
+        weights[cursor] = w;
+        ++cursor;
+      }
     }
-    std::sort(neighbors.begin() + static_cast<ptrdiff_t>(offsets[i]),
-              neighbors.begin() + static_cast<ptrdiff_t>(cursor));
   }
   // Compose so OriginalId on the result refers to the true original
   // labeling even when `graph` was itself already reordered.
@@ -102,7 +125,7 @@ Result<Graph> ReorderGraph(const Graph& graph,
   for (size_t i = 0; i < n; ++i) {
     original_ids[i] = graph.OriginalId(new_to_old[i]);
   }
-  return Graph(std::move(offsets), std::move(neighbors),
+  return Graph(std::move(offsets), std::move(neighbors), std::move(weights),
                std::move(original_ids));
 }
 
@@ -110,11 +133,28 @@ void GraphBuilder::AddEdge(NodeId u, NodeId v) {
   if (u == v) return;  // simple graph: no self-loops
   if (u > v) std::swap(u, v);
   edges_.emplace_back(u, v);
+  if (!weights_.empty()) weights_.push_back(1.0);
+}
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v, double w) {
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  if (weights_.empty()) {
+    // First weighted insertion: backfill 1.0 for everything so far.
+    weights_.assign(edges_.size(), 1.0);
+  }
+  edges_.emplace_back(u, v);
+  weights_.push_back(w);
 }
 
 void GraphBuilder::AddEdges(const std::vector<Edge>& edges) {
   edges_.reserve(edges_.size() + edges.size());
   for (const auto& [u, v] : edges) AddEdge(u, v);
+}
+
+void GraphBuilder::AddWeightedEdges(const std::vector<WeightedEdge>& edges) {
+  edges_.reserve(edges_.size() + edges.size());
+  for (const auto& e : edges) AddEdge(e.u, e.v, e.weight);
 }
 
 void GraphBuilder::EnsureNodes(size_t num_nodes) {
@@ -131,33 +171,105 @@ Result<Graph> GraphBuilder::Build() const {
     }
   }
 
-  // Dedup on a sorted copy of the canonical edge list.
-  std::vector<Edge> sorted = edges_;
-  std::sort(sorted.begin(), sorted.end());
-  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  if (weights_.empty()) {
+    // Unweighted: the historical path, untouched so weightless builds
+    // stay bit-for-bit what they always were.
+    std::vector<Edge> sorted = edges_;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
 
-  // Two-pass CSR assembly: count degrees, then scatter both directions.
+    // Two-pass CSR assembly: count degrees, then scatter both directions.
+    std::vector<uint64_t> offsets(num_nodes_ + 1, 0);
+    for (const auto& [u, v] : sorted) {
+      ++offsets[u + 1];
+      ++offsets[v + 1];
+    }
+    for (size_t i = 1; i <= num_nodes_; ++i) {
+      offsets[i] += offsets[i - 1];
+    }
+    std::vector<NodeId> neighbors(sorted.size() * 2);
+    std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const auto& [u, v] : sorted) {
+      neighbors[cursor[u]++] = v;
+      neighbors[cursor[v]++] = u;
+    }
+    // Scattering from a (u,v)-sorted list leaves each u-list sorted
+    // already, but v-side insertions interleave; sort each list to
+    // guarantee order.
+    for (size_t i = 0; i < num_nodes_; ++i) {
+      std::sort(neighbors.begin() + static_cast<ptrdiff_t>(offsets[i]),
+                neighbors.begin() + static_cast<ptrdiff_t>(offsets[i + 1]));
+    }
+    return Graph(std::move(offsets), std::move(neighbors));
+  }
+
+  // Weighted: collapse parallel edges by summing their weights in
+  // (u, v, w)-sorted order so the result is a pure function of the
+  // weighted edge multiset (insertion order cannot move a bit).
+  for (double w : weights_) {
+    if (!std::isfinite(w) || !(w > 0.0)) {
+      return Status::InvalidArgument(
+          "edge weights must be finite and positive");
+    }
+  }
+  std::vector<WeightedEdge> sorted;
+  sorted.reserve(edges_.size());
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    sorted.push_back(
+        WeightedEdge{edges_[i].first, edges_[i].second, weights_[i]});
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              if (a.u != b.u) return a.u < b.u;
+              if (a.v != b.v) return a.v < b.v;
+              return a.weight < b.weight;
+            });
+  size_t out = 0;
+  for (size_t i = 0; i < sorted.size();) {
+    WeightedEdge merged = sorted[i];
+    size_t j = i + 1;
+    while (j < sorted.size() && sorted[j].u == merged.u &&
+           sorted[j].v == merged.v) {
+      merged.weight += sorted[j].weight;
+      ++j;
+    }
+    sorted[out++] = merged;
+    i = j;
+  }
+  sorted.resize(out);
+
   std::vector<uint64_t> offsets(num_nodes_ + 1, 0);
-  for (const auto& [u, v] : sorted) {
-    ++offsets[u + 1];
-    ++offsets[v + 1];
+  for (const auto& e : sorted) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
   }
   for (size_t i = 1; i <= num_nodes_; ++i) {
     offsets[i] += offsets[i - 1];
   }
   std::vector<NodeId> neighbors(sorted.size() * 2);
+  std::vector<double> weights(sorted.size() * 2);
   std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
-  for (const auto& [u, v] : sorted) {
-    neighbors[cursor[u]++] = v;
-    neighbors[cursor[v]++] = u;
+  for (const auto& e : sorted) {
+    neighbors[cursor[e.u]] = e.v;
+    weights[cursor[e.u]++] = e.weight;
+    neighbors[cursor[e.v]] = e.u;
+    weights[cursor[e.v]++] = e.weight;
   }
-  // Scattering from a (u,v)-sorted list leaves each u-list sorted already,
-  // but v-side insertions interleave; sort each list to guarantee order.
+  // Joint per-row sort keeps each weight on its edge.
+  std::vector<std::pair<NodeId, double>> row;
   for (size_t i = 0; i < num_nodes_; ++i) {
-    std::sort(neighbors.begin() + static_cast<ptrdiff_t>(offsets[i]),
-              neighbors.begin() + static_cast<ptrdiff_t>(offsets[i + 1]));
+    const size_t b = offsets[i], e = offsets[i + 1];
+    row.clear();
+    for (size_t p = b; p < e; ++p) row.emplace_back(neighbors[p], weights[p]);
+    std::sort(row.begin(), row.end(),
+              [](const auto& a, const auto& b2) { return a.first < b2.first; });
+    for (size_t p = b; p < e; ++p) {
+      neighbors[p] = row[p - b].first;
+      weights[p] = row[p - b].second;
+    }
   }
-  return Graph(std::move(offsets), std::move(neighbors));
+  return Graph(std::move(offsets), std::move(neighbors), std::move(weights),
+               {});
 }
 
 Result<Graph> GraphBuilder::Build(NodeOrdering ordering) const {
@@ -169,13 +281,25 @@ Result<Graph> GraphBuilder::Build(NodeOrdering ordering) const {
 
 Result<StreamBuildStats> GraphBuilder::BuildToFile(
     const std::string& path, const StreamBuildOptions& options) const {
-  VectorEdgeSource source({edges_.data(), edges_.size()});
+  if (weights_.empty()) {
+    VectorEdgeSource source({edges_.data(), edges_.size()});
+    return BuildGraphFileFromEdges(num_nodes_, source, path, options);
+  }
+  VectorWeightedEdgeSource source({edges_.data(), edges_.size()},
+                                  {weights_.data(), weights_.size()});
   return BuildGraphFileFromEdges(num_nodes_, source, path, options);
 }
 
 Result<Graph> BuildGraph(size_t num_nodes, const std::vector<Edge>& edges) {
   GraphBuilder builder(num_nodes);
   builder.AddEdges(edges);
+  return builder.Build();
+}
+
+Result<Graph> BuildWeightedGraph(size_t num_nodes,
+                                 const std::vector<WeightedEdge>& edges) {
+  GraphBuilder builder(num_nodes);
+  builder.AddWeightedEdges(edges);
   return builder.Build();
 }
 

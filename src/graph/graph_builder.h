@@ -3,6 +3,17 @@
 // Accepts edges in any order and orientation, drops self-loops, dedups
 // parallel edges, symmetrizes, and emits a validated Graph. This mirrors
 // the builder/immutable-array split used by Arrow.
+//
+// Weights: AddEdge(u, v, w) switches the builder into weighted mode
+// (edges added without a weight count as 1.0, before or after the
+// switch). Parallel weighted edges are collapsed by SUMMING their
+// weights — the standard multigraph-to-weighted-graph reduction, and
+// the one that makes directed edge lists (both orientations present)
+// collapse deterministically. The sum is taken in (u, v, w)-sorted
+// order, so the built graph is a pure function of the weighted edge
+// MULTISET, independent of insertion order. A builder that never saw a
+// weighted edge produces a weightless Graph through exactly the
+// historical code path.
 
 #ifndef OCA_GRAPH_GRAPH_BUILDER_H_
 #define OCA_GRAPH_GRAPH_BUILDER_H_
@@ -41,10 +52,11 @@ std::vector<NodeId> ComputeNodeOrdering(const Graph& graph,
                                         NodeOrdering ordering);
 
 /// Relabels `graph` so old node new_to_old[i] becomes node i, with
-/// neighbor lists re-sorted and the original-id permutation composed
-/// onto the result (Graph::OriginalId on the returned graph refers to
-/// `graph`'s ORIGINAL ids even when `graph` was itself reordered).
-/// Errors when `new_to_old` is not a permutation of [0, num_nodes).
+/// neighbor lists re-sorted, per-edge weights carried along, and the
+/// original-id permutation composed onto the result (Graph::OriginalId
+/// on the returned graph refers to `graph`'s ORIGINAL ids even when
+/// `graph` was itself reordered). Errors when `new_to_old` is not a
+/// permutation of [0, num_nodes).
 Result<Graph> ReorderGraph(const Graph& graph,
                            std::span<const NodeId> new_to_old);
 
@@ -59,13 +71,25 @@ class GraphBuilder {
   /// Number of edge insertions so far (before dedup).
   size_t num_pending_edges() const { return edges_.size(); }
 
+  /// True once any edge was added with an explicit weight.
+  bool is_weighted() const { return !weights_.empty(); }
+
   /// Records an undirected edge {u, v}. Self-loops are silently dropped;
   /// duplicates are removed at Build time. Out-of-range endpoints make
   /// Build fail.
   void AddEdge(NodeId u, NodeId v);
 
+  /// Records an undirected edge {u, v} with weight `w` and switches the
+  /// builder into weighted mode (previously and subsequently unweighted
+  /// insertions count as weight 1.0). Non-finite or non-positive
+  /// weights make Build fail.
+  void AddEdge(NodeId u, NodeId v, double w);
+
   /// Bulk insertion.
   void AddEdges(const std::vector<Edge>& edges);
+
+  /// Bulk weighted insertion.
+  void AddWeightedEdges(const std::vector<WeightedEdge>& edges);
 
   /// Grows the node count (never shrinks).
   void EnsureNodes(size_t num_nodes);
@@ -83,23 +107,32 @@ class GraphBuilder {
   /// instead of materializing the CSR arrays — the finalize step's peak
   /// heap is O(num_nodes) + the buffer, not O(edges). The file is
   /// byte-identical to WriteGraphBinaryFile(Build()) and opens with
-  /// either backend (ReadGraphBinaryFile or OpenMmapGraph). Note the
-  /// builder itself still holds the accumulated edge vector; for builds
-  /// whose edge list must never touch RAM, feed BuildGraphFileFromEdges
-  /// an EdgeSource that streams from disk (io/edge_stream.h).
+  /// either backend (ReadGraphBinaryFile or OpenMmapGraph). Weighted
+  /// builders emit format v2 with the weight section. Note the builder
+  /// itself still holds the accumulated edge vector; for builds whose
+  /// edge list must never touch RAM, feed BuildGraphFileFromEdges an
+  /// EdgeSource that streams from disk (io/edge_stream.h).
   Result<StreamBuildStats> BuildToFile(
       const std::string& path, const StreamBuildOptions& options = {}) const;
 
-  /// Clears accumulated edges; keeps the node count.
-  void Reset() { edges_.clear(); }
+  /// Clears accumulated edges (and weighted mode); keeps the node count.
+  void Reset() {
+    edges_.clear();
+    weights_.clear();
+  }
 
  private:
   size_t num_nodes_;
-  std::vector<Edge> edges_;  // canonical u < v
+  std::vector<Edge> edges_;      // canonical u < v
+  std::vector<double> weights_;  // parallel to edges_; empty = unweighted
 };
 
 /// Convenience one-shot construction from an edge list.
 Result<Graph> BuildGraph(size_t num_nodes, const std::vector<Edge>& edges);
+
+/// Convenience one-shot weighted construction.
+Result<Graph> BuildWeightedGraph(size_t num_nodes,
+                                 const std::vector<WeightedEdge>& edges);
 
 }  // namespace oca
 

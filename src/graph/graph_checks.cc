@@ -1,6 +1,7 @@
 #include "graph/graph_checks.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 namespace oca {
@@ -8,7 +9,14 @@ namespace oca {
 Status ValidateGraph(const Graph& graph) {
   const auto& offsets = graph.offsets();
   const auto& nbrs = graph.neighbor_array();
+  const auto& weights = graph.weight_array();
   const size_t n = graph.num_nodes();
+
+  if (!weights.empty() && weights.size() != nbrs.size()) {
+    return Status::Internal(
+        "weight array has " + std::to_string(weights.size()) +
+        " entries for " + std::to_string(nbrs.size()) + " neighbor entries");
+  }
 
   if (offsets.empty() || offsets.front() != 0 ||
       offsets.back() != nbrs.size()) {
@@ -37,9 +45,27 @@ Status ValidateGraph(const Graph& graph) {
       }
       // Symmetry: v must list u.
       auto back = graph.Neighbors(v);
-      if (!std::binary_search(back.begin(), back.end(), u)) {
+      auto pos = std::lower_bound(back.begin(), back.end(), u);
+      if (pos == back.end() || *pos != u) {
         return Status::Internal("asymmetric edge " + std::to_string(u) + "-" +
                                 std::to_string(v));
+      }
+      if (!weights.empty()) {
+        const double w = weights[offsets[u] + i];
+        if (!std::isfinite(w) || !(w > 0.0)) {
+          return Status::Internal("edge " + std::to_string(u) + "-" +
+                                  std::to_string(v) +
+                                  " has non-finite or non-positive weight");
+        }
+        // Both directions of an undirected edge must carry the SAME
+        // weight (bitwise: the arrays are mirrors, not approximations).
+        const double wback =
+            weights[offsets[v] + static_cast<size_t>(pos - back.begin())];
+        if (w != wback) {
+          return Status::Internal("edge " + std::to_string(u) + "-" +
+                                  std::to_string(v) +
+                                  " weight asymmetric across directions");
+        }
       }
     }
   }

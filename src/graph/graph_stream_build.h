@@ -42,6 +42,12 @@ namespace oca {
 /// replay the SAME edge sequence after each Rewind (the chunked builder
 /// scans the source once per chunk); a source that mutates between
 /// passes is detected and reported as an error, not UB.
+///
+/// Weighted sources override has_weights() to return true and implement
+/// ReadBatchWeighted; the builder then collapses duplicate edges by
+/// summing their weights and emits a format-v2 file with the weight
+/// section. Unweighted sources inherit the defaults and the output is
+/// the historical v1 file, byte for byte.
 class EdgeSource {
  public:
   virtual ~EdgeSource() = default;
@@ -53,6 +59,15 @@ class EdgeSource {
   /// Zero means end of stream. Orientation is free; self-loops allowed
   /// (the builder drops them).
   virtual Result<size_t> ReadBatch(std::span<Edge> out) = 0;
+
+  /// True when the stream carries per-edge weights.
+  virtual bool has_weights() const { return false; }
+
+  /// Weighted batch read; `weights` parallels `out` and both spans have
+  /// the same size. The default adapts ReadBatch with weight 1.0 so an
+  /// unweighted source can always be read through the weighted path.
+  virtual Result<size_t> ReadBatchWeighted(std::span<Edge> out,
+                                           std::span<double> weights);
 };
 
 /// EdgeSource over an in-RAM edge span (adapter for GraphBuilder and
@@ -68,6 +83,29 @@ class VectorEdgeSource final : public EdgeSource {
 
  private:
   std::span<const Edge> edges_;
+  size_t cursor_ = 0;
+};
+
+/// Weighted EdgeSource over parallel in-RAM spans (adapter for
+/// GraphBuilder's weighted mode and tests; both spans must have the same
+/// length and outlive the source).
+class VectorWeightedEdgeSource final : public EdgeSource {
+ public:
+  VectorWeightedEdgeSource(std::span<const Edge> edges,
+                           std::span<const double> weights)
+      : edges_(edges), weights_(weights) {}
+  Status Rewind() override {
+    cursor_ = 0;
+    return Status::OK();
+  }
+  Result<size_t> ReadBatch(std::span<Edge> out) override;
+  bool has_weights() const override { return true; }
+  Result<size_t> ReadBatchWeighted(std::span<Edge> out,
+                                   std::span<double> weights) override;
+
+ private:
+  std::span<const Edge> edges_;
+  std::span<const double> weights_;
   size_t cursor_ = 0;
 };
 
@@ -93,7 +131,13 @@ struct StreamBuildStats {
 /// Streams `source` into an OCAG graph file at `path` for a graph on
 /// `num_nodes` nodes (must be > 0). See the file comment for the
 /// algorithm and memory contract. The result opens with OpenMmapGraph
-/// or ReadGraphBinaryFile.
+/// or ReadGraphBinaryFile. A weighted source (has_weights() == true)
+/// produces a format-v2 file: duplicate undirected edges collapse by
+/// summing weights, and because the weight section's file position
+/// depends on the FINAL post-dedup neighbor count, kept weights are
+/// staged sequentially in a `path + ".wtmp"` temp file during pass 2
+/// and spliced in after the last chunk (the temp file is removed on
+/// every exit path).
 Result<StreamBuildStats> BuildGraphFileFromEdges(
     size_t num_nodes, EdgeSource& source, const std::string& path,
     const StreamBuildOptions& options = {});

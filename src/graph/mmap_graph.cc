@@ -81,11 +81,13 @@ Result<Graph> OpenMmapGraph(const std::string& path,
   }
   uint32_t version = 0;
   std::memcpy(&version, bytes + 4, sizeof(version));
-  if (version != kGraphFileVersion) {
+  if (version != kGraphFileVersion && version != kGraphFileVersionWeighted) {
     return Status::InvalidArgument(
         "unsupported OCAG version " + std::to_string(version) + " in '" +
-        path + "' (expected " + std::to_string(kGraphFileVersion) + ")");
+        path + "' (expected " + std::to_string(kGraphFileVersion) + " or " +
+        std::to_string(kGraphFileVersionWeighted) + ")");
   }
+  const bool weighted = version == kGraphFileVersionWeighted;
   uint64_t n = 0, arr = 0;
   std::memcpy(&n, bytes + 8, sizeof(n));
   std::memcpy(&arr, bytes + 16, sizeof(arr));
@@ -106,12 +108,17 @@ Result<Graph> OpenMmapGraph(const std::string& path,
                            std::to_string(n) + "+1 entries) overruns the " +
                            std::to_string(file_bytes) + "-byte file");
   }
-  if (arr > (file_bytes - GraphFileNeighborsStart(n)) / sizeof(NodeId) ||
-      GraphFileBytes(n, arr) != file_bytes) {
+  // In v2 each neighbor entry costs sizeof(NodeId) + sizeof(double)
+  // bytes of array payload; the per-entry divisor keeps the overflow
+  // guard exact for both versions.
+  const uint64_t entry_bytes =
+      sizeof(NodeId) + (weighted ? sizeof(double) : 0);
+  if (arr > (file_bytes - GraphFileNeighborsStart(n)) / entry_bytes ||
+      GraphFileBytes(n, arr, weighted) != file_bytes) {
     return Status::IOError(
         "graph file '" + path + "' size mismatch: header implies " +
-        std::to_string(GraphFileBytes(n, arr)) + " bytes, file has " +
-        std::to_string(file_bytes));
+        std::to_string(GraphFileBytes(n, arr, weighted)) +
+        " bytes, file has " + std::to_string(file_bytes));
   }
 
   if (options.sequential) {
@@ -140,9 +147,15 @@ Result<Graph> OpenMmapGraph(const std::string& path,
     }
   }
 
+  std::span<const double> weight_span;
+  if (weighted) {
+    const double* weights = reinterpret_cast<const double*>(
+        bytes + GraphFileWeightsStart(n, arr));
+    weight_span = {weights, static_cast<size_t>(arr)};
+  }
   Graph graph = Graph::FromExternal(
       {offsets, static_cast<size_t>(n + 1)},
-      {neighbors, static_cast<size_t>(arr)}, std::move(backing));
+      {neighbors, static_cast<size_t>(arr)}, weight_span, std::move(backing));
   if (options.validate) {
     Status deep = ValidateGraph(graph);
     if (!deep.ok()) {

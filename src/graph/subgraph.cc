@@ -26,12 +26,19 @@ Result<Subgraph> InducedSubgraph(const Graph& graph,
   }
 
   GraphBuilder builder(sorted.size());
+  const bool weighted = graph.is_weighted();
   for (NodeId local = 0; local < sorted.size(); ++local) {
     NodeId original = sorted[local];
-    for (NodeId nbr : graph.Neighbors(original)) {
-      auto it = to_local.find(nbr);
+    auto nbrs = graph.Neighbors(original);
+    auto wts = graph.Weights(original);  // empty when unweighted
+    for (size_t e = 0; e < nbrs.size(); ++e) {
+      auto it = to_local.find(nbrs[e]);
       if (it != to_local.end() && it->second > local) {
-        builder.AddEdge(local, it->second);
+        if (weighted) {
+          builder.AddEdge(local, it->second, wts[e]);
+        } else {
+          builder.AddEdge(local, it->second);
+        }
       }
     }
   }

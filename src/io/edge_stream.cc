@@ -3,8 +3,11 @@
 #include <sys/stat.h>
 
 #include <cerrno>
+#include <cmath>
+#include <cstddef>
 #include <cstring>
 #include <utility>
+#include <vector>
 
 namespace oca {
 
@@ -109,6 +112,137 @@ Result<uint64_t> EdgeFileEdgeCount(const std::string& path) {
                            " is not a whole number of 8-byte records");
   }
   return bytes / sizeof(Edge);
+}
+
+namespace {
+
+// One 16-byte weighted record. The layout is explicit (two u32s then a
+// f64 at offset 8) so raw fwrite/fread round-trips across builds; the
+// static_assert pins it against padding surprises.
+struct WeightedRecord {
+  NodeId u;
+  NodeId v;
+  double w;
+};
+static_assert(sizeof(WeightedRecord) == 16 &&
+                  offsetof(WeightedRecord, w) == 8,
+              "weighted edge record must be 16 packed bytes");
+
+}  // namespace
+
+WeightedEdgeFileWriter::~WeightedEdgeFileWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WeightedEdgeFileWriter::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("WeightedEdgeFileWriter already open");
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return ErrnoError("cannot create edge file", path);
+  path_ = path;
+  edges_written_ = 0;
+  return Status::OK();
+}
+
+Status WeightedEdgeFileWriter::Append(NodeId u, NodeId v, double w) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("WeightedEdgeFileWriter not open");
+  }
+  if (u == v) {
+    return Status::InvalidArgument("self-loop " + std::to_string(u) +
+                                   " in edge file '" + path_ + "'");
+  }
+  if (!std::isfinite(w) || w <= 0.0) {
+    return Status::InvalidArgument("edge weight must be finite and > 0 in '" +
+                                   path_ + "'");
+  }
+  if (u > v) std::swap(u, v);
+  const WeightedRecord record{u, v, w};
+  if (std::fwrite(&record, sizeof(record), 1, file_) != 1) {
+    return ErrnoError("write to edge file", path_);
+  }
+  ++edges_written_;
+  return Status::OK();
+}
+
+Status WeightedEdgeFileWriter::Close() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("WeightedEdgeFileWriter not open");
+  }
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return ErrnoError("close of edge file", path_);
+  return Status::OK();
+}
+
+WeightedEdgeFileSource::~WeightedEdgeFileSource() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WeightedEdgeFileSource::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("WeightedEdgeFileSource already open");
+  }
+  OCA_ASSIGN_OR_RETURN(num_edges_, WeightedEdgeFileEdgeCount(path));
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) return ErrnoError("cannot open edge file", path);
+  path_ = path;
+  return Status::OK();
+}
+
+Status WeightedEdgeFileSource::Rewind() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("WeightedEdgeFileSource not open");
+  }
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return ErrnoError("seek in edge file", path_);
+  }
+  return Status::OK();
+}
+
+Result<size_t> WeightedEdgeFileSource::ReadBatch(std::span<Edge> out) {
+  // Weight-oblivious callers still get the topology: read full records
+  // and drop the weight column.
+  std::vector<double> scratch(out.size());
+  return ReadBatchWeighted(out, scratch);
+}
+
+Result<size_t> WeightedEdgeFileSource::ReadBatchWeighted(
+    std::span<Edge> out, std::span<double> weights) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("WeightedEdgeFileSource not open");
+  }
+  if (weights.size() != out.size()) {
+    return Status::InvalidArgument(
+        "ReadBatchWeighted spans must have equal sizes");
+  }
+  std::vector<WeightedRecord> records(out.size());
+  const size_t got =
+      std::fread(records.data(), sizeof(WeightedRecord), records.size(),
+                 file_);
+  if (got < records.size() && std::ferror(file_) != 0) {
+    return ErrnoError("read from edge file", path_);
+  }
+  for (size_t i = 0; i < got; ++i) {
+    out[i] = Edge(records[i].u, records[i].v);
+    weights[i] = records[i].w;
+  }
+  return got;
+}
+
+Result<uint64_t> WeightedEdgeFileEdgeCount(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return ErrnoError("cannot stat edge file", path);
+  }
+  const uint64_t bytes = static_cast<uint64_t>(st.st_size);
+  if (bytes % sizeof(WeightedRecord) != 0) {
+    return Status::IOError("edge file '" + path + "' size " +
+                           std::to_string(bytes) +
+                           " is not a whole number of 16-byte records");
+  }
+  return bytes / sizeof(WeightedRecord);
 }
 
 }  // namespace oca

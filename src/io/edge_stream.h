@@ -8,6 +8,14 @@
 // typed error. The format is deliberately trivial — it exists to be
 // scanned repeatedly by EdgeSource passes and patched in place by the
 // edge-swap randomizer, not to be archival (the OCAG graph file is).
+//
+// Weighted variant: (u32 u, u32 v, f64 w) records, 16 bytes each,
+// written by WeightedEdgeFileWriter and consumed by
+// WeightedEdgeFileSource (whose has_weights() routes the chunked
+// builder to the weighted .ocag v2 path). The two record shapes live
+// in different files — a weighted file is size/16 edges, and since 16
+// and 8 share residues the reader classes are never interchangeable;
+// pick by construction, not by sniffing.
 
 #ifndef OCA_IO_EDGE_STREAM_H_
 #define OCA_IO_EDGE_STREAM_H_
@@ -71,6 +79,62 @@ class EdgeFileSource final : public EdgeSource {
 /// Edge count of `path` (validates record alignment without opening a
 /// stream).
 Result<uint64_t> EdgeFileEdgeCount(const std::string& path);
+
+/// Buffered sequential writer of 16-byte weighted records. Self-loops
+/// and non-finite or non-positive weights are rejected (typed errors);
+/// orientation is canonicalized to u < v on write.
+class WeightedEdgeFileWriter {
+ public:
+  WeightedEdgeFileWriter() = default;
+  ~WeightedEdgeFileWriter();
+  WeightedEdgeFileWriter(const WeightedEdgeFileWriter&) = delete;
+  WeightedEdgeFileWriter& operator=(const WeightedEdgeFileWriter&) = delete;
+
+  /// Creates/truncates `path`.
+  Status Open(const std::string& path);
+
+  /// Appends one weighted edge (canonicalized). Open must have succeeded.
+  Status Append(NodeId u, NodeId v, double w);
+
+  /// Flushes and closes; returns the first deferred write error.
+  Status Close();
+
+  uint64_t edges_written() const { return edges_written_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t edges_written_ = 0;
+};
+
+/// Re-scannable weighted EdgeSource over a 16-byte-record file. Feeds
+/// the chunked builder's weighted path (has_weights() is true).
+class WeightedEdgeFileSource final : public EdgeSource {
+ public:
+  WeightedEdgeFileSource() = default;
+  ~WeightedEdgeFileSource() override;
+  WeightedEdgeFileSource(const WeightedEdgeFileSource&) = delete;
+  WeightedEdgeFileSource& operator=(const WeightedEdgeFileSource&) = delete;
+
+  /// Opens `path` and validates its size is a whole number of records.
+  Status Open(const std::string& path);
+
+  uint64_t num_edges() const { return num_edges_; }
+
+  bool has_weights() const override { return true; }
+  Status Rewind() override;
+  Result<size_t> ReadBatch(std::span<Edge> out) override;
+  Result<size_t> ReadBatchWeighted(std::span<Edge> out,
+                                   std::span<double> weights) override;
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t num_edges_ = 0;
+};
+
+/// Edge count of a weighted (16-byte-record) edge file.
+Result<uint64_t> WeightedEdgeFileEdgeCount(const std::string& path);
 
 }  // namespace oca
 

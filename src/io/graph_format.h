@@ -2,21 +2,28 @@
 // (io/graph_serialize), the streaming builder (graph/graph_stream_build),
 // and the mmap backend (graph/mmap_graph).
 //
-// Little-endian, versioned header, then the two CSR arrays verbatim:
+// Little-endian, versioned header, then the CSR arrays verbatim:
 //
 //   byte 0   magic "OCAG"
-//   byte 4   u32 version (currently 1)
+//   byte 4   u32 version (1 = unweighted, 2 = weighted)
 //   byte 8   u64 n    — number of nodes
 //   byte 16  u64 arr  — neighbor array length (2m)
 //   byte 24  u64 offsets[n + 1]
 //   byte 24 + 8(n+1)  u32 neighbors[arr]
+//   (v2 only)         f64 weights[arr]
 //
 // The section offsets are what make the format directly mmap-able: the
 // header is 24 bytes, so the u64 offsets table lands 8-byte aligned and
 // the u32 neighbor array (24 + 8(n+1) ≡ 0 mod 4) 4-byte aligned at any
-// page-aligned mapping base. A valid file's size is exactly
-// GraphFileBytes(n, arr); anything shorter is truncated, anything longer
-// is trailing garbage — both are typed errors on open.
+// page-aligned mapping base. In v2 the weight section starts at
+// 24 + 8(n+1) + 4·arr; arr is always even (each undirected edge stored
+// twice), so the f64 array is 8-byte aligned too. Version 1 files carry
+// no weight section and are byte-for-byte what they always were — a v2
+// reader opens them unchanged, and unweighted graphs are always WRITTEN
+// as v1 so old readers and old digests keep working. A valid file's size
+// is exactly GraphFileBytes(n, arr, weighted); anything shorter is
+// truncated, anything longer is trailing garbage — both are typed errors
+// on open.
 
 #ifndef OCA_IO_GRAPH_FORMAT_H_
 #define OCA_IO_GRAPH_FORMAT_H_
@@ -28,6 +35,7 @@ namespace oca {
 
 inline constexpr char kGraphFileMagic[4] = {'O', 'C', 'A', 'G'};
 inline constexpr uint32_t kGraphFileVersion = 1;
+inline constexpr uint32_t kGraphFileVersionWeighted = 2;
 
 /// Fixed header size: magic + version + n + arr.
 inline constexpr uint64_t kGraphFileHeaderBytes = 24;
@@ -40,10 +48,18 @@ inline constexpr uint64_t GraphFileNeighborsStart(uint64_t n) {
   return kGraphFileOffsetsStart + (n + 1) * sizeof(uint64_t);
 }
 
+/// Byte offset of the v2 f64 weight array (8-aligned because arr is
+/// even).
+inline constexpr uint64_t GraphFileWeightsStart(uint64_t n, uint64_t arr) {
+  return GraphFileNeighborsStart(n) + arr * sizeof(uint32_t);
+}
+
 /// Exact size of a well-formed file with n nodes and arr (= 2m)
 /// neighbor entries.
-inline constexpr uint64_t GraphFileBytes(uint64_t n, uint64_t arr) {
-  return GraphFileNeighborsStart(n) + arr * sizeof(uint32_t);
+inline constexpr uint64_t GraphFileBytes(uint64_t n, uint64_t arr,
+                                         bool weighted = false) {
+  return GraphFileWeightsStart(n, arr) +
+         (weighted ? arr * sizeof(double) : 0);
 }
 
 }  // namespace oca

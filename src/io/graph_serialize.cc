@@ -15,6 +15,7 @@ namespace {
 // one writer family, three readers, zero drift.
 constexpr const char (&kMagic)[4] = kGraphFileMagic;
 constexpr uint32_t kVersion = kGraphFileVersion;
+constexpr uint32_t kVersionWeighted = kGraphFileVersionWeighted;
 
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {
@@ -30,8 +31,11 @@ bool ReadPod(std::istream& in, T* value) {
 }  // namespace
 
 Status WriteGraphBinary(const Graph& graph, std::ostream& out) {
+  // Unweighted graphs always write v1 so their bytes — and every digest
+  // pinned on them — are unchanged from before weights existed.
+  const bool weighted = graph.is_weighted();
   out.write(kMagic, sizeof(kMagic));
-  WritePod(out, kVersion);
+  WritePod(out, weighted ? kVersionWeighted : kVersion);
   WritePod(out, static_cast<uint64_t>(graph.num_nodes()));
   WritePod(out, static_cast<uint64_t>(graph.neighbor_array().size()));
   const auto& offsets = graph.offsets();
@@ -40,6 +44,11 @@ Status WriteGraphBinary(const Graph& graph, std::ostream& out) {
   const auto& nbrs = graph.neighbor_array();
   out.write(reinterpret_cast<const char*>(nbrs.data()),
             static_cast<std::streamsize>(nbrs.size() * sizeof(NodeId)));
+  if (weighted) {
+    const auto& weights = graph.weight_array();
+    out.write(reinterpret_cast<const char*>(weights.data()),
+              static_cast<std::streamsize>(weights.size() * sizeof(double)));
+  }
   if (!out) return Status::IOError("binary graph write failed");
   return Status::OK();
 }
@@ -57,9 +66,11 @@ Result<Graph> ReadGraphBinary(std::istream& in) {
     return Status::IOError("bad magic: not an OCAG graph file");
   }
   uint32_t version = 0;
-  if (!ReadPod(in, &version) || version != kVersion) {
+  if (!ReadPod(in, &version) ||
+      (version != kVersion && version != kVersionWeighted)) {
     return Status::IOError("unsupported OCAG version");
   }
+  const bool weighted = version == kVersionWeighted;
   uint64_t n = 0, arr = 0;
   if (!ReadPod(in, &n) || !ReadPod(in, &arr)) {
     return Status::IOError("truncated OCAG header");
@@ -78,7 +89,8 @@ Result<Graph> ReadGraphBinary(std::istream& in) {
       in.seekg(cur);
       if (end >= 0) {
         uint64_t remaining = static_cast<uint64_t>(end - cur);
-        uint64_t expected = (n + 1) * sizeof(uint64_t) + arr * sizeof(NodeId);
+        uint64_t expected = (n + 1) * sizeof(uint64_t) + arr * sizeof(NodeId) +
+                            (weighted ? arr * sizeof(double) : 0);
         if (n > (UINT64_MAX / sizeof(uint64_t)) - 1 || expected != remaining) {
           return Status::IOError(
               "OCAG header sizes inconsistent with stream length");
@@ -92,9 +104,15 @@ Result<Graph> ReadGraphBinary(std::istream& in) {
   std::vector<NodeId> neighbors(arr);
   in.read(reinterpret_cast<char*>(neighbors.data()),
           static_cast<std::streamsize>(neighbors.size() * sizeof(NodeId)));
+  std::vector<double> weights(weighted ? arr : 0);
+  if (weighted) {
+    in.read(reinterpret_cast<char*>(weights.data()),
+            static_cast<std::streamsize>(weights.size() * sizeof(double)));
+  }
   if (!in) return Status::IOError("truncated OCAG body");
 
-  Graph graph(std::move(offsets), std::move(neighbors));
+  Graph graph(std::move(offsets), std::move(neighbors), std::move(weights),
+              {});
   OCA_RETURN_IF_ERROR(ValidateGraph(graph));
   return graph;
 }

@@ -1,12 +1,28 @@
 #include "io/metis.h"
 
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 
 #include "graph/graph_builder.h"
 
 namespace oca {
+
+namespace {
+
+// Prints a weight with enough digits to round-trip through text exactly.
+// %.17g is shortest-safe for IEEE double; trailing-zero trimming is not
+// worth the complexity for a diagnostic-grade text format.
+void AppendWeight(std::ostream& out, double w) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", w);
+  out << buf;
+}
+
+}  // namespace
 
 Result<Graph> ReadMetisStream(std::istream& in) {
   std::string line;
@@ -15,6 +31,7 @@ Result<Graph> ReadMetisStream(std::istream& in) {
   // Header (first non-comment line).
   size_t n = 0, m = 0;
   uint32_t fmt = 0;
+  size_t ncon = 0;
   bool have_header = false;
   while (std::getline(in, line)) {
     ++line_no;
@@ -24,9 +41,29 @@ Result<Graph> ReadMetisStream(std::istream& in) {
       return Status::IOError("malformed METIS header at line " +
                              std::to_string(line_no));
     }
-    if (header >> fmt && fmt != 0) {
-      return Status::Unimplemented(
-          "weighted METIS graphs (fmt != 0) are not supported");
+    if (header >> fmt) {
+      // fmt is three decimal digits "abc": vertex sizes / vertex
+      // weights / edge weights.
+      if (fmt / 100 != 0) {
+        return Status::Unimplemented(
+            "METIS vertex sizes (fmt 1xx) are not supported");
+      }
+      if (fmt % 10 > 1 || (fmt / 10) % 10 > 1) {
+        return Status::IOError("invalid METIS fmt code " +
+                               std::to_string(fmt) + " at line " +
+                               std::to_string(line_no));
+      }
+      if ((fmt / 10) % 10 == 1) {
+        ncon = 1;  // vertex weights present; one constraint by default
+        size_t ncon_field = 0;
+        if (header >> ncon_field) {
+          if (ncon_field == 0) {
+            return Status::IOError("METIS ncon must be >= 1 at line " +
+                                   std::to_string(line_no));
+          }
+          ncon = ncon_field;
+        }
+      }
     }
     have_header = true;
     break;
@@ -34,13 +71,37 @@ Result<Graph> ReadMetisStream(std::istream& in) {
   if (!have_header) {
     return Status::IOError("missing METIS header");
   }
+  const bool edge_weights = fmt % 10 == 1;
 
   GraphBuilder builder(n);
+  // METIS lists every edge twice (once per endpoint). Unweighted reads
+  // lean on the builder's duplicate collapse; weighted reads must NOT
+  // (duplicates SUM there), so each edge is added from its lower-id
+  // listing only and the mirror listing is checked against it — which
+  // upgrades the read to a real weight-symmetry validation.
+  std::unordered_map<uint64_t, double> forward;
+  auto pair_key = [](size_t u, uint64_t v) {
+    return static_cast<uint64_t>(u) << 32 | v;
+  };
   size_t node = 0;
   while (node < n && std::getline(in, line)) {
     ++line_no;
     if (!line.empty() && line[0] == '%') continue;
     std::istringstream ls(line);
+    // Vertex weights (fmt 01x) lead each adjacency line; OCA has no
+    // vertex-weight concept, so they are validated as numbers and
+    // dropped.
+    for (size_t k = 0; k < ncon; ++k) {
+      double vw = 0.0;
+      if (!(ls >> vw)) {
+        if (ls.eof() && k == 0 && line.find_first_not_of(" \t\r") ==
+                                      std::string::npos) {
+          break;  // blank line: isolated vertex with elided weights
+        }
+        return Status::IOError("missing vertex weight at line " +
+                               std::to_string(line_no));
+      }
+    }
     uint64_t nbr = 0;
     while (ls >> nbr) {
       if (nbr == 0 || nbr > n) {
@@ -48,8 +109,37 @@ Result<Graph> ReadMetisStream(std::istream& in) {
                                " out of range at line " +
                                std::to_string(line_no));
       }
-      builder.AddEdge(static_cast<NodeId>(node),
-                      static_cast<NodeId>(nbr - 1));
+      if (edge_weights) {
+        double w = 0.0;
+        if (!(ls >> w)) {
+          return Status::IOError("missing edge weight at line " +
+                                 std::to_string(line_no));
+        }
+        if (!std::isfinite(w) || w <= 0.0) {
+          return Status::IOError("edge weight must be finite and > 0 at line " +
+                                 std::to_string(line_no));
+        }
+        const uint64_t other = nbr - 1;
+        if (node < other) {
+          forward.emplace(pair_key(node, other), w);
+          builder.AddEdge(static_cast<NodeId>(node),
+                          static_cast<NodeId>(other), w);
+        } else if (node > other) {
+          auto it = forward.find(pair_key(other, node));
+          if (it == forward.end() || it->second != w) {
+            return Status::IOError(
+                "asymmetric weighted adjacency at line " +
+                std::to_string(line_no) + ": edge (" + std::to_string(node) +
+                ", " + std::to_string(other) + ") does not mirror its "
+                "earlier listing");
+          }
+        }
+        // node == other: self-listing, dropped (matches the unweighted
+        // reader, where the builder discards self-loops).
+      } else {
+        builder.AddEdge(static_cast<NodeId>(node),
+                        static_cast<NodeId>(nbr - 1));
+      }
     }
     if (!ls.eof()) {
       return Status::IOError("malformed adjacency at line " +
@@ -79,6 +169,21 @@ Result<Graph> ReadMetisFile(const std::string& path) {
 
 Status WriteMetisStream(const Graph& graph, std::ostream& out) {
   out << "% generated by oca\n";
+  if (graph.is_weighted()) {
+    out << graph.num_nodes() << ' ' << graph.num_edges() << " 001\n";
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      auto nbrs = graph.Neighbors(v);
+      auto wts = graph.Weights(v);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        if (i > 0) out << ' ';
+        out << (nbrs[i] + 1) << ' ';  // 1-based
+        AppendWeight(out, wts[i]);
+      }
+      out << '\n';
+    }
+    if (!out) return Status::IOError("stream write failed");
+    return Status::OK();
+  }
   out << graph.num_nodes() << ' ' << graph.num_edges() << '\n';
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
     auto nbrs = graph.Neighbors(v);

@@ -1,10 +1,23 @@
-// METIS graph format I/O (unweighted variant).
+// METIS graph format I/O.
 //
-// Header line: "<n> <m>" (optionally a format code we require to be 0 or
-// absent); line i (1-based) lists the 1-based neighbor ids of node i.
-// '%' lines are comments. The format stores each edge twice; we validate
-// symmetry on read. This is the input format of METIS/hMETIS/KaHIP and
-// of many community-detection tool chains.
+// Header line: "<n> <m> [fmt [ncon]]"; line i (1-based) lists the
+// 1-based neighbor ids of node i. '%' lines are comments. The format
+// stores each edge twice; we validate symmetry on read.
+//
+// The optional fmt code is three decimal digits "abc" (leading zeros
+// elided by most writers): a = vertex sizes, b = vertex weights,
+// c = edge weights. Supported codes: 0 (plain), 1/"001" (edge
+// weights — neighbors interleaved with weights), 10/"010" and
+// 11/"011" (vertex weights present; each adjacency line starts with
+// ncon weight tokens, which we parse and DISCARD — OCA has no vertex
+// weight concept). Vertex sizes (a = 1) are rejected. Edge weights
+// must be finite and positive; duplicate edges follow GraphBuilder's
+// sum-merge policy.
+//
+// WriteMetis* emits fmt 001 with interleaved weights (printed with
+// round-trip precision) when the graph is weighted, and the historical
+// byte-identical unweighted form otherwise. This is the input format
+// of METIS/hMETIS/KaHIP and of many community-detection tool chains.
 
 #ifndef OCA_IO_METIS_H_
 #define OCA_IO_METIS_H_

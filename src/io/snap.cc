@@ -1,0 +1,117 @@
+#include "io/snap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+#include "graph/graph_builder.h"
+
+namespace oca {
+
+namespace {
+
+struct RawEdge {
+  NodeId u;
+  NodeId v;
+  double w;
+};
+
+}  // namespace
+
+Result<SnapGraph> ReadSnapStream(std::istream& in, const SnapOptions& options) {
+  std::unordered_map<uint64_t, NodeId> dense;
+  std::vector<uint64_t> original_ids;
+  std::vector<RawEdge> edges;
+  SnapGraph out;
+
+  auto intern = [&](uint64_t raw) -> NodeId {
+    auto [it, inserted] =
+        dense.try_emplace(raw, static_cast<NodeId>(original_ids.size()));
+    if (inserted) original_ids.push_back(raw);
+    return it->second;
+  };
+
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    ++out.lines_total;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    uint64_t a = 0, b = 0;
+    if (!(ls >> a >> b)) {
+      return Status::IOError("malformed edge at line " +
+                             std::to_string(line_no) + ": '" + line + "'");
+    }
+    double w = 1.0;
+    if (ls >> w) {
+      if (!std::isfinite(w) || w <= 0.0) {
+        return Status::IOError("edge weight must be finite and > 0 at line " +
+                               std::to_string(line_no));
+      }
+      out.weighted = true;
+    } else if (!ls.eof()) {
+      return Status::IOError("malformed weight at line " +
+                             std::to_string(line_no) + ": '" + line + "'");
+    }
+    ++out.edges_listed;
+    // Sequence the interning: function-argument evaluation order is
+    // unspecified, and first-seen id assignment must follow text order.
+    NodeId ua = intern(a);
+    NodeId ub = intern(b);
+    if (ua == ub) {
+      ++out.self_loops_dropped;
+      continue;
+    }
+    edges.push_back({ua, ub, w});
+  }
+
+  GraphBuilder builder(original_ids.size());
+  if (!out.weighted) {
+    for (const RawEdge& e : edges) builder.AddEdge(e.u, e.v);
+  } else {
+    // Canonicalise and pre-merge duplicates here (rather than in the
+    // builder) so dedup_average can divide by the multiplicity. The
+    // (u, v, w) sort matches GraphBuilder's own merge order, so the
+    // summed weight is bit-identical either way.
+    for (RawEdge& e : edges) {
+      if (e.u > e.v) std::swap(e.u, e.v);
+    }
+    std::sort(edges.begin(), edges.end(),
+              [](const RawEdge& a, const RawEdge& b) {
+                if (a.u != b.u) return a.u < b.u;
+                if (a.v != b.v) return a.v < b.v;
+                return a.w < b.w;
+              });
+    for (size_t i = 0; i < edges.size();) {
+      size_t j = i;
+      double sum = 0.0;
+      while (j < edges.size() && edges[j].u == edges[i].u &&
+             edges[j].v == edges[i].v) {
+        sum += edges[j].w;
+        ++j;
+      }
+      const double mult = static_cast<double>(j - i);
+      builder.AddEdge(edges[i].u, edges[i].v,
+                      options.dedup_average ? sum / mult : sum);
+      i = j;
+    }
+  }
+  OCA_ASSIGN_OR_RETURN(out.graph, builder.Build());
+  out.original_ids = std::move(original_ids);
+  return out;
+}
+
+Result<SnapGraph> ReadSnapFile(const std::string& path,
+                               const SnapOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  return ReadSnapStream(in, options);
+}
+
+}  // namespace oca

@@ -31,6 +31,24 @@ struct PortableBody {
   }
 };
 
+/// Weighted portable body: the same four chains with each element
+/// scaled by its edge weight. Separate multiply then add per lane —
+/// -ffp-contract=off keeps it from fusing, preserving bit-identity
+/// with the AVX2 weighted kernel's mul_pd/add_pd sequence.
+struct PortableWeightedBody {
+  double operator()(const NodeId* nbr, const double* w, uint64_t b,
+                    uint64_t body_end, const double* x) const {
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    for (uint64_t p = b; p < body_end; p += 4) {
+      a0 += w[p] * x[nbr[p]];
+      a1 += w[p + 1] * x[nbr[p + 1]];
+      a2 += w[p + 2] * x[nbr[p + 2]];
+      a3 += w[p + 3] * x[nbr[p + 3]];
+    }
+    return (a0 + a2) + (a1 + a3);
+  }
+};
+
 bool CpuHasAvx2() {
 #if defined(OCA_HAVE_AVX2)
   return __builtin_cpu_supports("avx2") != 0;
@@ -177,6 +195,18 @@ void AdjacencyMatVecRows(const Graph& graph, size_t begin, size_t end,
   CheckRowRange(graph, begin, end, x, y);
   const uint64_t* offs = graph.offsets().data();
   const NodeId* nbr = graph.neighbor_array().data();
+  if (graph.is_weighted()) {
+    const double* w = graph.weight_array().data();
+#if defined(OCA_HAVE_AVX2)
+    if (CsrKernelFor(graph) == CsrKernelKind::kAvx2) {
+      internal::Avx2WeightedRows(offs, nbr, w, begin, end, x, y);
+      return;
+    }
+#endif
+    internal::CsrRowLoopW<false>(offs, nbr, w, begin, end, x, y,
+                                 PortableWeightedBody{});
+    return;
+  }
 #if defined(OCA_HAVE_AVX2)
   if (CsrKernelFor(graph) == CsrKernelKind::kAvx2) {
     internal::Avx2Rows(offs, nbr, begin, end, x, y);
@@ -191,6 +221,16 @@ double AdjacencyMatVecRowsFused(const Graph& graph, size_t begin, size_t end,
   CheckRowRange(graph, begin, end, x, y);
   const uint64_t* offs = graph.offsets().data();
   const NodeId* nbr = graph.neighbor_array().data();
+  if (graph.is_weighted()) {
+    const double* w = graph.weight_array().data();
+#if defined(OCA_HAVE_AVX2)
+    if (CsrKernelFor(graph) == CsrKernelKind::kAvx2) {
+      return internal::Avx2WeightedRowsFused(offs, nbr, w, begin, end, x, y);
+    }
+#endif
+    return internal::CsrRowLoopW<true>(offs, nbr, w, begin, end, x, y,
+                                       PortableWeightedBody{});
+  }
 #if defined(OCA_HAVE_AVX2)
   if (CsrKernelFor(graph) == CsrKernelKind::kAvx2) {
     return internal::Avx2RowsFused(offs, nbr, begin, end, x, y);
@@ -209,6 +249,18 @@ void AdjacencyMatVecMultiRows(const Graph& graph, size_t begin, size_t end,
   }
   const uint64_t* offs = graph.offsets().data();
   const NodeId* nbr = graph.neighbor_array().data();
+  if (graph.is_weighted()) {
+    const double* w = graph.weight_array().data();
+#if defined(OCA_HAVE_AVX2)
+    if (CsrKernelFor(graph) == CsrKernelKind::kAvx2) {
+      internal::Avx2WeightedMultiRows(offs, nbr, w, begin, end, x, y, k);
+      return;
+    }
+#endif
+    internal::PortableWeightedMultiRows<false>(offs, nbr, w, begin, end, x, y,
+                                               k, nullptr);
+    return;
+  }
 #if defined(OCA_HAVE_AVX2)
   if (CsrKernelFor(graph) == CsrKernelKind::kAvx2) {
     internal::Avx2MultiRows(offs, nbr, begin, end, x, y, k);
@@ -233,6 +285,19 @@ void AdjacencyMatVecMultiRowsFused(const Graph& graph, size_t begin,
   }
   const uint64_t* offs = graph.offsets().data();
   const NodeId* nbr = graph.neighbor_array().data();
+  if (graph.is_weighted()) {
+    const double* w = graph.weight_array().data();
+#if defined(OCA_HAVE_AVX2)
+    if (CsrKernelFor(graph) == CsrKernelKind::kAvx2) {
+      internal::Avx2WeightedMultiRowsFused(offs, nbr, w, begin, end, x, y, k,
+                                           alpha);
+      return;
+    }
+#endif
+    internal::PortableWeightedMultiRows<true>(offs, nbr, w, begin, end, x, y,
+                                              k, alpha);
+    return;
+  }
 #if defined(OCA_HAVE_AVX2)
   if (CsrKernelFor(graph) == CsrKernelKind::kAvx2) {
     internal::Avx2MultiRowsFused(offs, nbr, begin, end, x, y, k, alpha);

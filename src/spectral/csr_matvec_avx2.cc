@@ -123,6 +123,121 @@ struct Avx2MultiBody8 {
   }
 };
 
+// Weighted bodies: each edge contributes w[e] * x[...]. Weights are
+// CONTIGUOUS in the CSR weight array, so the scalar kernel pairs one
+// plain weight load with the index gather; the multi kernels broadcast
+// the edge weight across the k-wide strip. Every product is mul_pd
+// followed by add_pd — never an FMA — matching the portable weighted
+// bodies' separate multiply-then-add under -ffp-contract=off, so the
+// weighted pair is bit-identical the same way the unweighted pair is.
+
+struct Avx2WeightedBody {
+  double operator()(const NodeId* nbr, const double* w, uint64_t b,
+                    uint64_t body_end, const double* x) const {
+    __m256d acc = _mm256_setzero_pd();
+    for (uint64_t p = b; p < body_end; p += 4) {
+      const __m128i idx =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(nbr + p));
+      const __m256d xv = _mm256_i32gather_pd(x, idx, 8);
+      const __m256d wv = _mm256_loadu_pd(w + p);
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(wv, xv));
+    }
+    const __m128d lo = _mm256_castpd256_pd128(acc);     // (a0, a1)
+    const __m128d hi = _mm256_extractf128_pd(acc, 1);   // (a2, a3)
+    const __m128d pair = _mm_add_pd(lo, hi);            // (a0+a2, a1+a3)
+    return _mm_cvtsd_f64(_mm_hadd_pd(pair, pair));      // (a0+a2)+(a1+a3)
+  }
+};
+
+/// k = 2 weighted: broadcast each edge weight over its 16-byte strip.
+struct Avx2WeightedMultiBody2 {
+  void operator()(const NodeId* nbr, const double* w, uint64_t b,
+                  uint64_t body_end, const double* x, double* out) const {
+    __m128d a0 = _mm_setzero_pd(), a1 = _mm_setzero_pd();
+    __m128d a2 = _mm_setzero_pd(), a3 = _mm_setzero_pd();
+    for (uint64_t p = b; p < body_end; p += 4) {
+      a0 = _mm_add_pd(
+          a0, _mm_mul_pd(_mm_set1_pd(w[p]),
+                         _mm_loadu_pd(x + static_cast<size_t>(nbr[p]) * 2)));
+      a1 = _mm_add_pd(
+          a1,
+          _mm_mul_pd(_mm_set1_pd(w[p + 1]),
+                     _mm_loadu_pd(x + static_cast<size_t>(nbr[p + 1]) * 2)));
+      a2 = _mm_add_pd(
+          a2,
+          _mm_mul_pd(_mm_set1_pd(w[p + 2]),
+                     _mm_loadu_pd(x + static_cast<size_t>(nbr[p + 2]) * 2)));
+      a3 = _mm_add_pd(
+          a3,
+          _mm_mul_pd(_mm_set1_pd(w[p + 3]),
+                     _mm_loadu_pd(x + static_cast<size_t>(nbr[p + 3]) * 2)));
+    }
+    _mm_storeu_pd(out, _mm_add_pd(_mm_add_pd(a0, a2), _mm_add_pd(a1, a3)));
+  }
+};
+
+/// k = 4 weighted: one broadcast + one 32-byte load per edge.
+struct Avx2WeightedMultiBody4 {
+  void operator()(const NodeId* nbr, const double* w, uint64_t b,
+                  uint64_t body_end, const double* x, double* out) const {
+    __m256d a0 = _mm256_setzero_pd(), a1 = _mm256_setzero_pd();
+    __m256d a2 = _mm256_setzero_pd(), a3 = _mm256_setzero_pd();
+    for (uint64_t p = b; p < body_end; p += 4) {
+      a0 = _mm256_add_pd(
+          a0,
+          _mm256_mul_pd(_mm256_set1_pd(w[p]),
+                        _mm256_loadu_pd(x + static_cast<size_t>(nbr[p]) * 4)));
+      a1 = _mm256_add_pd(
+          a1, _mm256_mul_pd(
+                  _mm256_set1_pd(w[p + 1]),
+                  _mm256_loadu_pd(x + static_cast<size_t>(nbr[p + 1]) * 4)));
+      a2 = _mm256_add_pd(
+          a2, _mm256_mul_pd(
+                  _mm256_set1_pd(w[p + 2]),
+                  _mm256_loadu_pd(x + static_cast<size_t>(nbr[p + 2]) * 4)));
+      a3 = _mm256_add_pd(
+          a3, _mm256_mul_pd(
+                  _mm256_set1_pd(w[p + 3]),
+                  _mm256_loadu_pd(x + static_cast<size_t>(nbr[p + 3]) * 4)));
+    }
+    _mm256_storeu_pd(
+        out, _mm256_add_pd(_mm256_add_pd(a0, a2), _mm256_add_pd(a1, a3)));
+  }
+};
+
+/// k = 8 weighted: one broadcast shared by the two 256-bit halves.
+struct Avx2WeightedMultiBody8 {
+  void operator()(const NodeId* nbr, const double* w, uint64_t b,
+                  uint64_t body_end, const double* x, double* out) const {
+    __m256d lo0 = _mm256_setzero_pd(), lo1 = _mm256_setzero_pd();
+    __m256d lo2 = _mm256_setzero_pd(), lo3 = _mm256_setzero_pd();
+    __m256d hi0 = _mm256_setzero_pd(), hi1 = _mm256_setzero_pd();
+    __m256d hi2 = _mm256_setzero_pd(), hi3 = _mm256_setzero_pd();
+    for (uint64_t p = b; p < body_end; p += 4) {
+      const double* v0 = x + static_cast<size_t>(nbr[p]) * 8;
+      const double* v1 = x + static_cast<size_t>(nbr[p + 1]) * 8;
+      const double* v2 = x + static_cast<size_t>(nbr[p + 2]) * 8;
+      const double* v3 = x + static_cast<size_t>(nbr[p + 3]) * 8;
+      const __m256d w0 = _mm256_set1_pd(w[p]);
+      const __m256d w1 = _mm256_set1_pd(w[p + 1]);
+      const __m256d w2 = _mm256_set1_pd(w[p + 2]);
+      const __m256d w3 = _mm256_set1_pd(w[p + 3]);
+      lo0 = _mm256_add_pd(lo0, _mm256_mul_pd(w0, _mm256_loadu_pd(v0)));
+      hi0 = _mm256_add_pd(hi0, _mm256_mul_pd(w0, _mm256_loadu_pd(v0 + 4)));
+      lo1 = _mm256_add_pd(lo1, _mm256_mul_pd(w1, _mm256_loadu_pd(v1)));
+      hi1 = _mm256_add_pd(hi1, _mm256_mul_pd(w1, _mm256_loadu_pd(v1 + 4)));
+      lo2 = _mm256_add_pd(lo2, _mm256_mul_pd(w2, _mm256_loadu_pd(v2)));
+      hi2 = _mm256_add_pd(hi2, _mm256_mul_pd(w2, _mm256_loadu_pd(v2 + 4)));
+      lo3 = _mm256_add_pd(lo3, _mm256_mul_pd(w3, _mm256_loadu_pd(v3)));
+      hi3 = _mm256_add_pd(hi3, _mm256_mul_pd(w3, _mm256_loadu_pd(v3 + 4)));
+    }
+    _mm256_storeu_pd(
+        out, _mm256_add_pd(_mm256_add_pd(lo0, lo2), _mm256_add_pd(lo1, lo3)));
+    _mm256_storeu_pd(out + 4, _mm256_add_pd(_mm256_add_pd(hi0, hi2),
+                                            _mm256_add_pd(hi1, hi3)));
+  }
+};
+
 template <bool kFused>
 void Avx2MultiDispatch(const uint64_t* offs, const NodeId* nbr, size_t begin,
                        size_t end, const double* x, double* y, size_t k,
@@ -148,6 +263,31 @@ void Avx2MultiDispatch(const uint64_t* offs, const NodeId* nbr, size_t begin,
   }
 }
 
+template <bool kFused>
+void Avx2WeightedMultiDispatch(const uint64_t* offs, const NodeId* nbr,
+                               const double* w, size_t begin, size_t end,
+                               const double* x, double* y, size_t k,
+                               double* fused_acc) {
+  switch (k) {
+    case 2:
+      CsrMultiRowLoopW<kFused, 2>(offs, nbr, w, begin, end, x, y, fused_acc,
+                                  Avx2WeightedMultiBody2{});
+      return;
+    case 4:
+      CsrMultiRowLoopW<kFused, 4>(offs, nbr, w, begin, end, x, y, fused_acc,
+                                  Avx2WeightedMultiBody4{});
+      return;
+    case 8:
+      CsrMultiRowLoopW<kFused, 8>(offs, nbr, w, begin, end, x, y, fused_acc,
+                                  Avx2WeightedMultiBody8{});
+      return;
+    default:
+      PortableWeightedMultiRows<kFused>(offs, nbr, w, begin, end, x, y, k,
+                                        fused_acc);
+      return;
+  }
+}
+
 }  // namespace
 
 void Avx2Rows(const uint64_t* offs, const NodeId* nbr, size_t begin,
@@ -169,6 +309,31 @@ void Avx2MultiRowsFused(const uint64_t* offs, const NodeId* nbr, size_t begin,
                         size_t end, const double* x, double* y, size_t k,
                         double* fused_acc) {
   Avx2MultiDispatch<true>(offs, nbr, begin, end, x, y, k, fused_acc);
+}
+
+void Avx2WeightedRows(const uint64_t* offs, const NodeId* nbr, const double* w,
+                      size_t begin, size_t end, const double* x, double* y) {
+  CsrRowLoopW<false>(offs, nbr, w, begin, end, x, y, Avx2WeightedBody{});
+}
+
+double Avx2WeightedRowsFused(const uint64_t* offs, const NodeId* nbr,
+                             const double* w, size_t begin, size_t end,
+                             const double* x, double* y) {
+  return CsrRowLoopW<true>(offs, nbr, w, begin, end, x, y, Avx2WeightedBody{});
+}
+
+void Avx2WeightedMultiRows(const uint64_t* offs, const NodeId* nbr,
+                           const double* w, size_t begin, size_t end,
+                           const double* x, double* y, size_t k) {
+  Avx2WeightedMultiDispatch<false>(offs, nbr, w, begin, end, x, y, k, nullptr);
+}
+
+void Avx2WeightedMultiRowsFused(const uint64_t* offs, const NodeId* nbr,
+                                const double* w, size_t begin, size_t end,
+                                const double* x, double* y, size_t k,
+                                double* fused_acc) {
+  Avx2WeightedMultiDispatch<true>(offs, nbr, w, begin, end, x, y, k,
+                                  fused_acc);
 }
 
 }  // namespace internal

@@ -45,6 +45,30 @@ inline double CsrRowLoop(const uint64_t* offs, const NodeId* nbr,
   return block_acc;
 }
 
+/// Weighted row loop: identical skeleton, but each edge contributes
+/// w[e] * x[nbr[e]]. `Body(nbr, w, b, body_end, x)` returns the striped
+/// four-accumulator weighted sum over the 4-multiple span, combined as
+/// (a0 + a2) + (a1 + a3); every product is a separate multiply THEN add
+/// (never an FMA — both TUs build with -ffp-contract=off) so the
+/// portable and AVX2 weighted kernels stay bit-identical exactly like
+/// the unweighted pair.
+template <bool kFused, typename Body>
+inline double CsrRowLoopW(const uint64_t* offs, const NodeId* nbr,
+                          const double* w, size_t begin, size_t end,
+                          const double* x, double* y, Body body) {
+  double block_acc = 0.0;
+  for (size_t u = begin; u < end; ++u) {
+    const uint64_t b = offs[u];
+    const uint64_t e = offs[u + 1];
+    const uint64_t body_end = b + ((e - b) & ~uint64_t{3});
+    double sum = body(nbr, w, b, body_end, x);
+    for (uint64_t p = body_end; p < e; ++p) sum += w[p] * x[nbr[p]];
+    y[u] = sum;
+    if constexpr (kFused) block_acc += sum * x[u];
+  }
+  return block_acc;
+}
+
 /// Multi-vector (SpMM) row loop: k interleaved right-hand sides in one
 /// CSR sweep. Layout is node-major — column j of node v lives at
 /// x[v * k + j] — so one edge visit touches one contiguous k-wide
@@ -86,6 +110,35 @@ inline void CsrMultiRowLoop(const uint64_t* offs, const NodeId* nbr,
   }
 }
 
+/// Weighted multi-vector row loop: the CsrMultiRowLoop skeleton with
+/// each edge scaling its k-wide strip by w[e]. Same per-column
+/// bit-identity construction; `MultiBody(nbr, w, b, body_end, x, sums)`.
+template <bool kFused, size_t kWidth, typename MultiBody>
+inline void CsrMultiRowLoopW(const uint64_t* offs, const NodeId* nbr,
+                             const double* w, size_t begin, size_t end,
+                             const double* x, double* y, double* fused_acc,
+                             MultiBody body) {
+  static_assert(kWidth >= 1 && kWidth <= kMaxMatVecBatch);
+  double sums[kWidth];
+  for (size_t u = begin; u < end; ++u) {
+    const uint64_t b = offs[u];
+    const uint64_t e = offs[u + 1];
+    const uint64_t body_end = b + ((e - b) & ~uint64_t{3});
+    body(nbr, w, b, body_end, x, sums);
+    for (uint64_t p = body_end; p < e; ++p) {
+      const double* xv = x + static_cast<size_t>(nbr[p]) * kWidth;
+      const double we = w[p];
+      for (size_t j = 0; j < kWidth; ++j) sums[j] += we * xv[j];
+    }
+    double* yu = y + u * kWidth;
+    for (size_t j = 0; j < kWidth; ++j) yu[j] = sums[j];
+    if constexpr (kFused) {
+      const double* xu = x + u * kWidth;
+      for (size_t j = 0; j < kWidth; ++j) fused_acc[j] += sums[j] * xu[j];
+    }
+  }
+}
+
 /// Portable multi body: the scalar kernel's four striped accumulator
 /// chains, kept independently per column. acc[lane][j] adds exactly the
 /// elements the single-vector kernel's lane accumulator adds for column
@@ -102,6 +155,27 @@ struct PortableMultiBody {
       for (int lane = 0; lane < 4; ++lane) {
         const double* xv = x + static_cast<size_t>(nbr[p + lane]) * kWidth;
         for (size_t j = 0; j < kWidth; ++j) acc[lane][j] += xv[j];
+      }
+    }
+    for (size_t j = 0; j < kWidth; ++j) {
+      out[j] = (acc[0][j] + acc[2][j]) + (acc[1][j] + acc[3][j]);
+    }
+  }
+};
+
+/// Weighted portable multi body: acc[lane][j] += w * x strips, same
+/// striping and combine as PortableMultiBody with each strip scaled by
+/// its edge weight (separate multiply, never contracted — see above).
+template <size_t kWidth>
+struct PortableWeightedMultiBody {
+  void operator()(const NodeId* nbr, const double* w, uint64_t b,
+                  uint64_t body_end, const double* x, double* out) const {
+    double acc[4][kWidth] = {};
+    for (uint64_t p = b; p < body_end; p += 4) {
+      for (int lane = 0; lane < 4; ++lane) {
+        const double* xv = x + static_cast<size_t>(nbr[p + lane]) * kWidth;
+        const double we = w[p + lane];
+        for (size_t j = 0; j < kWidth; ++j) acc[lane][j] += we * xv[j];
       }
     }
     for (size_t j = 0; j < kWidth; ++j) {
@@ -153,6 +227,48 @@ inline void PortableMultiRows(const uint64_t* offs, const NodeId* nbr,
   }
 }
 
+/// Weighted analogue of PortableMultiRows.
+template <bool kFused>
+inline void PortableWeightedMultiRows(const uint64_t* offs, const NodeId* nbr,
+                                      const double* w, size_t begin,
+                                      size_t end, const double* x, double* y,
+                                      size_t k, double* fused_acc) {
+  switch (k) {
+    case 2:
+      CsrMultiRowLoopW<kFused, 2>(offs, nbr, w, begin, end, x, y, fused_acc,
+                                  PortableWeightedMultiBody<2>{});
+      return;
+    case 3:
+      CsrMultiRowLoopW<kFused, 3>(offs, nbr, w, begin, end, x, y, fused_acc,
+                                  PortableWeightedMultiBody<3>{});
+      return;
+    case 4:
+      CsrMultiRowLoopW<kFused, 4>(offs, nbr, w, begin, end, x, y, fused_acc,
+                                  PortableWeightedMultiBody<4>{});
+      return;
+    case 5:
+      CsrMultiRowLoopW<kFused, 5>(offs, nbr, w, begin, end, x, y, fused_acc,
+                                  PortableWeightedMultiBody<5>{});
+      return;
+    case 6:
+      CsrMultiRowLoopW<kFused, 6>(offs, nbr, w, begin, end, x, y, fused_acc,
+                                  PortableWeightedMultiBody<6>{});
+      return;
+    case 7:
+      CsrMultiRowLoopW<kFused, 7>(offs, nbr, w, begin, end, x, y, fused_acc,
+                                  PortableWeightedMultiBody<7>{});
+      return;
+    case 8:
+      CsrMultiRowLoopW<kFused, 8>(offs, nbr, w, begin, end, x, y, fused_acc,
+                                  PortableWeightedMultiBody<8>{});
+      return;
+    default:
+      CsrMultiRowLoopW<kFused, 1>(offs, nbr, w, begin, end, x, y, fused_acc,
+                                  PortableWeightedMultiBody<1>{});
+      return;
+  }
+}
+
 #if defined(OCA_HAVE_AVX2)
 // Defined in csr_matvec_avx2.cc (compiled with -mavx2); called by the
 // dispatcher in csr_matvec.cc only after a runtime CPU check.
@@ -165,6 +281,18 @@ void Avx2MultiRows(const uint64_t* offs, const NodeId* nbr, size_t begin,
 void Avx2MultiRowsFused(const uint64_t* offs, const NodeId* nbr, size_t begin,
                         size_t end, const double* x, double* y, size_t k,
                         double* fused_acc);
+void Avx2WeightedRows(const uint64_t* offs, const NodeId* nbr, const double* w,
+                      size_t begin, size_t end, const double* x, double* y);
+double Avx2WeightedRowsFused(const uint64_t* offs, const NodeId* nbr,
+                             const double* w, size_t begin, size_t end,
+                             const double* x, double* y);
+void Avx2WeightedMultiRows(const uint64_t* offs, const NodeId* nbr,
+                           const double* w, size_t begin, size_t end,
+                           const double* x, double* y, size_t k);
+void Avx2WeightedMultiRowsFused(const uint64_t* offs, const NodeId* nbr,
+                                const double* w, size_t begin, size_t end,
+                                const double* x, double* y, size_t k,
+                                double* fused_acc);
 #endif
 
 }  // namespace internal

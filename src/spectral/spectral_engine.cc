@@ -423,9 +423,13 @@ SpectralEngine::SweepOutcome SpectralEngine::LanczosSweep(
   EnsureWorkspace(n);
 
   // Gershgorin/degree bound: every adjacency eigenvalue lies within
-  // [-max_degree, max_degree]. This brackets the Ritz bisection and
-  // scales the breakdown threshold before any iteration happens.
-  const double gersh = static_cast<double>(graph.MaxDegree());
+  // [-max_row_sum, max_row_sum]. For an unweighted graph the row sum is
+  // the degree (MaxWeightedDegree degrades to exactly MaxDegree there,
+  // so weightless sweeps keep their historical bracket bit-for-bit);
+  // for a weighted one it is the weighted degree. This brackets the
+  // Ritz bisection and scales the breakdown threshold before any
+  // iteration happens.
+  const double gersh = graph.MaxWeightedDegree();
   const double glo = -gersh - 1.0;
   const double ghi = gersh + 1.0;
 

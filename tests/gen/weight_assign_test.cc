@@ -1,0 +1,86 @@
+// Deterministic weight assignment: the hash scheme is a pure function
+// of (seed, endpoint pair), so the same graph gets the same weights no
+// matter how it was built, which orientation an edge was added in, or
+// which backend serves it — the property the weighted differential and
+// backend-equivalence suites stand on.
+
+#include "gen/weight_assign.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/erdos_renyi.h"
+#include "graph/graph_checks.h"
+#include "testing/test_graphs.h"
+#include "util/random.h"
+
+namespace oca {
+namespace {
+
+TEST(WeightAssignTest, DeterministicAcrossCalls) {
+  Graph g = testing::KarateClub();
+  Graph a = AssignWeights(g, {}).value();
+  Graph b = AssignWeights(g, {}).value();
+  ASSERT_TRUE(a.is_weighted());
+  EXPECT_TRUE(std::ranges::equal(a.weight_array(), b.weight_array()));
+  EXPECT_TRUE(ValidateGraph(a).ok());
+}
+
+TEST(WeightAssignTest, HashIsOrientationInsensitive) {
+  WeightAssignOptions options;
+  for (NodeId u = 0; u < 40; u += 3) {
+    for (NodeId v = u + 1; v < 40; v += 5) {
+      EXPECT_EQ(HashedEdgeWeight(u, v, options),
+                HashedEdgeWeight(v, u, options));
+    }
+  }
+}
+
+TEST(WeightAssignTest, SeedChangesWeights) {
+  Graph g = testing::KarateClub();
+  WeightAssignOptions other;
+  other.seed = 43;
+  Graph a = AssignWeights(g, {}).value();
+  Graph b = AssignWeights(g, other).value();
+  EXPECT_FALSE(std::ranges::equal(a.weight_array(), b.weight_array()));
+}
+
+TEST(WeightAssignTest, WeightsLandInHalfOpenRange) {
+  Rng rng(3);
+  Graph g = ErdosRenyi(200, 0.05, &rng).value();
+  WeightAssignOptions options;
+  options.min_weight = 0.25;
+  options.max_weight = 8.0;
+  Graph w = AssignWeights(g, options).value();
+  for (double x : w.weight_array()) {
+    EXPECT_GE(x, 0.25);
+    EXPECT_LT(x, 8.0);
+  }
+}
+
+TEST(WeightAssignTest, UnitSchemeIsExactlyOne) {
+  Graph g = testing::TwoCliquesOverlap();
+  WeightAssignOptions options;
+  options.scheme = WeightScheme::kUnit;
+  Graph w = AssignWeights(g, options).value();
+  ASSERT_TRUE(w.is_weighted());
+  for (double x : w.weight_array()) EXPECT_EQ(x, 1.0);
+  // The CSR structure is untouched: only the weight section is new.
+  EXPECT_TRUE(std::ranges::equal(g.offsets(), w.offsets()));
+  EXPECT_TRUE(std::ranges::equal(g.neighbor_array(), w.neighbor_array()));
+}
+
+TEST(WeightAssignTest, RejectsInvalidRange) {
+  Graph g = testing::TwoCliquesOverlap();
+  WeightAssignOptions bad;
+  bad.min_weight = 2.0;
+  bad.max_weight = 1.0;
+  EXPECT_FALSE(AssignWeights(g, bad).ok());
+  bad.min_weight = 0.0;
+  bad.max_weight = 1.0;
+  EXPECT_FALSE(AssignWeights(g, bad).ok());
+}
+
+}  // namespace
+}  // namespace oca

@@ -26,6 +26,7 @@
 #include "gen/barabasi_albert.h"
 #include "gen/erdos_renyi.h"
 #include "gen/nested_partition.h"
+#include "gen/weight_assign.h"
 #include "graph/graph_builder.h"
 #include "graph/k_core.h"
 #include "graph/mmap_graph.h"
@@ -247,6 +248,142 @@ TEST(BackendEquivalenceTest, HierarchyDigestAcrossKernelsAndThreads) {
       EXPECT_EQ(mem_tree.Digest(), reference);
       EXPECT_EQ(map_tree.Digest(), reference)
           << "mmap backend digest diverged";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Weighted axis: the same matrix, with hash-assigned edge weights. The
+// weights land in the .ocag v2 section on disk; the mapped backend must
+// alias them bit-for-bit and every weighted consumer must agree with
+// the in-memory backend.
+
+std::vector<BackendPair> WeightedBackendMatrix() {
+  WeightAssignOptions wopt;  // deterministic hash weights in [0.5, 2)
+  std::vector<BackendPair> pairs;
+  for (auto& pair : BackendMatrix()) {
+    Graph weighted = AssignWeights(pair.memory, wopt).value();
+    Graph mapped = MmapCopy(weighted, pair.name + "_w");
+    pairs.push_back({pair.name + "_w", std::move(weighted),
+                     std::move(mapped)});
+  }
+  return pairs;
+}
+
+TEST(BackendEquivalenceTest, WeightedCsrViewsAreIdentical) {
+  for (const auto& pair : WeightedBackendMatrix()) {
+    SCOPED_TRACE(pair.name);
+    ASSERT_TRUE(pair.memory.is_weighted());
+    ASSERT_TRUE(pair.mapped.is_weighted());
+    ASSERT_TRUE(pair.mapped.is_mapped());
+    ASSERT_EQ(pair.memory.weight_array().size(),
+              pair.mapped.weight_array().size());
+    EXPECT_EQ(0, std::memcmp(pair.memory.weight_array().data(),
+                             pair.mapped.weight_array().data(),
+                             pair.memory.weight_array().size() *
+                                 sizeof(double)));
+    EXPECT_EQ(pair.memory.TotalWeight(), pair.mapped.TotalWeight());
+    EXPECT_EQ(pair.memory.MaxWeightedDegree(),
+              pair.mapped.MaxWeightedDegree());
+    for (NodeId v = 0; v < pair.memory.num_nodes(); v += 7) {
+      ASSERT_TRUE(
+          std::ranges::equal(pair.memory.Weights(v), pair.mapped.Weights(v)))
+          << "node " << v;
+      EXPECT_EQ(pair.memory.WeightedDegree(v), pair.mapped.WeightedDegree(v));
+    }
+  }
+}
+
+TEST(BackendEquivalenceTest, WeightedMatVecBitIdenticalAcrossKernels) {
+  KernelRestorer restore;
+  for (const auto& pair : WeightedBackendMatrix()) {
+    const size_t n = pair.memory.num_nodes();
+    Rng rng(99);
+    std::vector<double> x(n);
+    for (auto& xi : x) xi = rng.NextDouble() * 2.0 - 1.0;
+    // The portable kernel on the in-memory backend is the reference;
+    // every kernel x backend combination must reproduce its bits (the
+    // weighted bodies keep the same fixed combine order).
+    ASSERT_EQ(SetCsrKernel(CsrKernelKind::kPortable),
+              CsrKernelKind::kPortable);
+    std::vector<double> reference(n, 0.0);
+    AdjacencyMatVecRows(pair.memory, 0, n, x.data(), reference.data());
+    for (CsrKernelKind kernel : KernelMatrix()) {
+      SCOPED_TRACE(pair.name + std::string("/") + CsrKernelName(kernel));
+      ASSERT_EQ(SetCsrKernel(kernel), kernel);
+      for (const Graph* g : {&pair.memory, &pair.mapped}) {
+        std::vector<double> y(n, 0.0);
+        AdjacencyMatVecRows(*g, 0, n, x.data(), y.data());
+        EXPECT_EQ(0, std::memcmp(reference.data(), y.data(),
+                                 n * sizeof(double)));
+      }
+      std::vector<double> f_mem(n, 0.0), f_map(n, 0.0);
+      const double alpha_mem = AdjacencyMatVecRowsFused(
+          pair.memory, n / 3, n, x.data(), f_mem.data());
+      const double alpha_map = AdjacencyMatVecRowsFused(
+          pair.mapped, n / 3, n, x.data(), f_map.data());
+      EXPECT_EQ(alpha_mem, alpha_map);
+      EXPECT_EQ(0, std::memcmp(f_mem.data(), f_map.data(),
+                               n * sizeof(double)));
+    }
+  }
+}
+
+TEST(BackendEquivalenceTest, WeightedOcaCoversIdentical) {
+  for (const auto& pair : WeightedBackendMatrix()) {
+    SCOPED_TRACE(pair.name);
+    OcaOptions options;
+    options.seed = 5;
+    options.halting.max_seeds = 200;
+    options.halting.target_coverage = 0.95;
+    options.search.fitness.use_weights = true;
+    auto mem = RunOca(pair.memory, options);
+    auto map = RunOca(pair.mapped, options);
+    ASSERT_EQ(mem.ok(), map.ok());
+    if (!mem.ok()) continue;
+    EXPECT_EQ(mem->cover, map->cover);
+    EXPECT_EQ(mem->stats.coupling_constant, map->stats.coupling_constant);
+    EXPECT_EQ(mem->stats.lambda_min, map->stats.lambda_min);
+  }
+}
+
+TEST(BackendEquivalenceTest, WeightedHierarchyDigestAcrossKernelsAndThreads) {
+  KernelRestorer restore;
+  NestedPartitionOptions gen;
+  gen.num_supers = 4;
+  gen.subs_per_super = 3;
+  gen.nodes_per_sub = 18;
+  gen.p_sub = 0.85;
+  gen.p_super = 0.15;
+  gen.p_out = 0.06;
+  gen.seed = 17;
+  Graph memory =
+      AssignWeights(GenerateNestedPartition(gen).value().graph, {}).value();
+  Graph mapped = MmapCopy(memory, "digest_w");
+
+  RecursiveHierarchyOptions options;
+  options.base.seed = 5;
+  options.base.halting.max_seeds = 500;
+  options.base.halting.target_coverage = 0.97;
+  options.base.halting.stagnation_window = 120;
+  options.base.search.fitness.use_weights = true;
+
+  ASSERT_EQ(SetCsrKernel(CsrKernelKind::kPortable), CsrKernelKind::kPortable);
+  options.num_threads = 0;
+  const uint64_t reference =
+      BuildRecursiveHierarchy(memory, options).value().Digest();
+
+  for (CsrKernelKind kernel : KernelMatrix()) {
+    ASSERT_EQ(SetCsrKernel(kernel), kernel);
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      SCOPED_TRACE(std::string(CsrKernelName(kernel)) + "/threads=" +
+                   std::to_string(threads));
+      options.num_threads = threads;
+      auto mem_tree = BuildRecursiveHierarchy(memory, options).value();
+      auto map_tree = BuildRecursiveHierarchy(mapped, options).value();
+      EXPECT_EQ(mem_tree.Digest(), reference);
+      EXPECT_EQ(map_tree.Digest(), reference)
+          << "weighted mmap backend digest diverged";
     }
   }
 }

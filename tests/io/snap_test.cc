@@ -1,0 +1,122 @@
+// SNAP edge-list ingestion: sparse-id interning, the optional weight
+// column, duplicate-merge policies, and error discipline. The karate
+// fixture in data/ is exercised end to end by examples/dataset_runner
+// and CI; these tests pin the parser semantics on controlled input.
+
+#include "io/snap.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/graph_checks.h"
+
+namespace oca {
+namespace {
+
+TEST(SnapReadTest, ParsesCommentsAndSparseIds) {
+  std::istringstream in(
+      "# Undirected graph\n"
+      "# Nodes: 4 Edges: 3\n"
+      "1000\t2000\n"
+      "2000\t17\n"
+      "% also a comment\n"
+      "17\t1000\n");
+  SnapGraph snap = ReadSnapStream(in).value();
+  EXPECT_FALSE(snap.weighted);
+  EXPECT_FALSE(snap.graph.is_weighted());
+  EXPECT_EQ(snap.graph.num_nodes(), 3u);
+  EXPECT_EQ(snap.graph.num_edges(), 3u);
+  EXPECT_EQ(snap.edges_listed, 3u);
+  EXPECT_EQ(snap.lines_total, 6u);
+  // First-appearance interning: 1000 -> 0, 2000 -> 1, 17 -> 2.
+  ASSERT_EQ(snap.original_ids.size(), 3u);
+  EXPECT_EQ(snap.original_ids[0], 1000u);
+  EXPECT_EQ(snap.original_ids[1], 2000u);
+  EXPECT_EQ(snap.original_ids[2], 17u);
+  EXPECT_TRUE(ValidateGraph(snap.graph).ok());
+}
+
+TEST(SnapReadTest, ThirdColumnMakesGraphWeighted) {
+  std::istringstream in(
+      "0 1 2.5\n"
+      "1 2 0.25\n");
+  SnapGraph snap = ReadSnapStream(in).value();
+  EXPECT_TRUE(snap.weighted);
+  ASSERT_TRUE(snap.graph.is_weighted());
+  EXPECT_EQ(snap.graph.EdgeWeight(0, 1), 2.5);
+  EXPECT_EQ(snap.graph.EdgeWeight(1, 2), 0.25);
+  EXPECT_TRUE(ValidateGraph(snap.graph).ok());
+}
+
+TEST(SnapReadTest, MissingWeightColumnDefaultsToOne) {
+  // Mixed input: any weighted line makes the graph weighted; bare
+  // lines weigh 1.0.
+  std::istringstream in(
+      "0 1 2.5\n"
+      "1 2\n");
+  SnapGraph snap = ReadSnapStream(in).value();
+  ASSERT_TRUE(snap.graph.is_weighted());
+  EXPECT_EQ(snap.graph.EdgeWeight(1, 2), 1.0);
+}
+
+TEST(SnapReadTest, DuplicateEdgesSumByDefault) {
+  // A directed dump lists both orientations; the default policy sums.
+  std::istringstream in(
+      "0 1 2.0\n"
+      "1 0 3.0\n");
+  SnapGraph snap = ReadSnapStream(in).value();
+  EXPECT_EQ(snap.graph.num_edges(), 1u);
+  EXPECT_EQ(snap.graph.EdgeWeight(0, 1), 5.0);
+}
+
+TEST(SnapReadTest, DedupAverageDividesByMultiplicity) {
+  std::istringstream in(
+      "0 1 3.0\n"
+      "1 0 3.0\n"
+      "1 2 6.0\n");
+  SnapOptions options;
+  options.dedup_average = true;
+  SnapGraph snap = ReadSnapStream(in, options).value();
+  EXPECT_EQ(snap.graph.EdgeWeight(0, 1), 3.0);  // (3+3)/2
+  EXPECT_EQ(snap.graph.EdgeWeight(1, 2), 6.0);  // multiplicity 1
+}
+
+TEST(SnapReadTest, SelfLoopsCountedAndDropped) {
+  std::istringstream in(
+      "0 0\n"
+      "0 1\n"
+      "1 1 2.0\n");
+  SnapGraph snap = ReadSnapStream(in).value();
+  EXPECT_EQ(snap.self_loops_dropped, 2u);
+  EXPECT_EQ(snap.graph.num_edges(), 1u);
+}
+
+TEST(SnapReadTest, RejectsMalformedLine) {
+  std::istringstream in("0 x\n");
+  EXPECT_TRUE(ReadSnapStream(in).status().IsIOError());
+}
+
+TEST(SnapReadTest, RejectsGarbageWeight) {
+  std::istringstream in("0 1 heavy\n");
+  EXPECT_TRUE(ReadSnapStream(in).status().IsIOError());
+}
+
+TEST(SnapReadTest, RejectsNonPositiveWeight) {
+  std::istringstream in("0 1 -2.0\n");
+  EXPECT_TRUE(ReadSnapStream(in).status().IsIOError());
+}
+
+TEST(SnapReadTest, MissingFileErrors) {
+  EXPECT_TRUE(ReadSnapFile("/no/such/file.txt").status().IsIOError());
+}
+
+TEST(SnapReadTest, EmptyInputYieldsEmptyGraph) {
+  std::istringstream in("# nothing but comments\n");
+  SnapGraph snap = ReadSnapStream(in).value();
+  EXPECT_EQ(snap.graph.num_nodes(), 0u);
+  EXPECT_EQ(snap.edges_listed, 0u);
+}
+
+}  // namespace
+}  // namespace oca
