@@ -1,0 +1,277 @@
+// Community-store query throughput: builds the CI store fixture (the
+// 960-node nested partition hierarchy), writes and reopens it as a
+// .ocac snapshot, then sweeps every (node, query) pair from 1, 2 and 4
+// concurrent reader threads against ONE shared CommunityStore.
+//
+// Two properties are measured, both load-bearing for the server design:
+//
+//   1. Readers scale: the query path takes no locks and touches only
+//      the immutable mapping, so N threads should multiply throughput
+//      on an N-core box (the speedup column; on a 1-core runner expect
+//      ~1x — the CI store-serve job on a multi-core runner enforces the
+//      >= 2x gate at 4 threads).
+//   2. Zero allocation after warmup: CommunitiesOf / MembershipPath
+//      return spans into the mapping and SiblingsAtLevel appends into a
+//      caller-reused buffer, so the timed region must perform ZERO heap
+//      allocations. A global operator new hook counts them; a non-zero
+//      delta fails the run (exit 1), making the property a regression
+//      gate rather than a comment.
+//
+// Set OCA_BENCH_JSON=path to write {threads, qps, speedup, allocs}
+// rows for the CI artifact.
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/community_store.h"
+#include "core/recursive_hierarchy.h"
+#include "gen/nested_partition.h"
+#include "io/community_serialize.h"
+
+// ---------------------------------------------------------------------
+// Global allocation counter. Only the replaceable non-aligned forms are
+// hooked — the query path must not allocate AT ALL, so any form it
+// could use lands here.
+// ---------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+struct Row {
+  size_t threads = 0;
+  double seconds = 0.0;
+  uint64_t queries = 0;
+  double qps = 0.0;
+  double speedup = 1.0;
+  uint64_t allocations = 0;
+};
+
+/// One full sweep of thread t's node shard: every query the protocol
+/// offers, against every owned node. Returns the query count.
+uint64_t SweepShard(const oca::CommunityStore& store, size_t thread_index,
+                    size_t num_threads, std::vector<uint32_t>* scratch,
+                    uint64_t* sink) {
+  const size_t n = store.num_nodes();
+  const size_t levels = store.metadata().num_levels;
+  uint64_t queries = 0;
+  for (oca::NodeId v = static_cast<oca::NodeId>(thread_index); v < n;
+       v += static_cast<oca::NodeId>(num_threads)) {
+    for (uint32_t c : store.CommunitiesOf(v)) *sink += c;
+    ++queries;
+    const size_t paths = store.NumPaths(v);
+    for (size_t i = 0; i < paths; ++i) {
+      for (uint32_t c : store.MembershipPath(v, i)) *sink += c;
+      ++queries;
+    }
+    for (uint32_t k = 0; k < levels; ++k) {
+      store.SiblingsAtLevel(v, k, scratch);
+      *sink += scratch->size();
+      ++queries;
+    }
+  }
+  return queries;
+}
+
+Row RunReaders(const oca::CommunityStore& store, size_t num_threads,
+               size_t rounds) {
+  std::atomic<size_t> warmed{0};
+  std::atomic<bool> start{false};
+  std::atomic<size_t> done{0};
+  std::atomic<bool> exit_ok{false};
+  std::atomic<uint64_t> total_queries{0};
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<uint32_t> scratch;
+      uint64_t sink = 0;
+      // Warmup: one full shard sweep grows `scratch` to its high-water
+      // capacity; everything after is allocation-free.
+      SweepShard(store, t, num_threads, &scratch, &sink);
+      warmed.fetch_add(1);
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      uint64_t queries = 0;
+      for (size_t r = 0; r < rounds; ++r) {
+        queries += SweepShard(store, t, num_threads, &scratch, &sink);
+      }
+      total_queries.fetch_add(queries);
+      done.fetch_add(1, std::memory_order_release);
+      // Hold the thread alive (and its scratch unfreed) until the main
+      // thread has read the post-region allocation counter.
+      while (!exit_ok.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      if (sink == 0xdeadbeef) std::printf("impossible\n");
+    });
+  }
+  while (warmed.load() < num_threads) {
+    std::this_thread::yield();
+  }
+  const uint64_t allocs_before = g_allocations.load();
+  const auto t0 = std::chrono::steady_clock::now();
+  start.store(true, std::memory_order_release);
+  while (done.load(std::memory_order_acquire) < num_threads) {
+    std::this_thread::yield();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const uint64_t allocs_after = g_allocations.load();
+  exit_ok.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+
+  Row row;
+  row.threads = num_threads;
+  row.seconds = std::chrono::duration<double>(t1 - t0).count();
+  row.queries = total_queries.load();
+  row.qps = row.seconds > 0.0 ? row.queries / row.seconds : 0.0;
+  row.allocations = allocs_after - allocs_before;
+  return row;
+}
+
+void WriteJson(const char* path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "OCA_BENCH_JSON: cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"bench_store_queries\",\n");
+  std::fprintf(f, "  \"configs\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"threads\": %zu, \"queries\": %llu, "
+                 "\"seconds\": %.4f, \"qps\": %.0f, \"speedup\": %.3f, "
+                 "\"timed_allocations\": %llu}%s\n",
+                 r.threads, static_cast<unsigned long long>(r.queries),
+                 r.seconds, r.qps, r.speedup,
+                 static_cast<unsigned long long>(r.allocations),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  oca::bench::Banner("bench_store_queries",
+                     "community store query throughput (service layer)");
+
+  oca::NestedPartitionOptions gen;
+  gen.num_supers = 6;
+  gen.subs_per_super = 4;
+  gen.nodes_per_sub = 40;
+  gen.p_sub = 0.85;
+  gen.p_super = 0.15;
+  gen.p_out = 0.08;
+  gen.seed = 7;
+  auto bench = oca::GenerateNestedPartition(gen);
+  if (!bench.ok()) {
+    std::fprintf(stderr, "generator failed: %s\n",
+                 bench.status().ToString().c_str());
+    return 1;
+  }
+  const oca::Graph& graph = bench.value().graph;
+
+  oca::RecursiveHierarchyOptions rec;
+  rec.base.seed = gen.seed;
+  rec.base.halting.max_seeds = graph.num_nodes() * 3;
+  rec.base.halting.target_coverage = 0.98;
+  rec.base.halting.stagnation_window = 150;
+  auto tree = oca::BuildRecursiveHierarchy(graph, rec);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "hierarchy failed: %s\n",
+                 tree.status().ToString().c_str());
+    return 1;
+  }
+
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string path =
+      std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+      "/bench_store_queries.ocac";
+  auto written = oca::WriteCommunityStoreFile(
+      tree.value(), graph.num_nodes(), graph.num_edges(), path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "write failed: %s\n",
+                 written.status().ToString().c_str());
+    return 1;
+  }
+  auto store = oca::CommunityStore::Open(path);
+  if (!store.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("store: %zu nodes, %zu communities, %" PRIu64
+              " levels (%s)\n\n",
+              store.value().num_nodes(), store.value().num_communities(),
+              store.value().metadata().num_levels, path.c_str());
+
+  size_t rounds = 0;
+  switch (oca::bench::GetScale()) {
+    case oca::bench::Scale::kQuick:
+      rounds = 40;
+      break;
+    case oca::bench::Scale::kDefault:
+      rounds = 200;
+      break;
+    case oca::bench::Scale::kPaper:
+      rounds = 1000;
+      break;
+  }
+
+  std::printf("%8s %12s %10s %10s %9s %8s\n", "threads", "queries", "sec",
+              "qps", "speedup", "allocs");
+  std::vector<Row> rows;
+  bool alloc_clean = true;
+  for (size_t threads : {1, 2, 4}) {
+    Row row = RunReaders(store.value(), threads, rounds);
+    if (!rows.empty()) row.speedup = row.qps / rows.front().qps;
+    rows.push_back(row);
+    std::printf("%8zu %12llu %10.3f %10.0f %8.2fx %8llu\n", row.threads,
+                static_cast<unsigned long long>(row.queries), row.seconds,
+                row.qps, row.speedup,
+                static_cast<unsigned long long>(row.allocations));
+    if (row.allocations != 0) alloc_clean = false;
+  }
+
+  if (const char* json = std::getenv("OCA_BENCH_JSON")) {
+    WriteJson(json, rows);
+  }
+  std::remove(path.c_str());
+
+  if (!alloc_clean) {
+    std::fprintf(stderr,
+                 "\nFAIL: the timed query loop allocated — the "
+                 "zero-allocation query-path contract is broken\n");
+    return 1;
+  }
+  std::printf("\nquery path allocation-free after warmup; 4-thread "
+              "speedup %.2fx (gate >= 2x applies on >= 4-core runners)\n",
+              rows.back().speedup);
+  return 0;
+}

@@ -1,33 +1,78 @@
-// Minimal consumer of the installed oca package: builds a weighted
-// triangle, runs the weighted fitness evaluation, and prints one line.
-// Exit code 0 means the installed headers, archive, and export set all
-// line up.
+// Minimal consumer of the installed oca package, written against the
+// public facade ONLY: if this file needs any header besides <oca/oca.h>
+// the export surface regressed. It walks the supported pipeline end to
+// end — build a graph, run OCA, persist the cover as a .ocac community
+// store, reopen it mmap'd and query it back. Exit code 0 means the
+// installed headers, archive, and export set all line up.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
-#include "core/community_state.h"
-#include "core/fitness.h"
-#include "graph/graph_builder.h"
+#include "oca/oca.h"
 
 int main() {
-  oca::GraphBuilder builder(3);
-  builder.AddEdge(0, 1, 2.0);
-  builder.AddEdge(1, 2, 0.5);
-  builder.AddEdge(0, 2, 1.5);
+  // Two 4-cliques joined by one bridge edge; the bridge is weighted so
+  // the weighted path through the facade gets exercised too.
+  oca::GraphBuilder builder(8);
+  for (oca::NodeId base : {oca::NodeId{0}, oca::NodeId{4}}) {
+    for (oca::NodeId i = 0; i < 4; ++i) {
+      for (oca::NodeId j = i + 1; j < 4; ++j) {
+        builder.AddEdge(base + i, base + j, 1.0);
+      }
+    }
+  }
+  builder.AddEdge(3, 4, 0.25);
   auto graph = builder.Build();
   if (!graph.ok()) {
     std::fprintf(stderr, "build failed: %s\n",
-                 std::string(graph.status().message()).c_str());
+                 graph.status().ToString().c_str());
     return 1;
   }
-  oca::FitnessParams params;
-  params.use_weights = true;
-  const oca::SubsetStats stats =
-      oca::ComputeSubsetStats(*graph, oca::Community{0, 1, 2});
-  const double fitness = oca::EvaluateFitness(stats, params);
-  std::printf("oca smoke: n=%zu m=%zu weighted=%d L=%.6f\n",
+
+  oca::OcaOptions options;
+  options.seed = 7;
+  auto result = oca::RunOca(*graph, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "RunOca failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  // Persist the cover as a community-store snapshot and read it back —
+  // the service half of the facade.
+  const std::string path = "oca_smoke_store.ocac";
+  oca::RecursiveHierarchy flat =
+      oca::FlatHierarchyFromResult(result.value());
+  auto written = oca::WriteCommunityStoreFile(
+      flat, graph->num_nodes(), graph->num_edges(), path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "store write failed: %s\n",
+                 written.status().ToString().c_str());
+    return 1;
+  }
+  auto store = oca::CommunityStore::Open(path);
+  std::remove(path.c_str());
+  if (!store.ok()) {
+    std::fprintf(stderr, "store open failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  if (store->num_communities() != result.value().cover.size() ||
+      store->metadata().tree_digest != flat.Digest()) {
+    std::fprintf(stderr, "store does not round-trip the cover\n");
+    return 2;
+  }
+  size_t covered = 0;
+  for (oca::NodeId v = 0; v < store->num_nodes(); ++v) {
+    if (!store->CommunitiesOf(v).empty()) ++covered;
+  }
+
+  std::printf("oca smoke: n=%zu m=%zu weighted=%d communities=%zu "
+              "covered=%zu store_bytes=%zu\n",
               static_cast<size_t>(graph->num_nodes()),
               static_cast<size_t>(graph->num_edges()),
-              graph->is_weighted() ? 1 : 0, fitness);
-  return fitness > 0.0 ? 0 : 2;
+              graph->is_weighted() ? 1 : 0, result.value().cover.size(),
+              covered, static_cast<size_t>(written.value()));
+  return (result.value().cover.size() >= 1 && covered >= 4) ? 0 : 2;
 }

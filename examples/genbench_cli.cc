@@ -129,7 +129,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (auto s = oca::WriteCoverFile(truth, truth_path); !s.ok()) {
-      return Fail(s);
+      return Fail(s.status());
     }
     std::printf("ground truth (%zu communities) written to %s\n",
                 truth.size(), truth_path.c_str());

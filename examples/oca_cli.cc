@@ -118,7 +118,9 @@ int main(int argc, char** argv) {
 
   std::string output = flags.GetString("output", "");
   if (!output.empty()) {
-    if (auto s = oca::WriteCoverFile(cover, output); !s.ok()) return Fail(s);
+    if (auto s = oca::WriteCoverFile(cover, output); !s.ok()) {
+      return Fail(s.status());
+    }
     std::printf("cover written to %s\n", output.c_str());
   }
 

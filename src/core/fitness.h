@@ -62,8 +62,10 @@ struct FitnessParams {
   /// Evaluate from the weighted subset statistics (w_in / w_volume)
   /// instead of the integer edge counts. Meaningful on weighted graphs;
   /// on unweighted ones it is equivalent to all weights being 1.0.
-  /// Weighted fitness routes the local search to the generic climber
-  /// (the bucket-queue fast path ranks by INTEGER deg-in).
+  /// Deg-in-ranked kinds keep a bucket-queue fast path either way: the
+  /// local search routes weighted graphs to a quantized weighted
+  /// climber and unweighted ones to the integer climber (exact there —
+  /// all-1.0 weights mirror the integer counters bit for bit).
   bool use_weights = false;
 };
 

@@ -74,8 +74,8 @@ Result<Hierarchy> BuildHierarchy(const Graph& graph,
     // level c below is the clamped value the level actually ran with.
     level_options.coupling_constant =
         ClampCouplingToAdmissible(c_max * fraction);
-    OCA_ASSIGN_OR_RETURN(OcaResult run,
-                         RunOca(graph, level_options, &engine));
+    level_options.engine = &engine;
+    OCA_ASSIGN_OR_RETURN(OcaResult run, RunOca(graph, level_options));
     // The level ran with an explicit c, so surface the cached spectral
     // context in its stats (no extra solve).
     run.stats.lambda_min = coupling.lambda_min;

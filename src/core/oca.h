@@ -63,21 +63,15 @@ struct OcaResult {
 /// Runs the full OCA pipeline on `graph`. Deterministic per
 /// options.seed (including in multi-threaded mode). Errors on an empty
 /// or edgeless graph (no community structure to search) and on invalid
-/// options.
+/// options. A caller-held spectral engine rides in OcaOptions::engine
+/// (see its docs for the sharing/threading contract).
 Result<OcaResult> RunOca(const Graph& graph, const OcaOptions& options = {});
 
-/// Same, sharing a caller-held SpectralEngine (may be null). The engine's
-/// per-graph cache means repeated runs over the same graph — hierarchy
-/// levels, parameter sweeps — resolve the coupling constant once; its
-/// warm-start hook lets callers seed the solve from a related graph's
-/// eigenvector. The engine must outlive the call and is NOT thread-safe:
-/// callers that run several RunOca calls concurrently (e.g. the parallel
-/// recursive hierarchy expanding sibling subtrees) must hold one engine
-/// per worker (SpectralEngineSet) rather than share one. Results do not
-/// depend on which engine ran the solve — start vectors derive from the
-/// engine's configured seed, not its history.
-Result<OcaResult> RunOca(const Graph& graph, const OcaOptions& options,
-                         SpectralEngine* engine);
+/// Deprecated shim from before the engine moved into OcaOptions::engine:
+/// a non-null `engine` overrides options.engine. New code sets
+/// options.engine and calls the two-argument overload.
+[[deprecated("set OcaOptions::engine instead")]] Result<OcaResult> RunOca(
+    const Graph& graph, const OcaOptions& options, SpectralEngine* engine);
 
 }  // namespace oca
 

@@ -13,6 +13,8 @@
 
 namespace oca {
 
+class SpectralEngine;
+
 /// Everything OCA needs. Defaults are the paper's standard setup: random
 /// neighborhoods around uncovered seeds, directed-Laplacian fitness with
 /// the spectral c, merge postprocessing on, orphan assignment off (the
@@ -20,6 +22,17 @@ namespace oca {
 struct OcaOptions {
   /// Master seed; all randomness derives from it.
   uint64_t seed = 42;
+
+  /// Optional caller-held spectral engine (non-owning; null = RunOca
+  /// builds its own per call). Sharing one engine across repeated runs
+  /// over the same graph — hierarchy levels, parameter sweeps — resolves
+  /// the coupling constant once (per-graph cache) and exposes the
+  /// warm-start hook for nested solves. The engine must outlive the run
+  /// and is NOT thread-safe: concurrent RunOca calls need one engine
+  /// each (SpectralEngineSet), never a shared one. Results do not depend
+  /// on which engine ran the solve — start vectors derive from the
+  /// engine's configured seed, not its history.
+  SpectralEngine* engine = nullptr;
 
   /// Coupling constant c. <= 0 means "compute -1/lambda_min by the power
   /// method" (the paper's choice, the largest admissible value).

@@ -196,7 +196,11 @@ ExpandOutcome ExpandNode(const Graph& graph,
   out.warm_started = warm;
   out.warm_start_distance = warm_distance;
 
-  auto run_result = RunOca(sub.graph, run_options, &engine);
+  // Each expansion runs with ITS worker's engine — never the root
+  // engine a shared options copy might carry.
+  OcaOptions sub_options = run_options;
+  sub_options.engine = &engine;
+  auto run_result = RunOca(sub.graph, sub_options);
   // The subgraph dies with this expansion; its cache entry must not
   // survive to alias a future subgraph at the same heap address.
   engine.Forget(sub.graph);
@@ -632,8 +636,8 @@ Result<RecursiveHierarchy> BuildRecursiveHierarchy(
   RecursiveHierarchy tree;
   OcaOptions run_options = options.base;
   run_options.coupling_constant = 0.0;  // engine cache answers the root
-  OCA_ASSIGN_OR_RETURN(OcaResult root_run,
-                       RunOca(graph, run_options, &engine));
+  run_options.engine = &engine;
+  OCA_ASSIGN_OR_RETURN(OcaResult root_run, RunOca(graph, run_options));
   tree.root_stats = root_run.stats;
 
   // Root link of the ancestor chain: the whole-graph eigenvector, no

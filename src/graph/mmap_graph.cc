@@ -1,76 +1,26 @@
 #include "graph/mmap_graph.h"
 
-#include <fcntl.h>
-#include <sys/mman.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
 #include <memory>
 #include <string>
 
 #include "graph/graph_checks.h"
 #include "io/graph_format.h"
+#include "util/mmap_file.h"
 
 namespace oca {
 
-namespace {
-
-/// RAII owner of one read-only file mapping; held by the Graph as its
-/// shared keep-alive backing.
-class MmapBacking {
- public:
-  MmapBacking(void* base, size_t length, int fd)
-      : base_(base), length_(length), fd_(fd) {}
-  ~MmapBacking() {
-    if (base_ != MAP_FAILED) ::munmap(base_, length_);
-    if (fd_ >= 0) ::close(fd_);
-  }
-  MmapBacking(const MmapBacking&) = delete;
-  MmapBacking& operator=(const MmapBacking&) = delete;
-
-  const char* data() const { return static_cast<const char*>(base_); }
-
- private:
-  void* base_;
-  size_t length_;
-  int fd_;
-};
-
-Status ErrnoError(const std::string& what, const std::string& path) {
-  return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
-}
-
-}  // namespace
-
 Result<Graph> OpenMmapGraph(const std::string& path,
                             const MmapGraphOptions& options) {
-  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) return ErrnoError("cannot open", path);
-
-  struct stat st;
-  if (::fstat(fd, &st) != 0) {
-    Status s = ErrnoError("cannot stat", path);
-    ::close(fd);
-    return s;
-  }
-  const uint64_t file_bytes = static_cast<uint64_t>(st.st_size);
+  OCA_ASSIGN_OR_RETURN(std::shared_ptr<const MmapFile> backing,
+                       OpenMmapFile(path));
+  const uint64_t file_bytes = backing->size();
   if (file_bytes < kGraphFileHeaderBytes) {
-    ::close(fd);
     return Status::IOError("graph file '" + path + "' truncated: " +
                            std::to_string(file_bytes) +
                            " bytes, header needs " +
                            std::to_string(kGraphFileHeaderBytes));
   }
-
-  void* base = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
-  if (base == MAP_FAILED) {
-    Status s = ErrnoError("cannot mmap", path);
-    ::close(fd);
-    return s;
-  }
-  auto backing = std::make_shared<MmapBacking>(base, file_bytes, fd);
   const char* bytes = backing->data();
 
   // Header checks, strictly before any array access: everything below
@@ -121,9 +71,7 @@ Result<Graph> OpenMmapGraph(const std::string& path,
         " bytes, file has " + std::to_string(file_bytes));
   }
 
-  if (options.sequential) {
-    (void)::madvise(base, file_bytes, MADV_SEQUENTIAL);
-  }
+  if (options.sequential) backing->AdviseSequential();
 
   const uint64_t* offsets =
       reinterpret_cast<const uint64_t*>(bytes + kGraphFileOffsetsStart);

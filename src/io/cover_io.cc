@@ -36,7 +36,7 @@ Result<Cover> ReadCoverFile(const std::string& path) {
   return ReadCoverStream(in);
 }
 
-Status WriteCoverStream(const Cover& cover, std::ostream& out) {
+Result<size_t> WriteCoverStream(const Cover& cover, std::ostream& out) {
   out << "# " << cover.size() << " communities\n";
   for (const auto& community : cover) {
     for (size_t i = 0; i < community.size(); ++i) {
@@ -46,10 +46,10 @@ Status WriteCoverStream(const Cover& cover, std::ostream& out) {
     out << '\n';
   }
   if (!out) return Status::IOError("stream write failed");
-  return Status::OK();
+  return cover.size();
 }
 
-Status WriteCoverFile(const Cover& cover, const std::string& path) {
+Result<size_t> WriteCoverFile(const Cover& cover, const std::string& path) {
   std::ofstream out(path);
   if (!out) {
     return Status::IOError("cannot open '" + path + "' for writing");

@@ -16,8 +16,10 @@ namespace oca {
 Result<Cover> ReadCoverStream(std::istream& in);
 Result<Cover> ReadCoverFile(const std::string& path);
 
-Status WriteCoverStream(const Cover& cover, std::ostream& out);
-Status WriteCoverFile(const Cover& cover, const std::string& path);
+/// Writers return the number of communities written; failures are typed
+/// (kIOError), same Result<T> discipline as the store writers.
+Result<size_t> WriteCoverStream(const Cover& cover, std::ostream& out);
+Result<size_t> WriteCoverFile(const Cover& cover, const std::string& path);
 
 }  // namespace oca
 

@@ -1,0 +1,171 @@
+#include "server/store_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <utility>
+
+#include "server/store_protocol.h"
+
+namespace oca {
+
+namespace {
+
+Status SocketError(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+Result<uint64_t> TakeU64(std::string_view* rest) {
+  while (!rest->empty() && rest->front() == ' ') rest->remove_prefix(1);
+  size_t end = rest->find(' ');
+  if (end == std::string_view::npos) end = rest->size();
+  const std::string_view token = rest->substr(0, end);
+  rest->remove_prefix(end);
+  uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (token.empty() || ec != std::errc() ||
+      ptr != token.data() + token.size()) {
+    return Status::Internal("malformed numeric token '" + std::string(token) +
+                            "' in server response");
+  }
+  return value;
+}
+
+Result<std::vector<uint32_t>> ParseIdList(std::string_view* rest) {
+  OCA_ASSIGN_OR_RETURN(uint64_t count, TakeU64(rest));
+  std::vector<uint32_t> ids;
+  ids.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    OCA_ASSIGN_OR_RETURN(uint64_t id, TakeU64(rest));
+    ids.push_back(static_cast<uint32_t>(id));
+  }
+  return ids;
+}
+
+}  // namespace
+
+Result<StoreClient> StoreClient::Connect(const std::string& host,
+                                         uint16_t port, int timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse server address '" + host +
+                                   "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return SocketError("cannot create socket");
+  if (timeout_ms > 0) {
+    timeval tv;
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status s = SocketError("cannot connect to " + host + ":" +
+                           std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return StoreClient(fd);
+}
+
+StoreClient::~StoreClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StoreClient::StoreClient(StoreClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), in_buf_(std::move(other.in_buf_)) {}
+
+StoreClient& StoreClient::operator=(StoreClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    in_buf_ = std::move(other.in_buf_);
+  }
+  return *this;
+}
+
+Result<std::string> StoreClient::RoundTrip(const std::string& line) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is disconnected");
+  std::string request = line;
+  request.push_back('\n');
+  const char* data = request.data();
+  size_t len = request.size();
+  while (len > 0) {
+    const ssize_t sent = ::send(fd_, data, len, MSG_NOSIGNAL);
+    if (sent <= 0) return SocketError("request send failed");
+    data += sent;
+    len -= static_cast<size_t>(sent);
+  }
+  size_t newline;
+  char chunk[1024];
+  while ((newline = in_buf_.find('\n')) == std::string::npos) {
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got == 0) {
+      return Status::IOError("server closed the connection mid-response");
+    }
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return SocketError("response receive failed");
+    }
+    in_buf_.append(chunk, static_cast<size_t>(got));
+  }
+  std::string_view response(in_buf_.data(), newline);
+  if (!response.empty() && response.back() == '\r') response.remove_suffix(1);
+  Result<std::string> payload = ParseStoreResponse(response);
+  in_buf_.erase(0, newline + 1);
+  return payload;
+}
+
+Result<std::vector<uint32_t>> StoreClient::Communities(NodeId v) {
+  OCA_ASSIGN_OR_RETURN(std::string payload,
+                       RoundTrip("COMMUNITIES " + std::to_string(v)));
+  std::string_view rest = payload;
+  OCA_ASSIGN_OR_RETURN(std::vector<uint32_t> ids, ParseIdList(&rest));
+  return ids;
+}
+
+Result<std::vector<std::vector<uint32_t>>> StoreClient::Paths(NodeId v) {
+  OCA_ASSIGN_OR_RETURN(std::string payload,
+                       RoundTrip("PATHS " + std::to_string(v)));
+  std::string_view rest = payload;
+  OCA_ASSIGN_OR_RETURN(uint64_t count, TakeU64(&rest));
+  std::vector<std::vector<uint32_t>> paths;
+  paths.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    OCA_ASSIGN_OR_RETURN(std::vector<uint32_t> path, ParseIdList(&rest));
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+Result<std::vector<uint32_t>> StoreClient::Siblings(NodeId v,
+                                                    uint32_t level) {
+  OCA_ASSIGN_OR_RETURN(
+      std::string payload,
+      RoundTrip("SIBLINGS " + std::to_string(v) + " " +
+                std::to_string(level)));
+  std::string_view rest = payload;
+  OCA_ASSIGN_OR_RETURN(std::vector<uint32_t> ids, ParseIdList(&rest));
+  return ids;
+}
+
+Result<std::string> StoreClient::StatsLine() { return RoundTrip("STATS"); }
+
+Status StoreClient::Ping() { return RoundTrip("PING").status(); }
+
+Status StoreClient::Shutdown() { return RoundTrip("SHUTDOWN").status(); }
+
+}  // namespace oca

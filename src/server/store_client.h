@@ -1,0 +1,70 @@
+// StoreClient: the minimal synchronous client for the oca_serve wire
+// protocol (server/store_protocol.h). One TCP connection, one request
+// in flight at a time; every call sends a line and parses the response
+// line back into typed values. An ERR response surfaces as the typed
+// Status the server encoded — the client re-raises the server's error
+// category, not a generic failure. Used by the server tests, the CI
+// store-serve job and examples/store_query.
+
+#ifndef OCA_SERVER_STORE_CLIENT_H_
+#define OCA_SERVER_STORE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace oca {
+
+class StoreClient {
+ public:
+  /// Connects to host:port; `timeout_ms` bounds connect and every
+  /// later send/receive (<= 0 disables).
+  static Result<StoreClient> Connect(const std::string& host, uint16_t port,
+                                     int timeout_ms = 5000);
+
+  ~StoreClient();
+  StoreClient(StoreClient&& other) noexcept;
+  StoreClient& operator=(StoreClient&& other) noexcept;
+  StoreClient(const StoreClient&) = delete;
+  StoreClient& operator=(const StoreClient&) = delete;
+
+  /// COMMUNITIES v — root communities containing v, ascending.
+  Result<std::vector<uint32_t>> Communities(NodeId v);
+
+  /// PATHS v — all membership paths of v, root first.
+  Result<std::vector<std::vector<uint32_t>>> Paths(NodeId v);
+
+  /// SIBLINGS v k — CommunityStore::SiblingsAtLevel over the wire.
+  Result<std::vector<uint32_t>> Siblings(NodeId v, uint32_t level);
+
+  /// STATS — the raw key=value payload line.
+  Result<std::string> StatsLine();
+
+  /// PING — liveness round trip.
+  Status Ping();
+
+  /// SHUTDOWN — asks the server to stop (it acknowledges first).
+  Status Shutdown();
+
+  /// Sends a raw request line verbatim and returns the raw OK payload
+  /// (ERR responses surface as their typed Status). Lets tools print
+  /// the server's exact wire formatting — examples/store_query diffs
+  /// this against a local ExecuteStoreRequest byte for byte.
+  Result<std::string> Raw(const std::string& line) { return RoundTrip(line); }
+
+ private:
+  explicit StoreClient(int fd) : fd_(fd) {}
+
+  /// Sends `line` + newline, reads one response line, strips OK/ERR.
+  Result<std::string> RoundTrip(const std::string& line);
+
+  int fd_ = -1;
+  std::string in_buf_;
+};
+
+}  // namespace oca
+
+#endif  // OCA_SERVER_STORE_CLIENT_H_

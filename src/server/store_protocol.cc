@@ -1,0 +1,206 @@
+#include "server/store_protocol.h"
+
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+
+namespace oca {
+
+namespace {
+
+/// Splits the next space-delimited token off `rest`; empty when none.
+std::string_view NextToken(std::string_view* rest) {
+  while (!rest->empty() && rest->front() == ' ') rest->remove_prefix(1);
+  size_t end = rest->find(' ');
+  if (end == std::string_view::npos) end = rest->size();
+  std::string_view token = rest->substr(0, end);
+  rest->remove_prefix(end);
+  return token;
+}
+
+Result<uint64_t> ParseU64(std::string_view token, const char* what) {
+  uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size() ||
+      token.empty()) {
+    return Status::InvalidArgument(std::string(what) + " '" +
+                                   std::string(token) +
+                                   "' is not an unsigned integer");
+  }
+  return value;
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  out->append(buf, static_cast<size_t>(ptr - buf));
+}
+
+void AppendDouble(std::string* out, double value) {
+  char buf[40];
+  // %.17g is round-trip exact for IEEE doubles; the CI cross-check
+  // compares these fields against the in-memory build verbatim.
+  const int len = std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out->append(buf, static_cast<size_t>(len));
+}
+
+void AppendIdList(std::string* out, std::span<const uint32_t> ids) {
+  AppendU64(out, ids.size());
+  for (uint32_t id : ids) {
+    out->push_back(' ');
+    AppendU64(out, id);
+  }
+}
+
+}  // namespace
+
+Result<StoreRequest> ParseStoreRequest(std::string_view line) {
+  std::string_view rest = line;
+  const std::string_view verb = NextToken(&rest);
+  StoreRequest request;
+  int args = 0;
+  if (verb == "COMMUNITIES") {
+    request.kind = StoreRequestKind::kCommunities;
+    args = 1;
+  } else if (verb == "PATHS") {
+    request.kind = StoreRequestKind::kPaths;
+    args = 1;
+  } else if (verb == "SIBLINGS") {
+    request.kind = StoreRequestKind::kSiblings;
+    args = 2;
+  } else if (verb == "STATS") {
+    request.kind = StoreRequestKind::kStats;
+  } else if (verb == "PING") {
+    request.kind = StoreRequestKind::kPing;
+  } else if (verb == "SHUTDOWN") {
+    request.kind = StoreRequestKind::kShutdown;
+  } else {
+    return Status::InvalidArgument("unknown request verb '" +
+                                   std::string(verb) + "'");
+  }
+  if (args >= 1) {
+    OCA_ASSIGN_OR_RETURN(uint64_t node, ParseU64(NextToken(&rest), "node"));
+    if (node > UINT32_MAX) {
+      return Status::OutOfRange("node " + std::to_string(node) +
+                                " does not fit a u32 id");
+    }
+    request.node = static_cast<NodeId>(node);
+  }
+  if (args >= 2) {
+    OCA_ASSIGN_OR_RETURN(uint64_t level, ParseU64(NextToken(&rest), "level"));
+    if (level > UINT32_MAX) {
+      return Status::OutOfRange("level " + std::to_string(level) +
+                                " does not fit a u32");
+    }
+    request.level = static_cast<uint32_t>(level);
+  }
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  if (!rest.empty()) {
+    return Status::InvalidArgument("trailing arguments after '" +
+                                   std::string(verb) + "' request");
+  }
+  return request;
+}
+
+void AppendErrorResponse(const Status& status, std::string* out) {
+  out->append("ERR ");
+  out->append(StatusCodeName(status.code()));
+  out->push_back(' ');
+  out->append(status.message());
+  out->push_back('\n');
+}
+
+void ExecuteStoreRequest(const CommunityStore& store,
+                         const StoreRequest& request, std::string* out,
+                         std::vector<uint32_t>* scratch) {
+  switch (request.kind) {
+    case StoreRequestKind::kPing:
+    case StoreRequestKind::kShutdown:
+      out->append("OK\n");
+      return;
+    case StoreRequestKind::kStats: {
+      const CommunityStore::Metadata& m = store.metadata();
+      out->append("OK nodes=");
+      AppendU64(out, m.num_nodes);
+      out->append(" edges=");
+      AppendU64(out, m.num_edges);
+      out->append(" communities=");
+      AppendU64(out, m.num_communities);
+      out->append(" roots=");
+      AppendU64(out, m.num_roots);
+      out->append(" levels=");
+      AppendU64(out, m.num_levels);
+      out->append(" paths=");
+      AppendU64(out, m.num_paths);
+      out->append(" c=");
+      AppendDouble(out, m.coupling_constant);
+      out->append(" lambda_min=");
+      AppendDouble(out, m.lambda_min);
+      out->append(" digest=");
+      char buf[20];
+      const int len = std::snprintf(buf, sizeof(buf), "%016" PRIx64,
+                                    m.tree_digest);
+      out->append(buf, static_cast<size_t>(len));
+      out->push_back('\n');
+      return;
+    }
+    default:
+      break;
+  }
+  if (request.node >= store.num_nodes()) {
+    AppendErrorResponse(
+        Status::OutOfRange("node " + std::to_string(request.node) +
+                           " >= " + std::to_string(store.num_nodes())),
+        out);
+    return;
+  }
+  switch (request.kind) {
+    case StoreRequestKind::kCommunities:
+      out->append("OK ");
+      AppendIdList(out, store.CommunitiesOf(request.node));
+      out->push_back('\n');
+      return;
+    case StoreRequestKind::kPaths: {
+      const size_t paths = store.NumPaths(request.node);
+      out->append("OK ");
+      AppendU64(out, paths);
+      for (size_t i = 0; i < paths; ++i) {
+        out->push_back(' ');
+        AppendIdList(out, store.MembershipPath(request.node, i));
+      }
+      out->push_back('\n');
+      return;
+    }
+    case StoreRequestKind::kSiblings:
+      store.SiblingsAtLevel(request.node, request.level, scratch);
+      out->append("OK ");
+      AppendIdList(out, *scratch);
+      out->push_back('\n');
+      return;
+    default:
+      AppendErrorResponse(Status::Internal("unhandled request kind"), out);
+      return;
+  }
+}
+
+Result<std::string> ParseStoreResponse(std::string_view line) {
+  if (line == "OK" || line == "OK ") return std::string();
+  if (line.substr(0, 3) == "OK ") return std::string(line.substr(3));
+  if (line.substr(0, 4) == "ERR ") {
+    std::string_view rest = line.substr(4);
+    const std::string_view code_name = NextToken(&rest);
+    if (!rest.empty()) rest.remove_prefix(1);  // the separator space
+    for (int code = 1; code <= static_cast<int>(StatusCode::kUnimplemented);
+         ++code) {
+      if (StatusCodeName(static_cast<StatusCode>(code)) == code_name) {
+        return Status(static_cast<StatusCode>(code), std::string(rest));
+      }
+    }
+    return Status::Internal("unknown error code '" + std::string(code_name) +
+                            "' in response: " + std::string(line));
+  }
+  return Status::Internal("malformed response line: " + std::string(line));
+}
+
+}  // namespace oca

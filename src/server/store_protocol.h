@@ -1,0 +1,82 @@
+// The oca_serve wire protocol: newline-terminated ASCII request and
+// response lines over a byte stream. Kept free of any socket code so
+// the parser/formatter pair is unit-testable and shared verbatim by the
+// server (server/store_server), the client (server/store_client) and
+// the offline query CLI (examples/store_query) — one grammar, no drift.
+//
+// Requests (case-sensitive, single space separated):
+//
+//   COMMUNITIES <node>        root communities containing <node>
+//   PATHS <node>              all membership paths of <node>
+//   SIBLINGS <node> <level>   CommunityStore::SiblingsAtLevel
+//   STATS                     snapshot metadata
+//   PING                      liveness probe
+//   SHUTDOWN                  stop the server (it answers first)
+//
+// Responses (one line):
+//
+//   OK <payload>              see per-request payloads below
+//   ERR <code> <message>      <code> is the lowercase StatusCode name
+//
+// Payloads: COMMUNITIES and SIBLINGS answer `<count> <id>...`; PATHS
+// answers `<num_paths>` followed by each path as `<len> <id>...`
+// (length-prefixed, so the flat token list parses unambiguously);
+// STATS answers space-separated `key=value` pairs (doubles printed
+// round-trip exact, digest as 16 hex digits); PING and SHUTDOWN answer
+// a bare `OK`.
+//
+// Every formatter APPENDS to a caller-owned std::string so the server's
+// per-connection response buffer is reused across requests — after the
+// first few requests the hot query path performs no allocation.
+
+#ifndef OCA_SERVER_STORE_PROTOCOL_H_
+#define OCA_SERVER_STORE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/community_store.h"
+#include "util/result.h"
+
+namespace oca {
+
+enum class StoreRequestKind {
+  kCommunities,
+  kPaths,
+  kSiblings,
+  kStats,
+  kPing,
+  kShutdown,
+};
+
+struct StoreRequest {
+  StoreRequestKind kind = StoreRequestKind::kPing;
+  NodeId node = 0;     // COMMUNITIES / PATHS / SIBLINGS
+  uint32_t level = 0;  // SIBLINGS
+};
+
+/// Parses one request line (without the trailing newline). Unknown
+/// verbs, missing/extra/non-numeric arguments are kInvalidArgument.
+Result<StoreRequest> ParseStoreRequest(std::string_view line);
+
+/// Executes `request` against `store` and appends the response line
+/// (newline included) to `*out`. `*scratch` is the sibling-query reuse
+/// buffer. Node range errors become ERR lines, not statuses — the
+/// connection outlives bad queries.
+void ExecuteStoreRequest(const CommunityStore& store,
+                         const StoreRequest& request, std::string* out,
+                         std::vector<uint32_t>* scratch);
+
+/// Appends `ERR <code> <message>\n` for a (non-OK) status.
+void AppendErrorResponse(const Status& status, std::string* out);
+
+/// Splits a received response line: returns the payload after "OK ",
+/// or reconstructs the typed Status of an "ERR <code> <message>" line.
+/// A line that is neither is kInternal (protocol corruption).
+Result<std::string> ParseStoreResponse(std::string_view line);
+
+}  // namespace oca
+
+#endif  // OCA_SERVER_STORE_PROTOCOL_H_

@@ -1,0 +1,250 @@
+#include "server/store_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "server/store_protocol.h"
+
+namespace oca {
+
+namespace {
+
+/// Longest request line the server buffers before giving up on the
+/// connection; every well-formed request fits in a fraction of this.
+constexpr size_t kMaxRequestLine = 4096;
+
+Status SocketError(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+void SetRequestTimeout(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Sends the whole buffer; false on any error (peer gone, timeout).
+/// MSG_NOSIGNAL: a disconnected peer must be an error return, never a
+/// process-wide SIGPIPE.
+bool SendAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t sent = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (sent <= 0) return false;
+    data += sent;
+    len -= static_cast<size_t>(sent);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<StoreServer>> StoreServer::Start(
+    CommunityStore store, const StoreServerOptions& options) {
+  if (options.num_threads == 0) {
+    return Status::InvalidArgument("store server needs at least one reader");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse listen address '" +
+                                   options.host + "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return SocketError("cannot create listen socket");
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status s = SocketError("cannot bind " + options.host + ":" +
+                           std::to_string(options.port));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status s = SocketError("cannot listen");
+    ::close(fd);
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    Status s = SocketError("cannot read bound port");
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<StoreServer>(new StoreServer(
+      std::move(store), options, fd, ntohs(bound.sin_port)));
+}
+
+StoreServer::StoreServer(CommunityStore store,
+                         const StoreServerOptions& options, int listen_fd,
+                         uint16_t port)
+    : store_(std::move(store)),
+      options_(options),
+      listen_fd_(listen_fd),
+      port_(port),
+      pool_(std::make_unique<ThreadPool>(options.num_threads)) {
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+StoreServer::~StoreServer() { Shutdown(); }
+
+void StoreServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // ECONNABORTED etc. are per-connection hiccups; everything else
+      // (notably EINVAL/EBADF after RequestStop half-closed the
+      // listener) ends the loop.
+      if (errno == ECONNABORTED) continue;
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_requested_.load(std::memory_order_relaxed)) {
+        ::close(fd);
+        return;
+      }
+      // Registered BEFORE the task is queued so Shutdown's half-close
+      // sweep can never miss a connection a worker is about to serve.
+      live_connections_.insert(fd);
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    pool_->Submit([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void StoreServer::HandleConnection(int fd) {
+  SetRequestTimeout(fd, options_.request_timeout_ms);
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  // Per-connection buffers, reused across requests: after warmup the
+  // query loop allocates nothing.
+  std::string in_buf;
+  std::string response;
+  std::vector<uint32_t> scratch;
+  char chunk[1024];
+  bool request_stop = false;
+
+  for (;;) {
+    if (stop_requested_.load(std::memory_order_relaxed)) break;
+    // Pull one newline-terminated line into in_buf.
+    size_t newline;
+    while ((newline = in_buf.find('\n')) == std::string::npos) {
+      if (in_buf.size() > kMaxRequestLine) {
+        response.clear();
+        AppendErrorResponse(
+            Status::InvalidArgument("request line exceeds " +
+                                    std::to_string(kMaxRequestLine) +
+                                    " bytes"),
+            &response);
+        (void)SendAll(fd, response.data(), response.size());
+        goto done;
+      }
+      const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (got == 0) goto done;  // peer closed
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          timeouts_.fetch_add(1, std::memory_order_relaxed);
+        }
+        goto done;
+      }
+      in_buf.append(chunk, static_cast<size_t>(got));
+    }
+    {
+      std::string_view line(in_buf.data(), newline);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      response.clear();
+      Result<StoreRequest> request = ParseStoreRequest(line);
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      if (!request.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        AppendErrorResponse(request.status(), &response);
+      } else {
+        const size_t before = response.size();
+        ExecuteStoreRequest(store_, *request, &response, &scratch);
+        if (response.compare(before, 4, "ERR ") == 0) {
+          errors_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (request->kind == StoreRequestKind::kShutdown) {
+          request_stop = true;
+        }
+      }
+      in_buf.erase(0, newline + 1);
+      if (!SendAll(fd, response.data(), response.size())) break;
+      if (request_stop) break;
+    }
+  }
+done:
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_connections_.erase(fd);
+  }
+  ::close(fd);
+  // After the response is on the wire and the connection is off the
+  // books: a SHUTDOWN request stops the whole server.
+  if (request_stop) RequestStop();
+}
+
+void StoreServer::RequestStop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_requested_.load(std::memory_order_relaxed)) return;
+    stop_requested_.store(true, std::memory_order_relaxed);
+  }
+  // Wake the accept loop: accept(2) fails once the listener is
+  // half-closed. The fd itself is closed in Shutdown, after the join.
+  (void)::shutdown(listen_fd_, SHUT_RDWR);
+  stop_cv_.notify_all();
+}
+
+void StoreServer::WaitUntilStopped() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stop_cv_.wait(lock,
+                [this] { return stop_requested_.load(std::memory_order_relaxed); });
+}
+
+void StoreServer::Shutdown() {
+  RequestStop();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Half-close every live connection so readers blocked in recv see
+    // EOF and drain; the handlers own the close.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : live_connections_) (void)::shutdown(fd, SHUT_RDWR);
+  }
+  pool_->Wait();
+  pool_.reset();  // joins the workers
+  ::close(listen_fd_);
+}
+
+StoreServer::Stats StoreServer::stats() const {
+  Stats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace oca

@@ -1,0 +1,126 @@
+// StoreServer: the long-running query front end over one mmap'd
+// CommunityStore snapshot (the oca_serve example is a thin CLI around
+// this class). A dedicated thread accepts TCP connections and hands
+// each one to a fixed util/thread_pool of readers; every worker speaks
+// the line protocol of server/store_protocol.h over its connection
+// until the peer disconnects, a per-request timeout fires, or the
+// server shuts down.
+//
+// The query path is lock-free and allocation-free at steady state: the
+// CommunityStore answers every request from the immutable mapping with
+// no synchronization (concurrent readers are safe by construction), and
+// each connection reuses its input/response/sibling buffers across
+// requests. The only locking is connection bookkeeping on accept/close.
+//
+// Shutdown contract: RequestStop() (cheap, callable from any thread —
+// including a worker handling the SHUTDOWN request, and a signal-woken
+// main loop) makes the accept loop exit and wakes WaitUntilStopped();
+// Shutdown() then completes the stop — it half-closes every live
+// connection so blocked readers drain, joins the accept thread and the
+// pool, and is idempotent. The destructor calls Shutdown().
+
+#ifndef OCA_SERVER_STORE_SERVER_H_
+#define OCA_SERVER_STORE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "core/community_store.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace oca {
+
+struct StoreServerOptions {
+  /// Listen address; the default binds loopback only — oca_serve is an
+  /// example service, not a hardened daemon.
+  std::string host = "127.0.0.1";
+
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+
+  /// Reader threads. Each persistent connection occupies one reader
+  /// while open, so this bounds concurrent connections; further accepts
+  /// queue until a reader frees up.
+  size_t num_threads = 4;
+
+  /// Per-request socket timeout (SO_RCVTIMEO/SO_SNDTIMEO): a connection
+  /// that takes longer than this to deliver a request line — or to
+  /// accept a response — is closed. <= 0 disables the timeout.
+  int request_timeout_ms = 5000;
+};
+
+class StoreServer {
+ public:
+  /// Everything the server has done so far (monotonic counters).
+  struct Stats {
+    uint64_t connections = 0;
+    uint64_t requests = 0;   // request lines answered (including ERR)
+    uint64_t errors = 0;     // of which answered with ERR
+    uint64_t timeouts = 0;   // connections closed by the request timeout
+  };
+
+  /// Binds, listens and starts the accept loop and reader pool. The
+  /// store snapshot is shared into the server (cheap copy of the
+  /// mapping handle).
+  static Result<std::unique_ptr<StoreServer>> Start(
+      CommunityStore store, const StoreServerOptions& options = {});
+
+  ~StoreServer();
+  StoreServer(const StoreServer&) = delete;
+  StoreServer& operator=(const StoreServer&) = delete;
+
+  /// The bound port (the resolved one when options.port was 0).
+  uint16_t port() const { return port_; }
+
+  /// Signals the server to stop accepting and wakes WaitUntilStopped().
+  void RequestStop();
+
+  /// Blocks until RequestStop() was called (by anyone, including a
+  /// client's SHUTDOWN request).
+  void WaitUntilStopped();
+
+  /// Full graceful stop: RequestStop + drain live connections + join
+  /// everything. Idempotent.
+  void Shutdown();
+
+  Stats stats() const;
+
+ private:
+  StoreServer(CommunityStore store, const StoreServerOptions& options,
+              int listen_fd, uint16_t port);
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  const CommunityStore store_;
+  const StoreServerOptions options_;
+  const int listen_fd_;
+  const uint16_t port_;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  std::condition_variable stop_cv_;
+  std::unordered_set<int> live_connections_;
+  /// Written under mu_ (the cv predicate needs that), atomic so reader
+  /// loops can poll it without taking the connection-bookkeeping lock.
+  std::atomic<bool> stop_requested_{false};
+  bool shut_down_ = false;
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> timeouts_{0};
+};
+
+}  // namespace oca
+
+#endif  // OCA_SERVER_STORE_SERVER_H_

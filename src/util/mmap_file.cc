@@ -1,0 +1,57 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace oca {
+
+namespace {
+
+Status ErrnoError(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+MmapFile::~MmapFile() {
+  if (base_ != nullptr) ::munmap(base_, size_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void MmapFile::AdviseSequential() const {
+  if (base_ != nullptr) (void)::madvise(base_, size_, MADV_SEQUENTIAL);
+}
+
+Result<std::shared_ptr<const MmapFile>> OpenMmapFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return ErrnoError("cannot open", path);
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s = ErrnoError("cannot stat", path);
+    ::close(fd);
+    return s;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+
+  // mmap rejects zero-length mappings; an empty file is still a valid
+  // (empty) view so format readers can produce their own "truncated"
+  // diagnostics from section arithmetic.
+  void* base = nullptr;
+  if (size > 0) {
+    base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (base == MAP_FAILED) {
+      Status s = ErrnoError("cannot mmap", path);
+      ::close(fd);
+      return s;
+    }
+  }
+  return std::shared_ptr<const MmapFile>(new MmapFile(base, size, fd));
+}
+
+}  // namespace oca

@@ -1,0 +1,58 @@
+// Read-only memory-mapped file, shared by every mmap-backed snapshot
+// reader (the .ocag graph backend, the .ocac community store). One RAII
+// owner per mapping; consumers hold it through a shared_ptr so views
+// into the mapping stay valid for as long as any reader is alive — the
+// same keep-alive discipline Graph::FromExternal uses.
+//
+// Error contract: every failure is a typed Status through Result<T>
+// (kIOError — the file could not be opened, stat'ed, or mapped). Size
+// checks against a format's header are the CALLER's job: a zero-byte
+// file maps successfully to an empty view so format readers can report
+// "truncated" with their own section arithmetic.
+
+#ifndef OCA_UTIL_MMAP_FILE_H_
+#define OCA_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "util/result.h"
+
+namespace oca {
+
+/// One read-only private mapping of a whole file. Not copyable or
+/// movable — share it through the shared_ptr OpenMmapFile returns.
+class MmapFile {
+ public:
+  ~MmapFile();
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Base of the mapping (nullptr for an empty file).
+  const char* data() const { return static_cast<const char*>(base_); }
+
+  /// Exact file size in bytes at open time.
+  size_t size() const { return size_; }
+
+  /// madvise(MADV_SEQUENTIAL) over the whole mapping; advisory only.
+  void AdviseSequential() const;
+
+ private:
+  friend Result<std::shared_ptr<const MmapFile>> OpenMmapFile(
+      const std::string& path);
+  MmapFile(void* base, size_t size, int fd)
+      : base_(base), size_(size), fd_(fd) {}
+
+  void* base_;
+  size_t size_;
+  int fd_;
+};
+
+/// Opens `path` read-only and maps it privately. The mapping and file
+/// descriptor are released when the last shared_ptr copy is gone.
+Result<std::shared_ptr<const MmapFile>> OpenMmapFile(const std::string& path);
+
+}  // namespace oca
+
+#endif  // OCA_UTIL_MMAP_FILE_H_

@@ -39,7 +39,9 @@ TEST(CoverRoundTripTest, StreamRoundTrip) {
   cover.Add({2, 4});
   cover.Canonicalize();
   std::stringstream buffer;
-  ASSERT_TRUE(WriteCoverStream(cover, buffer).ok());
+  auto written = WriteCoverStream(cover, buffer);
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(written.value(), cover.size());
   Cover loaded = ReadCoverStream(buffer).value();
   loaded.Canonicalize();
   EXPECT_EQ(loaded, cover);
@@ -51,11 +53,25 @@ TEST(CoverRoundTripTest, FileRoundTrip) {
   cover.Add({2, 3, 4});  // overlapping
   cover.Canonicalize();
   std::string path = ::testing::TempDir() + "/oca_cover_test.txt";
-  ASSERT_TRUE(WriteCoverFile(cover, path).ok());
+  auto written = WriteCoverFile(cover, path);
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(written.value(), cover.size());
   Cover loaded = ReadCoverFile(path).value();
   loaded.Canonicalize();
   EXPECT_EQ(loaded, cover);
   std::remove(path.c_str());
+}
+
+TEST(CoverRoundTripTest, WriterErrorsAreTyped) {
+  Cover cover;
+  cover.Add({0, 1});
+  // Dead stream and unwritable path both surface as kIOError through
+  // the Result<size_t> writers, same discipline as the store writers.
+  std::ostringstream dead;
+  dead.setstate(std::ios::badbit);
+  EXPECT_TRUE(WriteCoverStream(cover, dead).status().IsIOError());
+  EXPECT_TRUE(
+      WriteCoverFile(cover, "/no/such/dir/cover.txt").status().IsIOError());
 }
 
 TEST(ReadCoverTest, EmptyInput) {
